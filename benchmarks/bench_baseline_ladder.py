@@ -1,0 +1,61 @@
+"""Algorithm ladder: MLP against every baseline of Section II.
+
+Not a single paper figure, but the quantitative summary of the paper's
+argument: exact level-sensitive optimization (MLP) beats the edge-
+triggered approximation, bounded binary search, borrowing, and NRIP on
+circuits that benefit from slack borrowing.  Emits the ladder for the
+paper's example circuits.
+"""
+
+import pytest
+
+from repro.baselines.binary_search import binary_search_minimize
+from repro.baselines.borrowing import borrowing_minimize
+from repro.baselines.edge_triggered import edge_triggered_minimize
+from repro.baselines.nrip import nrip_minimize
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.reporting import format_comparison
+from repro.designs import example1, example2
+
+FAST = MLPOptions(verify=False)
+
+
+def run_ladder():
+    rows = []
+    for name, circuit in [("example1 @80", example1(80.0)), ("example2", example2())]:
+        opt = minimize_cycle_time(circuit, mlp=FAST).period
+        rows.append(
+            {
+                "circuit": name,
+                "MLP": opt,
+                "NRIP": nrip_minimize(circuit, mlp=FAST).period,
+                "borrow(1)": borrowing_minimize(circuit, 1).period,
+                "borrow(inf)": borrowing_minimize(circuit, 40).period,
+                "binary": round(binary_search_minimize(circuit), 3),
+                "edge": edge_triggered_minimize(circuit, mlp=FAST).period,
+            }
+        )
+    return rows
+
+
+def test_baseline_ladder(benchmark, emit):
+    rows = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+
+    for row in rows:
+        opt = row["MLP"]
+        for key in ("NRIP", "borrow(1)", "borrow(inf)", "binary", "edge"):
+            assert row[key] >= opt - 1e-6, (row["circuit"], key)
+    # Example 1 headline numbers.
+    assert rows[0]["MLP"] == pytest.approx(110.0)
+    assert rows[0]["edge"] == pytest.approx(180.0)
+    # Example 2 headline gap.
+    assert rows[1]["NRIP"] / rows[1]["MLP"] == pytest.approx(1.35)
+
+    emit(
+        "baseline_ladder",
+        format_comparison(
+            rows,
+            ["circuit", "MLP", "NRIP", "borrow(1)", "borrow(inf)", "binary", "edge"],
+            "Minimum cycle time by algorithm (smaller is better)",
+        ),
+    )

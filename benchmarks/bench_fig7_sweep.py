@@ -1,0 +1,61 @@
+"""Fig. 7: Tc versus Delta_41 for example 1, MLP against NRIP.
+
+Regenerates both curves over the full swept range, asserts the published
+shape -- flat at 80 ns until Delta_41 = 20, slope 1/2 until 100, slope 1
+beyond; NRIP above MLP everywhere except a single touch at Delta_41 = 60
+-- and emits the series.
+"""
+
+import pytest
+
+from repro.baselines.nrip import nrip_minimize
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.parametric import sweep_delay
+from repro.core.reporting import format_comparison
+from repro.designs.example1 import (
+    example1,
+    example1_nrip_period,
+    example1_optimal_period,
+)
+
+GRID = [float(x) for x in range(0, 145, 5)]
+FAST = MLPOptions(verify=False)
+
+
+def run_sweep():
+    mlp_curve = sweep_delay(example1(), "L4", "L1", grid=GRID, mlp=FAST)
+    nrip_curve = [
+        nrip_minimize(example1(d), mlp=FAST).period for d in GRID
+    ]
+    return mlp_curve, nrip_curve
+
+
+def test_fig7_tc_versus_delta41(benchmark, emit):
+    mlp_curve, nrip_curve = benchmark(run_sweep)
+
+    # Piecewise-linear structure exactly as published.
+    assert mlp_curve.slopes == pytest.approx([0.0, 0.5, 1.0])
+    assert mlp_curve.breakpoints == pytest.approx([20.0, 100.0])
+
+    rows = []
+    touches = []
+    for d41, mlp, nrip in zip(GRID, mlp_curve.periods, nrip_curve):
+        assert mlp == pytest.approx(example1_optimal_period(d41))
+        assert nrip == pytest.approx(example1_nrip_period(d41))
+        assert nrip >= mlp - 1e-9
+        if abs(nrip - mlp) < 1e-9:
+            touches.append(d41)
+        rows.append({"Delta_41": d41, "MLP Tc": mlp, "NRIP Tc": nrip})
+
+    # "The NRIP algorithm produces an optimal solution for Delta_41 = 60.
+    # For all other values of Delta_41, the cycle time found by NRIP is
+    # suboptimal."
+    assert touches == [60.0]
+
+    table = format_comparison(rows, ["Delta_41", "MLP Tc", "NRIP Tc"], "Fig. 7")
+    footer = (
+        f"\nMLP breakpoints: {mlp_curve.breakpoints} (paper: [20, 100])"
+        f"\nMLP slopes: {mlp_curve.slopes} (paper: 0, 1/2, 1)"
+        f"\nNRIP touches the optimum at Delta_41 = {touches} (paper: 60 ns)"
+    )
+    emit("fig7_sweep", table + footer)

@@ -1,0 +1,54 @@
+"""End-to-end scaling of the gate-level pipeline.
+
+The paper assumes latch-to-latch delays are pre-extracted; this bench
+times the whole replacement flow -- random gate netlist, min/max
+combinational STA, timing-graph extraction, Algorithm MLP, and the
+cycle-accurate simulation cross-check -- as the gate count grows.
+"""
+
+import time
+
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.reporting import format_comparison
+from repro.netlist.extract import extract_timing_graph
+from repro.netlist.generate import random_gate_pipeline
+from repro.sim import simulate
+
+CASES = [(4, 10), (6, 25), (8, 50)]
+
+
+def run_flow():
+    rows = []
+    for stages, gates in CASES:
+        start = time.perf_counter()
+        netlist, phases = random_gate_pipeline(stages, gates, seed=stages)
+        graph = extract_timing_graph(netlist, phases)
+        result = minimize_cycle_time(graph, mlp=MLPOptions(verify=False))
+        sim = simulate(graph, result.schedule)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "stages": stages,
+                "gates": stages * gates,
+                "Tc (ns)": round(result.period, 4),
+                "sim settles at": sim.settled_at,
+                "sim clean": sim.feasible,
+                "ms": round(elapsed * 1000, 1),
+            }
+        )
+    return rows
+
+
+def test_gate_level_flow_scales(benchmark, emit):
+    rows = benchmark.pedantic(run_flow, rounds=1, iterations=1)
+    for row in rows:
+        assert row["sim clean"], row
+        assert row["ms"] < 10_000
+    emit(
+        "gate_pipeline",
+        format_comparison(
+            rows,
+            ["stages", "gates", "Tc (ns)", "sim settles at", "sim clean", "ms"],
+            "Gate netlist -> STA -> MLP -> simulation, end to end",
+        ),
+    )

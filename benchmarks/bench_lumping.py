@@ -1,0 +1,89 @@
+"""Section IV's lumping claim: bus-width independence of the LP size.
+
+"By lumping latches corresponding to vector signals with similar timing
+(e.g., 32-bit data buses), the number l can be reasonably small even for
+large circuits."  This benchmark sweeps the bus width of a two-register
+loop, lumps it, and shows the LP size and solve time staying flat while
+the unlumped problem grows linearly -- with identical optima throughout.
+"""
+
+import time
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.lump import lump_parallel_latches
+from repro.core.constraints import build_program
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.reporting import format_comparison
+
+FAST = MLPOptions(verify=False)
+
+
+def bus_loop(width: int):
+    b = CircuitBuilder(["phi1", "phi2"])
+    for i in range(width):
+        b.latch(f"A{i}", phase="phi1", setup=2, delay=3)
+        b.latch(f"B{i}", phase="phi2", setup=2, delay=3)
+        b.path(f"A{i}", f"B{i}", 24)
+        b.path(f"B{i}", f"A{i}", 36)
+    return b.build()
+
+
+def run_sweep():
+    rows = []
+    for width in (1, 8, 32, 64):
+        full = bus_loop(width)
+        reduced, _ = lump_parallel_latches(full)
+
+        t0 = time.perf_counter()
+        tc_full = minimize_cycle_time(full, mlp=FAST).period
+        t_full = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tc_red = minimize_cycle_time(reduced, mlp=FAST).period
+        t_red = time.perf_counter() - t0
+
+        rows.append(
+            {
+                "bus width": width,
+                "l (full)": full.l,
+                "l (lumped)": reduced.l,
+                "rows (full)": build_program(full).explicit_constraint_count,
+                "rows (lumped)": build_program(reduced).explicit_constraint_count,
+                "Tc full": tc_full,
+                "Tc lumped": tc_red,
+                "ms full": round(t_full * 1000, 1),
+                "ms lumped": round(t_red * 1000, 1),
+            }
+        )
+    return rows
+
+
+def test_lumping_keeps_lp_size_flat(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    for row in rows:
+        assert row["l (lumped)"] == 2
+        assert row["Tc full"] == pytest.approx(row["Tc lumped"])
+    # Full problem grows linearly with the bus; lumped stays constant.
+    assert rows[-1]["rows (full)"] > 16 * rows[0]["rows (full)"]
+    assert rows[-1]["rows (lumped)"] == rows[0]["rows (lumped)"]
+
+    emit(
+        "lumping",
+        format_comparison(
+            rows,
+            [
+                "bus width",
+                "l (full)",
+                "l (lumped)",
+                "rows (full)",
+                "rows (lumped)",
+                "Tc full",
+                "Tc lumped",
+                "ms full",
+                "ms lumped",
+            ],
+            "Vector-signal lumping (Section IV): LP size vs bus width",
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Section IV complexity claims: constraint count and runtime scaling.
+
+The paper argues the number of LP constraints is bounded by
+``4k + (F + 1) l`` -- linear in the number of latches -- and reports
+seconds-scale runtimes for the 91-constraint GaAs model on a DECStation
+3100.  This benchmark sweeps the circuit size, asserts the linear
+constraint growth, and times MLP end to end.
+"""
+
+import time
+
+import pytest
+
+from repro.circuit.generate import random_multiloop_circuit
+from repro.core.constraints import build_program
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.reporting import format_comparison
+
+SIZES = [8, 16, 32, 64]
+FAST = MLPOptions(verify=False)
+
+
+def measure():
+    rows = []
+    for n in SIZES:
+        circuit = random_multiloop_circuit(n, n_extra_arcs=n // 2, k=2, seed=n)
+        smo = build_program(circuit)
+        start = time.perf_counter()
+        result = minimize_cycle_time(circuit, mlp=FAST)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "latches": n,
+                "arcs": len(circuit.arcs),
+                "constraints": smo.explicit_constraint_count,
+                "bound 4k+(F+1)l": 4 * circuit.k + (circuit.max_fanin() + 1) * n,
+                "Tc": result.period,
+                "seconds": round(elapsed, 4),
+            }
+        )
+    return rows
+
+
+def test_constraint_count_scales_linearly(benchmark, emit):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    for row in rows:
+        # The paper's bound counts the same explicit rows we generate
+        # (setup + propagation + clock rows); check it holds.
+        assert row["constraints"] <= row["bound 4k+(F+1)l"] + 4 * 2 + 1
+    # Linearity: constraints per latch stays (nearly) constant.
+    ratios = [r["constraints"] / r["latches"] for r in rows]
+    assert max(ratios) / min(ratios) < 1.6
+
+    # "its execution time ... was hardly noticeable (on the order of a few
+    # seconds)" for 91 constraints in 1990 -- the largest instance here has
+    # several hundred rows and must stay well under that today.
+    assert rows[-1]["seconds"] < 10.0
+
+    emit(
+        "scaling",
+        format_comparison(
+            rows,
+            ["latches", "arcs", "constraints", "bound 4k+(F+1)l", "Tc", "seconds"],
+            "Constraint-count and runtime scaling (Section IV claims)",
+        ),
+    )

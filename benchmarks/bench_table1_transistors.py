@@ -1,0 +1,41 @@
+"""Table I: transistor counts for the major blocks of the GaAs datapath.
+
+Static design data carried on the model; the benchmark reproduces the
+table, asserts every entry and the published total of 30,148, and checks
+the paper's "majority in the register file" remark.
+"""
+
+import pytest
+
+from repro.core.reporting import format_comparison
+from repro.designs.gaas import TRANSISTOR_COUNTS, TRANSISTOR_TOTAL
+
+
+def build_table():
+    rows = [
+        {"block": name, "transistors": count}
+        for name, count in TRANSISTOR_COUNTS.items()
+    ]
+    rows.append({"block": "Total", "transistors": sum(TRANSISTOR_COUNTS.values())})
+    return rows
+
+
+def test_table1_transistor_counts(benchmark, emit):
+    rows = benchmark(build_table)
+
+    published = {
+        "Register File (RF)": 16085,
+        "Arithmetic/Logic Unit (ALU)": 3419,
+        "Shifter": 1848,
+        "Integer Multiply/Divide (IMD)": 6874,
+        "Load Aligner": 1922,
+    }
+    for name, count in published.items():
+        assert TRANSISTOR_COUNTS[name] == count
+    assert rows[-1]["transistors"] == TRANSISTOR_TOTAL == 30148
+    assert TRANSISTOR_COUNTS["Register File (RF)"] > TRANSISTOR_TOTAL / 2
+
+    emit(
+        "table1_transistors",
+        format_comparison(rows, ["block", "transistors"], "Table I"),
+    )

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+asserts the reproduced values and *emits* the table (to stdout and to
+``benchmarks/out/<name>.txt``) so the series can be compared against the
+paper side by side.  EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def emit():
+    """emit(name, text): persist a reproduced table/series and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text.rstrip() + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{text}")
+
+    return _emit

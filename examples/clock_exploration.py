@@ -1,0 +1,94 @@
+"""Explore clocking trade-offs: baselines, constraints, skew and hold.
+
+Uses the paper's example 2 to show how the library answers common
+clock-design questions:
+
+* how much does latch-level optimization buy over edge-triggered design?
+* what does each baseline algorithm give up?
+* what do extra requirements (minimum phase widths, skew margins) cost?
+* is the optimized schedule hold-safe, and how robust is it to skew?
+
+Run with::
+
+    python examples/clock_exploration.py
+"""
+
+from repro import (
+    ConstraintOptions,
+    analyze,
+    binary_search_minimize,
+    borrowing_minimize,
+    check_hold,
+    edge_triggered_minimize,
+    minimize_cycle_time,
+    nrip_minimize,
+)
+from repro.clocking.skew import SkewBound, worst_case_schedules
+from repro.core.reporting import format_comparison
+from repro.designs.example2 import example2
+
+
+def main() -> None:
+    circuit = example2()
+    optimal = minimize_cycle_time(circuit)
+
+    print("== algorithm comparison (example 2) ==")
+    rows = [
+        {"algorithm": "MLP (this paper)", "Tc": optimal.period, "vs optimal": 1.0},
+    ]
+    for label, period in [
+        ("NRIP (Dagenais & Rumin)", nrip_minimize(circuit).period),
+        ("borrowing, 1 pass (TV)", borrowing_minimize(circuit, 1).period),
+        ("borrowing, converged", borrowing_minimize(circuit, 40).period),
+        ("binary search (Agrawal)", binary_search_minimize(circuit)),
+        ("edge-triggered", edge_triggered_minimize(circuit).period),
+    ]:
+        rows.append(
+            {"algorithm": label, "Tc": period, "vs optimal": period / optimal.period}
+        )
+    print(format_comparison(rows, ["algorithm", "Tc", "vs optimal"]))
+
+    print("\n== cost of additional clock requirements ==")
+    req_rows = []
+    for label, options in [
+        ("none (paper's minimal set)", ConstraintOptions()),
+        ("min phase width 40 ns", ConstraintOptions(min_width=40.0)),
+        ("min separation 10 ns", ConstraintOptions(min_separation=10.0)),
+        ("5 ns setup margin (skew)", ConstraintOptions(setup_margin=5.0)),
+    ]:
+        period = minimize_cycle_time(circuit, options).period
+        req_rows.append({"requirement": label, "Tc": period})
+    print(format_comparison(req_rows, ["requirement", "Tc"]))
+
+    print("\n== robustness of the optimal schedule ==")
+    hold = check_hold(circuit, optimal.schedule)
+    print(f"hold check at the optimum: worst slack {hold.worst_slack:g} ns")
+
+    def corners_clean(schedule, bounds):
+        survivors = 0
+        corners = worst_case_schedules(schedule, bounds)
+        for corner in corners:
+            report = analyze(circuit, corner)
+            if report.divergent_cycle is None and not report.setup_violations:
+                survivors += 1
+        return survivors, len(corners)
+
+    bounds = {name: SkewBound(2.0, 2.0) for name in circuit.phase_names}
+    got, total = corners_clean(optimal.schedule, bounds)
+    print(
+        f"nominal optimum surviving +/-2 ns independent phase skew: "
+        f"{got}/{total} corners"
+    )
+
+    # Re-optimize with worst-case skew awareness: every corner must pass.
+    protected = minimize_cycle_time(circuit, ConstraintOptions(skew=bounds))
+    got, total = corners_clean(protected.schedule, bounds)
+    print(
+        f"skew-aware optimum (Tc = {protected.period:g} ns, "
+        f"+{protected.period - optimal.period:g} ns): "
+        f"{got}/{total} corners survive"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Reproduce the paper's example 1 (Figs. 5-7) from the public API.
+
+Shows: the optimal schedules at the three published Delta_41 values, the
+Fig. 6-style strip diagram, the piecewise-linear Tc(Delta_41) curve with
+its breakpoints, and the NRIP comparison.
+
+Run with::
+
+    python examples/paper_example1.py
+"""
+
+from repro import analyze, minimize_cycle_time, nrip_minimize, strip_diagram, sweep_delay
+from repro.designs.example1 import example1
+
+
+def main() -> None:
+    print("== Fig. 6: optimal schedules at three operating points ==")
+    for d41 in (80.0, 100.0, 120.0):
+        circuit = example1(d41)
+        result = minimize_cycle_time(circuit)
+        print(f"\nDelta_41 = {d41:g} ns  ->  Tc* = {result.period:g} ns")
+        print(strip_diagram(circuit, analyze(circuit, result.schedule)))
+
+    print("\n== Fig. 7: Tc versus Delta_41 ==")
+    sweep = sweep_delay(
+        example1(), "L4", "L1", grid=[float(x) for x in range(0, 145, 5)]
+    )
+    print(f"segment slopes: {sweep.slopes}")
+    print(f"breakpoints at Delta_41 = {sweep.breakpoints}")
+    print(f"{'Delta_41':>9} {'MLP Tc':>8} {'NRIP Tc':>8}")
+    for d41 in range(0, 145, 10):
+        mlp = minimize_cycle_time(example1(float(d41))).period
+        nrip = nrip_minimize(example1(float(d41))).period
+        marker = "  <- NRIP optimal here" if abs(mlp - nrip) < 1e-9 else ""
+        print(f"{d41:>9} {mlp:>8g} {nrip:>8g}{marker}")
+
+
+if __name__ == "__main__":
+    main()

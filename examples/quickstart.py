@@ -1,0 +1,53 @@
+"""Quickstart: build a small latch circuit and find its optimal clock.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CircuitBuilder,
+    analyze,
+    check_structure,
+    clock_diagram,
+    minimize_cycle_time,
+)
+
+
+def main() -> None:
+    # A three-stage loop on a two-phase clock.  Latches take 3 ns to
+    # propagate and need 2 ns of setup; the combinational blocks between
+    # them take 12, 9 and 15 ns.
+    builder = CircuitBuilder(phases=["phi1", "phi2"])
+    builder.latch("A", phase="phi1", setup=2, delay=3)
+    builder.latch("B", phase="phi2", setup=2, delay=3)
+    builder.latch("C", phase="phi1", setup=2, delay=3)
+    builder.path("A", "B", delay=12)
+    builder.path("B", "C", delay=9)
+    builder.path("C", "A", delay=15)
+    circuit = builder.build()
+
+    # Sanity-check the structure (loop phases, latch parameters).
+    report = check_structure(circuit)
+    report.raise_on_error()
+
+    # The design problem: minimum cycle time + an optimal clock schedule.
+    result = minimize_cycle_time(circuit)
+    print(f"optimal cycle time: {result.period:g} ns")
+    print(result.schedule)
+    print()
+    print(clock_diagram(result.schedule))
+    print()
+
+    # The analysis problem: verify the circuit at that schedule.
+    timing = analyze(circuit, result.schedule)
+    print(f"verified: {timing.feasible}, worst slack {timing.worst_slack:g} ns")
+    for name, t in timing.timings.items():
+        print(
+            f"  {name}: arrives {t.arrival:g}, departs {t.departure:g} "
+            f"(slack {t.slack:g})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The project is fully described by pyproject.toml; this file exists so the
+package can be installed editable (``pip install -e . --no-use-pep517``) on
+machines that lack the ``wheel`` package required by PEP 660 editables.
+"""
+
+from setuptools import setup
+
+setup()

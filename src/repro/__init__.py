@@ -1,0 +1,153 @@
+"""repro: the SMO latch-timing model and LP-optimal clock scheduling.
+
+A from-scratch reproduction of K. A. Sakallah, T. N. Mudge and
+O. A. Olukotun, *Analysis and Design of Latch-Controlled Synchronous
+Digital Circuits* (DAC 1990): the complete timing-constraint formulation
+for level-sensitive latch circuits under arbitrary multiphase clocks
+(C1-C4, L1-L3), the proof-backed LP relaxation (Theorem 1), and Algorithm
+MLP for computing the optimal cycle time -- plus the analysis problem,
+baselines (NRIP, edge-triggered, borrowing, binary search), a gate-level
+delay-extraction substrate, a circuit-description language, renderers and
+a cycle-accurate simulator.
+
+Quickstart::
+
+    from repro import CircuitBuilder, minimize_cycle_time
+
+    b = CircuitBuilder(phases=["phi1", "phi2"])
+    b.latch("L1", phase="phi1", setup=10, delay=10)
+    b.latch("L2", phase="phi2", setup=10, delay=10)
+    b.path("L1", "L2", delay=20)
+    b.path("L2", "L1", delay=60)
+    result = minimize_cycle_time(b.build())
+    print(result.period, result.schedule)
+"""
+
+from repro.errors import (
+    ReproError,
+    ClockError,
+    CircuitError,
+    PhaseOverlapError,
+    LPError,
+    InfeasibleError,
+    UnboundedError,
+    SolverError,
+    AnalysisError,
+    DivergentTimingError,
+    ParseError,
+)
+from repro.clocking import (
+    ClockPhase,
+    ClockSchedule,
+    symmetric_clock,
+    two_phase_clock,
+    three_phase_clock,
+    four_phase_clock,
+)
+from repro.circuit import (
+    Latch,
+    FlipFlop,
+    EdgeKind,
+    DelayArc,
+    TimingGraph,
+    CircuitBuilder,
+    check_structure,
+    lump_parallel_latches,
+)
+from repro.core import (
+    ConstraintOptions,
+    signoff,
+    MLPOptions,
+    OptimalClockResult,
+    TimingReport,
+    analyze,
+    build_program,
+    minimize_cycle_time,
+    critical_segments,
+    sweep_delay,
+    check_hold,
+)
+from repro.baselines import (
+    nrip_minimize,
+    edge_triggered_minimize,
+    borrowing_minimize,
+    binary_search_minimize,
+)
+from repro.lang import parse_circuit, parse_file, write_circuit
+from repro.netlist import (
+    Netlist,
+    Library,
+    default_library,
+    extract_timing_graph,
+)
+from repro.render import clock_diagram, strip_diagram, schedule_svg
+from repro.sim import simulate
+from repro.export import to_cplex_lp, to_mps, to_dot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ClockError",
+    "CircuitError",
+    "PhaseOverlapError",
+    "LPError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverError",
+    "AnalysisError",
+    "DivergentTimingError",
+    "ParseError",
+    # clocking
+    "ClockPhase",
+    "ClockSchedule",
+    "symmetric_clock",
+    "two_phase_clock",
+    "three_phase_clock",
+    "four_phase_clock",
+    # circuit
+    "Latch",
+    "FlipFlop",
+    "EdgeKind",
+    "DelayArc",
+    "TimingGraph",
+    "CircuitBuilder",
+    "check_structure",
+    "lump_parallel_latches",
+    # core
+    "ConstraintOptions",
+    "MLPOptions",
+    "OptimalClockResult",
+    "TimingReport",
+    "analyze",
+    "build_program",
+    "minimize_cycle_time",
+    "signoff",
+    "critical_segments",
+    "sweep_delay",
+    "check_hold",
+    # baselines
+    "nrip_minimize",
+    "edge_triggered_minimize",
+    "borrowing_minimize",
+    "binary_search_minimize",
+    # language
+    "parse_circuit",
+    "parse_file",
+    "write_circuit",
+    # netlist
+    "Netlist",
+    "Library",
+    "default_library",
+    "extract_timing_graph",
+    # render / sim / export
+    "clock_diagram",
+    "strip_diagram",
+    "schedule_svg",
+    "simulate",
+    "to_cplex_lp",
+    "to_mps",
+    "to_dot",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline algorithms the paper compares against (Sections II and V).
+
+* :mod:`repro.baselines.nrip` -- Dagenais & Rumin's NRIP algorithm
+  (reconstruction; the paper's comparison baseline in Figs. 7 and 9);
+* :mod:`repro.baselines.edge_triggered` -- the classical approximation:
+  pretend every latch is an edge-triggered flip-flop and find the minimum
+  cycle time without any borrowing (what "most current methods" of
+  Section I do);
+* :mod:`repro.baselines.borrowing` -- a Jouppi-style iterative borrowing
+  scheme starting from the edge-triggered solution;
+* :mod:`repro.baselines.binary_search` -- an Agrawal-style bounded binary
+  search over proportionally scaled schedules.
+"""
+
+from repro.baselines.nrip import nrip_minimize
+from repro.baselines.edge_triggered import as_edge_triggered, edge_triggered_minimize
+from repro.baselines.borrowing import borrowing_minimize, BorrowingResult
+from repro.baselines.binary_search import binary_search_minimize
+
+__all__ = [
+    "nrip_minimize",
+    "as_edge_triggered",
+    "edge_triggered_minimize",
+    "borrowing_minimize",
+    "BorrowingResult",
+    "binary_search_minimize",
+]

@@ -1,0 +1,53 @@
+"""An Agrawal-style bounded binary search for the maximum clock frequency.
+
+Agrawal (Section II) found the maximum operating frequency of a circuit by
+a bounded binary search over candidate periods, checking each candidate
+with a timing analysis.  This baseline does the same over a caller-chosen
+clock *shape* (default: the symmetric nonoverlapping k-phase clock of
+Fig. 3, scaled proportionally), using :func:`repro.core.analysis.analyze`
+as the oracle.  Because the shape is fixed, the result upper-bounds the
+MLP optimum, which is free to reshape the phases.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.graph import TimingGraph
+from repro.clocking.library import symmetric_clock
+from repro.clocking.schedule import ClockSchedule
+from repro.core.constraints import ConstraintOptions
+from repro.core.minperiod import min_period_search, proportional_template
+from repro.errors import AnalysisError
+
+
+def _default_reference(graph: TimingGraph) -> ClockSchedule:
+    base = symmetric_clock(graph.k, period=1.0)
+    phases = [p.renamed(name) for p, name in zip(base.phases, graph.phase_names)]
+    return ClockSchedule(1.0, phases)
+
+
+def binary_search_minimize(
+    graph: TimingGraph,
+    reference: ClockSchedule | None = None,
+    hi: float | None = None,
+    tol: float = 1e-6,
+    options: ConstraintOptions | None = None,
+) -> float:
+    """Smallest feasible period for a proportionally scaled clock shape.
+
+    ``reference`` fixes the clock shape (default: symmetric k-phase);
+    ``hi`` bounds the search from above (default: a safe bound derived
+    from the total circuit delay).
+    """
+    reference = reference or _default_reference(graph)
+    if tuple(reference.names) != tuple(graph.phase_names):
+        raise AnalysisError(
+            f"reference phases {reference.names} do not match the circuit's "
+            f"{graph.phase_names}"
+        )
+    if hi is None:
+        total = sum(a.delay for a in graph.arcs) + sum(
+            s.delay + s.setup for s in graph.synchronizers
+        )
+        hi = max(1.0, 4.0 * total)
+    template = proportional_template(reference)
+    return min_period_search(graph, template, lo=0.0, hi=hi, tol=tol, options=options)

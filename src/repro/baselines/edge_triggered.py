@@ -1,0 +1,60 @@
+"""Edge-triggered approximation: pretend every latch is a flip-flop.
+
+Section I: "Most current methods ... assume edge triggering to simplify
+the analysis".  Under that assumption no slack can be borrowed through a
+latch's transparent window, so the computed minimum cycle time is an upper
+bound on the true optimum; the gap is exactly what level-sensitive design
+buys.  The paper also suggests (Section IV) using the edge-triggered
+solution as "a very good initial guess" for the LP -- this module provides
+that starting point.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.elements import EdgeKind, FlipFlop
+from repro.circuit.graph import DelayArc, TimingGraph
+from repro.core.constraints import ConstraintOptions
+from repro.core.mlp import MLPOptions, OptimalClockResult, minimize_cycle_time
+
+
+def as_edge_triggered(graph: TimingGraph) -> TimingGraph:
+    """A copy of the circuit with every latch replaced by a rising-edge FF.
+
+    Timing parameters (setup, delay, hold) and the controlling phases are
+    preserved; only the transparency semantics change.
+    """
+    syncs = []
+    for sync in graph.synchronizers:
+        if sync.is_latch:
+            syncs.append(
+                FlipFlop(
+                    name=sync.name,
+                    phase=sync.phase,
+                    setup=sync.setup,
+                    delay=sync.delay,
+                    hold=sync.hold,
+                    edge=EdgeKind.RISE,
+                )
+            )
+        else:
+            syncs.append(sync)
+    arcs = [
+        DelayArc(a.src, a.dst, a.delay, a.min_delay, a.label) for a in graph.arcs
+    ]
+    return TimingGraph(graph.phase_names, syncs, arcs)
+
+
+def edge_triggered_minimize(
+    graph: TimingGraph,
+    options: ConstraintOptions | None = None,
+    mlp: MLPOptions | None = None,
+) -> OptimalClockResult:
+    """Minimum cycle time of the edge-triggered approximation.
+
+    The returned period is an upper bound on the latch-aware optimum of
+    :func:`repro.core.mlp.minimize_cycle_time`; equality holds only when
+    the circuit gains nothing from latch transparency.
+    """
+    result = minimize_cycle_time(as_edge_triggered(graph), options, mlp)
+    result.extra["baseline"] = "edge-triggered"
+    return result

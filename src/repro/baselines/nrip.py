@@ -1,0 +1,60 @@
+"""The NRIP baseline: null retardation in the initial phase.
+
+Dagenais & Rumin's NRIP algorithm [3] computes clocking parameters under
+the simplifying device that signals at the latches of one designated
+"initial" phase depart exactly at the phase opening -- zero retardation:
+no slack is borrowed *across* that phase.  The paper uses NRIP as its
+comparison baseline (Figs. 7 and 9) and reports that it is optimal for
+example 1 exactly at ``Delta_41 = 60 ns`` and up to 35% above optimal for
+example 2.
+
+We reconstruct NRIP on top of the SMO constraint system: it is the same
+LP with the added equalities ``D_i = 0`` for every latch controlled by the
+initial phase (the ``NR`` constraint family).  The initial phase defaults
+to the circuit's last phase, which matches the phase labeling of [3] for
+the paper's example 1 and reproduces the published curve
+``Tc_NRIP(Delta_41) = max(100, 40 + Delta_41)`` exactly (see DESIGN.md,
+section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.circuit.graph import TimingGraph
+from repro.core.constraints import ConstraintOptions
+from repro.core.mlp import MLPOptions, OptimalClockResult, minimize_cycle_time
+from repro.errors import CircuitError
+
+
+def nrip_minimize(
+    graph: TimingGraph,
+    initial_phase: str | None = None,
+    options: ConstraintOptions | None = None,
+    mlp: MLPOptions | None = None,
+) -> OptimalClockResult:
+    """Minimum cycle time under the NRIP restriction.
+
+    ``initial_phase`` names the phase whose latches are denied retardation
+    (default: the last phase of the circuit).  The result is always an
+    upper bound on the true optimum found by :func:`minimize_cycle_time`,
+    with equality only when the optimal schedule happens to need no
+    borrowing across the initial phase.
+    """
+    options = options or ConstraintOptions()
+    phase = initial_phase or graph.phase_names[-1]
+    if phase not in graph.phase_names:
+        raise CircuitError(
+            f"unknown initial phase {phase!r}; circuit phases: "
+            f"{list(graph.phase_names)}"
+        )
+    restricted = replace(
+        options,
+        zero_departure_phases=tuple(
+            dict.fromkeys((*options.zero_departure_phases, phase))
+        ),
+    )
+    result = minimize_cycle_time(graph, restricted, mlp)
+    result.extra["baseline"] = "nrip"
+    result.extra["initial_phase"] = phase
+    return result

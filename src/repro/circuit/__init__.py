@@ -1,0 +1,36 @@
+"""Circuit-level timing model: synchronizers and combinational delay arcs.
+
+A circuit, for the purposes of the SMO timing model, is a set of clocked
+synchronizers (level-sensitive latches and, as in the paper's GaAs case
+study, edge-triggered flip-flops) connected by feedback-free combinational
+logic blocks.  Each block is abstracted to its input-latch-to-output-latch
+propagation delays ``Delta_ji`` (Section III-B); the structure is captured
+by :class:`TimingGraph`.
+"""
+
+from repro.circuit.elements import Latch, FlipFlop, Synchronizer, EdgeKind
+from repro.circuit.graph import DelayArc, TimingGraph
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.validate import (
+    check_structure,
+    check_loop_phases,
+    StructureReport,
+)
+from repro.circuit.lump import lump_parallel_latches
+from repro.circuit.generate import random_pipeline, random_multiloop_circuit
+
+__all__ = [
+    "Latch",
+    "FlipFlop",
+    "Synchronizer",
+    "EdgeKind",
+    "DelayArc",
+    "TimingGraph",
+    "CircuitBuilder",
+    "check_structure",
+    "check_loop_phases",
+    "StructureReport",
+    "lump_parallel_latches",
+    "random_pipeline",
+    "random_multiloop_circuit",
+]

@@ -1,0 +1,123 @@
+"""A fluent builder for :class:`repro.circuit.TimingGraph` instances."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.elements import EdgeKind, FlipFlop, Latch
+from repro.circuit.graph import DelayArc, TimingGraph
+from repro.errors import CircuitError
+
+
+class CircuitBuilder:
+    """Incrementally assemble a circuit, then :meth:`build` a TimingGraph.
+
+    Example (the paper's example 1, Fig. 5)::
+
+        builder = CircuitBuilder(phases=["phi1", "phi2"])
+        builder.latch("L1", phase="phi1", setup=10, delay=10)
+        builder.latch("L2", phase="phi2", setup=10, delay=10)
+        builder.path("L1", "L2", delay=20)
+        graph = builder.build()
+    """
+
+    def __init__(self, phases: Sequence[str]):
+        if not phases:
+            raise CircuitError("CircuitBuilder needs at least one phase name")
+        self._phases = list(phases)
+        self._syncs: list[Latch | FlipFlop] = []
+        self._arcs: list[DelayArc] = []
+        self._names: set[str] = set()
+
+    @property
+    def phases(self) -> list[str]:
+        return list(self._phases)
+
+    def latch(
+        self,
+        name: str,
+        phase: str,
+        setup: float = 0.0,
+        delay: float = 0.0,
+        hold: float = 0.0,
+    ) -> "CircuitBuilder":
+        """Add a level-sensitive latch; returns self for chaining."""
+        self._check_new(name, phase)
+        self._syncs.append(
+            Latch(name=name, phase=phase, setup=setup, delay=delay, hold=hold)
+        )
+        self._names.add(name)
+        return self
+
+    def flipflop(
+        self,
+        name: str,
+        phase: str,
+        setup: float = 0.0,
+        delay: float = 0.0,
+        hold: float = 0.0,
+        edge: EdgeKind | str = EdgeKind.RISE,
+    ) -> "CircuitBuilder":
+        """Add an edge-triggered flip-flop; returns self for chaining."""
+        self._check_new(name, phase)
+        self._syncs.append(
+            FlipFlop(
+                name=name,
+                phase=phase,
+                setup=setup,
+                delay=delay,
+                hold=hold,
+                edge=EdgeKind(edge),
+            )
+        )
+        self._names.add(name)
+        return self
+
+    def latches(
+        self,
+        names: Sequence[str],
+        phase: str,
+        setup: float = 0.0,
+        delay: float = 0.0,
+        hold: float = 0.0,
+    ) -> "CircuitBuilder":
+        """Add several identical latches on the same phase."""
+        for name in names:
+            self.latch(name, phase, setup=setup, delay=delay, hold=hold)
+        return self
+
+    def path(
+        self,
+        src: str,
+        dst: str,
+        delay: float,
+        min_delay: float = 0.0,
+        label: str = "",
+    ) -> "CircuitBuilder":
+        """Add a combinational path (a ``Delta_{src,dst}`` arc)."""
+        self._arcs.append(
+            DelayArc(src=src, dst=dst, delay=delay, min_delay=min_delay, label=label)
+        )
+        return self
+
+    def chain(
+        self, names: Sequence[str], delay: float, min_delay: float = 0.0
+    ) -> "CircuitBuilder":
+        """Add identical arcs along a chain of synchronizers."""
+        if len(names) < 2:
+            raise CircuitError("chain needs at least two synchronizers")
+        for src, dst in zip(names, names[1:]):
+            self.path(src, dst, delay, min_delay=min_delay)
+        return self
+
+    def build(self) -> TimingGraph:
+        """Construct the immutable timing graph; raises on structural errors."""
+        return TimingGraph(self._phases, self._syncs, self._arcs)
+
+    def _check_new(self, name: str, phase: str) -> None:
+        if name in self._names:
+            raise CircuitError(f"duplicate synchronizer name {name!r}")
+        if phase not in self._phases:
+            raise CircuitError(
+                f"unknown phase {phase!r}; declared phases: {self._phases}"
+            )

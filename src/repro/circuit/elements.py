@@ -1,0 +1,96 @@
+"""Clocked synchronizing elements: level-sensitive latches and flip-flops."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import CircuitError
+
+
+class EdgeKind(str, enum.Enum):
+    """Triggering edge of an edge-triggered flip-flop."""
+
+    RISE = "rise"  # triggers at the start of its phase's active interval
+    FALL = "fall"  # triggers at the end of its phase's active interval
+
+
+@dataclass(frozen=True)
+class Synchronizer:
+    """Common data for all clocked storage elements.
+
+    Parameters mirror the paper's per-latch quantities:
+
+    * ``phase`` -- the controlling clock phase ``p_i`` (a phase name),
+    * ``setup`` -- the setup time ``Delta_DC`` between the data input and the
+      trailing clock edge,
+    * ``delay`` -- the propagation delay ``Delta_DQ`` from data input to data
+      output while the element is transparent (for flip-flops this plays the
+      clock-to-Q role),
+    * ``hold``  -- a hold requirement used only by the short-path extension
+      (:mod:`repro.core.shortpath`); it does not appear in the paper's
+      long-path formulation.
+    """
+
+    name: str
+    phase: str
+    setup: float = 0.0
+    delay: float = 0.0
+    hold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CircuitError("synchronizer must have a non-empty name")
+        if not self.phase:
+            raise CircuitError(f"synchronizer {self.name!r} must name a clock phase")
+        if self.setup < 0:
+            raise CircuitError(f"{self.name!r}: setup must be >= 0, got {self.setup}")
+        if self.delay < 0:
+            raise CircuitError(f"{self.name!r}: delay must be >= 0, got {self.delay}")
+        if self.hold < 0:
+            raise CircuitError(f"{self.name!r}: hold must be >= 0, got {self.hold}")
+
+    @property
+    def is_latch(self) -> bool:
+        raise NotImplementedError
+
+    def with_phase(self, phase: str) -> "Synchronizer":
+        return replace(self, phase=phase)
+
+
+@dataclass(frozen=True)
+class Latch(Synchronizer):
+    """A level-sensitive D latch, transparent while its phase is active.
+
+    The paper assumes ``Delta_DQ >= Delta_DC`` (the latch's propagation delay
+    dominates its setup time); :func:`repro.circuit.validate.check_structure`
+    verifies this.
+    """
+
+    @property
+    def is_latch(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class FlipFlop(Synchronizer):
+    """An edge-triggered flip-flop.
+
+    The GaAs MIPS case study (Section V) mixes latches with flip-flops; a
+    flip-flop samples its input at one edge of its phase and launches the
+    new output ``delay`` later.  In the SMO variable scheme this pins the
+    departure time ``D_i`` to the triggering edge instead of letting it
+    float over the active interval, and requires the data to be set up
+    *before the triggering edge* rather than before the trailing edge.
+    """
+
+    edge: EdgeKind = EdgeKind.RISE
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.edge, EdgeKind):
+            object.__setattr__(self, "edge", EdgeKind(self.edge))
+
+    @property
+    def is_latch(self) -> bool:
+        return False

@@ -1,0 +1,121 @@
+"""Random circuit generators for property tests and scaling benchmarks.
+
+The generators only ever produce circuits that satisfy the paper's
+structural preconditions: every feedback loop crosses at least two clock
+phases, delays are nonnegative and ``Delta_DQ >= Delta_DC`` for every
+latch.  They are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.graph import TimingGraph
+from repro.errors import CircuitError
+
+
+def _phase_names(k: int) -> list[str]:
+    return [f"phi{i + 1}" for i in range(k)]
+
+
+def random_pipeline(
+    n_stages: int,
+    k: int = 2,
+    seed: int = 0,
+    close_loop: bool = True,
+    delay_range: tuple[float, float] = (5.0, 60.0),
+    latch_delay: float = 10.0,
+    setup: float = 10.0,
+) -> TimingGraph:
+    """A single loop of ``n_stages`` latches on a k-phase clock.
+
+    Stage ``i`` is clocked by phase ``i mod k``; consecutive stages are
+    connected by a random combinational delay, and (by default) the last
+    stage feeds back to the first, forming the canonical latch ring of the
+    paper's example 1.
+    """
+    if n_stages < 1:
+        raise CircuitError(f"need at least one stage, got {n_stages}")
+    if k < 2 and close_loop and n_stages >= 1:
+        raise CircuitError(
+            "a closed latch loop needs k >= 2 phases to satisfy the "
+            "feedback-loop nonoverlap requirement"
+        )
+    rng = random.Random(seed)
+    phases = _phase_names(k)
+    builder = CircuitBuilder(phases)
+    names = [f"L{i + 1}" for i in range(n_stages)]
+    for i, name in enumerate(names):
+        builder.latch(name, phase=phases[i % k], setup=setup, delay=latch_delay)
+    lo, hi = delay_range
+    for src, dst in zip(names, names[1:]):
+        builder.path(src, dst, delay=rng.uniform(lo, hi))
+    if close_loop and n_stages > 1:
+        builder.path(names[-1], names[0], delay=rng.uniform(lo, hi))
+    return builder.build()
+
+
+def random_multiloop_circuit(
+    n_latches: int,
+    n_extra_arcs: int = 0,
+    k: int = 2,
+    seed: int = 0,
+    delay_range: tuple[float, float] = (5.0, 60.0),
+    latch_delay: float = 10.0,
+    setup: float = 10.0,
+) -> TimingGraph:
+    """A loop of latches plus random forward/backward chords.
+
+    Extra arcs are only added between latches on *different* phases whose
+    phase indices are adjacent modulo k, which keeps every induced loop
+    compliant with the nonoverlap requirement under conventional
+    nonoverlapping k-phase clocks while still producing interacting loops
+    (the structure the paper's example 2 illustrates).
+    """
+    if n_latches < 2:
+        raise CircuitError(f"need at least two latches, got {n_latches}")
+    if k < 2:
+        raise CircuitError("multiloop circuits need k >= 2 phases")
+    rng = random.Random(seed)
+    base = random_pipeline(
+        n_latches,
+        k=k,
+        seed=seed,
+        close_loop=True,
+        delay_range=delay_range,
+        latch_delay=latch_delay,
+        setup=setup,
+    )
+    builder = CircuitBuilder(list(base.phase_names))
+    for sync in base.synchronizers:
+        builder.latch(
+            sync.name,
+            phase=sync.phase,
+            setup=sync.setup,
+            delay=sync.delay,
+            hold=sync.hold,
+        )
+    existing = set()
+    for arc in base.arcs:
+        builder.path(arc.src, arc.dst, arc.delay, arc.min_delay)
+        existing.add((arc.src, arc.dst))
+
+    names = list(base.names)
+    lo, hi = delay_range
+    attempts = 0
+    added = 0
+    while added < n_extra_arcs and attempts < 50 * max(1, n_extra_arcs):
+        attempts += 1
+        src = rng.choice(names)
+        dst = rng.choice(names)
+        if src == dst or (src, dst) in existing:
+            continue
+        pi = base.phase_index(base[src].phase)
+        pj = base.phase_index(base[dst].phase)
+        if (pi + 1) % k != pj:
+            continue  # keep arcs phase-adjacent so loops stay legal
+        builder.path(src, dst, delay=rng.uniform(lo, hi))
+        existing.add((src, dst))
+        added += 1
+    return builder.build()

@@ -1,0 +1,82 @@
+"""Vector-signal lumping: merge timing-equivalent parallel latches.
+
+Section IV of the paper observes that "by lumping latches corresponding to
+vector signals with similar timing (e.g., 32-bit data buses), the number
+``l`` can be reasonably small even for large circuits".  This module
+implements that reduction: latches with identical timing parameters, phase,
+fanin and fanout are collapsed into a single representative, so a 32-bit
+register described bit-by-bit costs one latch in the LP instead of 32.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.elements import FlipFlop
+from repro.circuit.graph import DelayArc, TimingGraph
+
+
+def _signature(graph: TimingGraph, name: str, group_of: dict[str, str]) -> tuple:
+    sync = graph[name]
+    kind = "ff" if isinstance(sync, FlipFlop) else "latch"
+    edge = sync.edge.value if isinstance(sync, FlipFlop) else ""
+    fanin = frozenset(
+        (group_of[a.src], a.delay, a.min_delay) for a in graph.fanin(name)
+    )
+    fanout = frozenset(
+        (group_of[a.dst], a.delay, a.min_delay) for a in graph.fanout(name)
+    )
+    return (kind, edge, sync.phase, sync.setup, sync.delay, sync.hold, fanin, fanout)
+
+
+def lump_parallel_latches(
+    graph: TimingGraph, max_rounds: int = 64
+) -> tuple[TimingGraph, dict[str, str]]:
+    """Collapse timing-equivalent synchronizers.
+
+    Two synchronizers are merged when they have the same kind, phase and
+    timing parameters and connect to the same *groups* with the same arc
+    delays.  Grouping is refined to a fixpoint (a partition-refinement /
+    bisimulation computation), so entire parallel bit-slices collapse even
+    when they reference each other.
+
+    Returns the reduced graph and a mapping from original synchronizer name
+    to the name of its representative in the reduced graph.
+    """
+    # Start with everything in one group per (kind, phase, params) and refine.
+    group_of = {name: "" for name in graph.names}
+    for _ in range(max_rounds):
+        sigs = {name: _signature(graph, name, group_of) for name in graph.names}
+        # Representative = lexicographically first member of each signature set.
+        by_sig: dict[tuple, list[str]] = {}
+        for name, sig in sigs.items():
+            by_sig.setdefault(sig, []).append(name)
+        new_group = {}
+        for members in by_sig.values():
+            rep = min(members)
+            for m in members:
+                new_group[m] = rep
+        if new_group == group_of:
+            break
+        group_of = new_group
+    else:  # pragma: no cover - max_rounds is far above any realistic depth
+        raise RuntimeError("lumping did not converge")
+
+    reps = sorted(set(group_of.values()))
+    syncs = [graph[r] for r in reps]
+    merged: dict[tuple[str, str], DelayArc] = {}
+    for arc in graph.arcs:
+        key = (group_of[arc.src], group_of[arc.dst])
+        prev = merged.get(key)
+        if prev is None:
+            merged[key] = DelayArc(
+                key[0], key[1], arc.delay, arc.min_delay, arc.label
+            )
+        else:
+            merged[key] = DelayArc(
+                key[0],
+                key[1],
+                max(prev.delay, arc.delay),
+                min(prev.min_delay, arc.min_delay),
+                prev.label or arc.label,
+            )
+    reduced = TimingGraph(graph.phase_names, syncs, merged.values())
+    return reduced, group_of

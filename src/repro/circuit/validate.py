@@ -1,0 +1,107 @@
+"""Structural validation of circuits against the paper's preconditions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.clocking.waveform import simultaneous_and_is_zero
+from repro.errors import PhaseOverlapError
+
+
+@dataclass
+class StructureReport:
+    """Outcome of :func:`check_structure`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            raise PhaseOverlapError("; ".join(self.errors))
+
+
+def check_loop_phases(
+    graph: TimingGraph, schedule: ClockSchedule | None = None
+) -> list[str]:
+    """Check the feedback-loop phase requirement of Section III.
+
+    The paper requires the logical AND of the phases controlling each
+    feedback loop to be identically zero.  Two checks are performed:
+
+    * **Structural** (always): a loop consisting entirely of level-sensitive
+      latches on a *single* phase can never satisfy the requirement -- while
+      that phase is active the whole loop is transparent and oscillates.
+      Loops containing a flip-flop are exempt, since a flip-flop is never
+      transparent.
+    * **Against a schedule** (when one is given): the phases of each
+      all-latch loop must never be simultaneously active under the concrete
+      schedule.
+
+    Returns a list of human-readable violation messages.
+    """
+    problems: list[str] = []
+    for loop in graph.feedback_loops():
+        if any(not graph[name].is_latch for name in loop):
+            continue  # a flip-flop breaks the transparency chain
+        phases = graph.phases_of(loop)
+        loop_desc = " -> ".join(loop + [loop[0]])
+        if len(phases) == 1:
+            (only,) = phases
+            problems.append(
+                f"latch loop {loop_desc} is controlled by the single phase "
+                f"{only!r}; the loop is transparent whenever {only!r} is active"
+            )
+            continue
+        if schedule is not None and not simultaneous_and_is_zero(schedule, phases):
+            problems.append(
+                f"latch loop {loop_desc}: phases {sorted(phases)} are "
+                f"simultaneously active under the given schedule"
+            )
+    return problems
+
+
+def check_structure(
+    graph: TimingGraph, schedule: ClockSchedule | None = None
+) -> StructureReport:
+    """Run all structural checks; returns a :class:`StructureReport`.
+
+    Errors (violations of the paper's stated assumptions):
+
+    * a level-sensitive latch loop on a single phase (or, given a schedule,
+      on simultaneously-active phases);
+    * a latch whose propagation delay ``Delta_DQ`` is smaller than its setup
+      time ``Delta_DC`` (the paper assumes ``Delta_DQ >= Delta_DC``).
+
+    Warnings (legal but often unintended):
+
+    * synchronizers with no fanin and no fanout;
+    * clock phases that control no synchronizer.
+    """
+    report = StructureReport()
+    report.errors.extend(check_loop_phases(graph, schedule))
+
+    for sync in graph.latches:
+        if sync.delay < sync.setup:
+            report.errors.append(
+                f"latch {sync.name!r}: Delta_DQ = {sync.delay:g} is smaller "
+                f"than Delta_DC = {sync.setup:g}; the paper assumes "
+                f"Delta_DQ >= Delta_DC"
+            )
+
+    used_phases = {s.phase for s in graph.synchronizers}
+    for phase in graph.phase_names:
+        if phase not in used_phases:
+            report.warnings.append(f"phase {phase!r} controls no synchronizer")
+
+    for name in graph.names:
+        if not graph.fanin(name) and not graph.fanout(name):
+            report.warnings.append(
+                f"synchronizer {name!r} is isolated (no fanin, no fanout)"
+            )
+    return report

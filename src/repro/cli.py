@@ -1,0 +1,254 @@
+"""Command-line interface: optimize, analyze, sweep, tune, compare.
+
+Operates on ``.lcd`` circuit description files (see :mod:`repro.lang`)::
+
+    python -m repro minimize circuit.lcd
+    python -m repro minimize circuit.lcd --nrip --svg schedule.svg
+    python -m repro analyze  circuit_with_clock.lcd --hold
+    python -m repro sweep    circuit.lcd L4 L1 --lo 0 --hi 140
+    python -m repro tune     circuit.lcd --period 120
+    python -m repro baselines circuit.lcd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines.binary_search import binary_search_minimize
+from repro.baselines.borrowing import borrowing_minimize
+from repro.baselines.edge_triggered import edge_triggered_minimize
+from repro.baselines.nrip import nrip_minimize
+from repro.core.analysis import analyze
+from repro.core.constraints import ConstraintOptions
+from repro.core.critical import critical_segments
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.parametric import exact_sweep_delay, sweep_delay
+from repro.core.reporting import format_comparison, format_optimal_result
+from repro.core.shortpath import check_hold
+from repro.core.tuning import maximize_slack
+from repro.errors import ReproError
+from repro.export.dot import to_dot
+from repro.export.lpformat import to_cplex_lp
+from repro.lang.parser import parse_file
+from repro.lang.writer import write_circuit
+from repro.render.ascii_art import strip_diagram
+from repro.render.svg import schedule_svg
+
+
+def _load(path: str):
+    decl = parse_file(path)
+    return decl.to_graph(), decl.to_schedule()
+
+
+def _constraint_options(args: argparse.Namespace) -> ConstraintOptions:
+    return ConstraintOptions(
+        min_width=getattr(args, "min_width", 0.0),
+        min_separation=getattr(args, "separation", 0.0),
+        setup_margin=getattr(args, "margin", 0.0),
+        max_period=getattr(args, "max_period", None),
+    )
+
+
+def _add_common_constraints(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--min-width", type=float, default=0.0, dest="min_width",
+                        help="minimum active width for every phase")
+    parser.add_argument("--separation", type=float, default=0.0,
+                        help="extra spacing on the C3 nonoverlap constraints")
+    parser.add_argument("--margin", type=float, default=0.0,
+                        help="global setup margin (skew/jitter allowance)")
+
+
+def cmd_minimize(args: argparse.Namespace) -> int:
+    graph, _ = _load(args.file)
+    options = _constraint_options(args)
+    mlp = MLPOptions(backend=args.backend)
+    if args.nrip:
+        result = nrip_minimize(graph, initial_phase=args.initial_phase,
+                               options=options, mlp=mlp)
+        print(f"NRIP (initial phase {result.extra['initial_phase']}):")
+    else:
+        result = minimize_cycle_time(graph, options, mlp)
+    print(format_optimal_result(result))
+    if args.critical:
+        print()
+        print(critical_segments(result.smo, result.lp_result))
+    if args.strips:
+        print()
+        print(strip_diagram(graph, analyze(graph, result.schedule, options)))
+    if args.svg:
+        report = analyze(graph, result.schedule, options)
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(schedule_svg(result.schedule, graph, report))
+        print(f"\nwrote {args.svg}")
+    if args.write:
+        with open(args.write, "w", encoding="utf-8") as handle:
+            handle.write(write_circuit(graph, result.schedule))
+        print(f"wrote {args.write}")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(to_dot(graph))
+        print(f"wrote {args.dot}")
+    if args.lp:
+        with open(args.lp, "w", encoding="utf-8") as handle:
+            handle.write(to_cplex_lp(result.smo.program))
+        print(f"wrote {args.lp}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    graph, schedule = _load(args.file)
+    if schedule is None:
+        print(
+            "error: the file's clock block has no concrete schedule "
+            "(need 'period' and per-phase 'start'/'width')",
+            file=sys.stderr,
+        )
+        return 2
+    options = _constraint_options(args)
+    report = analyze(graph, schedule, options)
+    print(report)
+    if args.hold:
+        hold = check_hold(graph, schedule)
+        print(
+            f"\nhold: {'clean' if hold.feasible else 'VIOLATED'} "
+            f"(worst slack {hold.worst_slack:g})"
+        )
+        for timing in hold.violations:
+            print(f"  hold violation at {timing.name}: slack {timing.slack:g}")
+        if not hold.feasible:
+            return 1
+    return 0 if report.feasible else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    graph, _ = _load(args.file)
+    options = _constraint_options(args)
+    if args.exact:
+        result = exact_sweep_delay(
+            graph, args.src, args.dst, args.lo, args.hi, options=options
+        )
+    else:
+        steps = max(2, args.points)
+        grid = [
+            args.lo + (args.hi - args.lo) * i / (steps - 1) for i in range(steps)
+        ]
+        result = sweep_delay(graph, args.src, args.dst, grid, options=options)
+    print(f"segments of Tc(delay {args.src}->{args.dst}):")
+    for seg in result.segments:
+        print(
+            f"  [{seg.start:g}, {seg.end:g}]  slope {seg.slope:g}  "
+            f"Tc = {seg.intercept:g} + {seg.slope:g} * delay"
+        )
+    if result.breakpoints:
+        print(f"breakpoints: {[round(b, 6) for b in result.breakpoints]}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    graph, _ = _load(args.file)
+    options = _constraint_options(args)
+    tuned = maximize_slack(graph, args.period, options=options)
+    print(
+        f"best uniform setup slack at Tc = {args.period:g}: {tuned.slack:g}"
+    )
+    print(tuned.schedule)
+    return 0 if tuned.meets_timing else 1
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    graph, _ = _load(args.file)
+    options = _constraint_options(args)
+    fast = MLPOptions(verify=False)
+    opt = minimize_cycle_time(graph, options, fast).period
+    rows = [
+        {"algorithm": "MLP (optimal)", "Tc": opt, "ratio": 1.0},
+    ]
+    for label, period in [
+        ("NRIP", nrip_minimize(graph, options=options, mlp=fast).period),
+        ("borrowing (1 pass)", borrowing_minimize(graph, 1, options).period),
+        ("borrowing (converged)", borrowing_minimize(graph, 40, options).period),
+        ("binary search", binary_search_minimize(graph, options=options)),
+        ("edge-triggered", edge_triggered_minimize(graph, options, fast).period),
+    ]:
+        rows.append({"algorithm": label, "Tc": period, "ratio": period / opt})
+    print(format_comparison(rows, ["algorithm", "Tc", "ratio"]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMO latch timing: optimal clock scheduling by LP "
+        "(Sakallah, Mudge, Olukotun, DAC 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("minimize", help="find the optimal cycle time (MLP)")
+    p.add_argument("file", help=".lcd circuit description")
+    p.add_argument("--backend", default=None, help="LP backend (simplex|scipy)")
+    p.add_argument("--max-period", type=float, default=None, dest="max_period")
+    p.add_argument("--nrip", action="store_true", help="run the NRIP baseline")
+    p.add_argument("--initial-phase", default=None, dest="initial_phase",
+                   help="NRIP initial phase (default: last)")
+    p.add_argument("--critical", action="store_true",
+                   help="print critical segments")
+    p.add_argument("--strips", action="store_true",
+                   help="print Fig. 6-style strip diagrams")
+    p.add_argument("--svg", default=None, help="write an SVG schedule")
+    p.add_argument("--write", default=None,
+                   help="write the circuit + solved schedule back to .lcd")
+    p.add_argument("--dot", default=None,
+                   help="write a Graphviz view of the circuit")
+    p.add_argument("--lp", default=None,
+                   help="write the constraint system in CPLEX LP format")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_minimize)
+
+    p = sub.add_parser("analyze", help="verify a circuit at its embedded clock")
+    p.add_argument("file")
+    p.add_argument("--hold", action="store_true", help="also run the hold check")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("sweep", help="piecewise-linear Tc(delay) curve")
+    p.add_argument("file")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.add_argument("--lo", type=float, required=True)
+    p.add_argument("--hi", type=float, required=True)
+    p.add_argument("--points", type=int, default=29, help="grid size")
+    p.add_argument("--exact", action="store_true",
+                   help="adaptive exact breakpoints instead of a grid")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("tune", help="maximize setup slack at a fixed period")
+    p.add_argument("file")
+    p.add_argument("--period", type=float, required=True)
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("baselines", help="compare MLP with every baseline")
+    p.add_argument("file")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_baselines)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

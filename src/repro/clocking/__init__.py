@@ -1,0 +1,50 @@
+"""Clock modeling for latch-controlled synchronous circuits.
+
+This package implements the temporal clock model of Section III-A of the
+paper: a k-phase clock is a set of periodic phases, each with a start time
+``s_i`` and an active-interval width ``T_i`` inside a common cycle of period
+``Tc``.  The model is purely temporal -- phases carry no logical relationship
+to one another -- which is what lets a single formulation cover two-, three-
+and four-phase disciplines alike (Fig. 3 of the paper).
+"""
+
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule, ClockViolation
+from repro.clocking.library import (
+    symmetric_clock,
+    two_phase_clock,
+    three_phase_clock,
+    four_phase_clock,
+    single_phase_clock,
+    fig3_clocks,
+)
+from repro.clocking.waveform import (
+    sample_phase,
+    sample_schedule,
+    phase_edges,
+    intervals_in_window,
+    phases_overlap,
+    overlap_duration,
+)
+from repro.clocking.skew import SkewBound, apply_skew, worst_case_schedules
+
+__all__ = [
+    "ClockPhase",
+    "ClockSchedule",
+    "ClockViolation",
+    "symmetric_clock",
+    "two_phase_clock",
+    "three_phase_clock",
+    "four_phase_clock",
+    "single_phase_clock",
+    "fig3_clocks",
+    "sample_phase",
+    "sample_schedule",
+    "phase_edges",
+    "intervals_in_window",
+    "phases_overlap",
+    "overlap_duration",
+    "SkewBound",
+    "apply_skew",
+    "worst_case_schedules",
+]

@@ -1,0 +1,103 @@
+"""Factories for commonly used clock schedules (Fig. 3 of the paper)."""
+
+from __future__ import annotations
+
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.errors import ClockError
+
+
+def _phase_names(k: int, prefix: str) -> list[str]:
+    return [f"{prefix}{i + 1}" for i in range(k)]
+
+
+def symmetric_clock(
+    k: int,
+    period: float,
+    duty: float = 0.5,
+    prefix: str = "phi",
+) -> ClockSchedule:
+    """An evenly spaced k-phase clock.
+
+    Phase ``i`` starts at ``i * period / k``; every phase is active for
+    ``duty`` of its slot (``duty * period / k``).  With the default duty of
+    one half this produces the canonical nonoverlapping multiphase clocks of
+    Fig. 3.
+    """
+    if k < 1:
+        raise ClockError(f"need at least one phase, got k={k}")
+    if not 0 <= duty <= 1:
+        raise ClockError(f"duty must lie in [0, 1], got {duty}")
+    slot = period / k
+    phases = [
+        ClockPhase(name, start=i * slot, width=duty * slot)
+        for i, name in enumerate(_phase_names(k, prefix))
+    ]
+    return ClockSchedule(period, phases)
+
+
+def single_phase_clock(period: float, width: float | None = None) -> ClockSchedule:
+    """A one-phase clock, active for ``width`` (default: half the period)."""
+    if width is None:
+        width = period / 2
+    return ClockSchedule(period, [ClockPhase("phi1", 0.0, width)])
+
+
+def two_phase_clock(
+    period: float,
+    width1: float | None = None,
+    width2: float | None = None,
+    gap: float | None = None,
+) -> ClockSchedule:
+    """A two-phase nonoverlapping clock.
+
+    ``gap`` is the separation inserted both between the end of phi1 and the
+    start of phi2 and between the end of phi2 and the start of the next
+    phi1.  By default the period is divided into four equal quarters:
+    two active intervals and two gaps.
+    """
+    if gap is None:
+        gap = period / 4
+    if width1 is None:
+        width1 = (period - 2 * gap) / 2
+    if width2 is None:
+        width2 = period - 2 * gap - width1
+    if width1 < 0 or width2 < 0 or gap < 0:
+        raise ClockError(
+            f"two_phase_clock: widths/gap must be >= 0 "
+            f"(width1={width1}, width2={width2}, gap={gap})"
+        )
+    if width1 + width2 + 2 * gap > period + 1e-12:
+        raise ClockError(
+            f"two_phase_clock: widths {width1}+{width2} plus gaps 2*{gap} "
+            f"exceed the period {period}"
+        )
+    phases = [
+        ClockPhase("phi1", 0.0, width1),
+        ClockPhase("phi2", width1 + gap, width2),
+    ]
+    return ClockSchedule(period, phases)
+
+
+def three_phase_clock(period: float, duty: float = 0.5) -> ClockSchedule:
+    """A symmetric three-phase clock (Fig. 3, middle)."""
+    return symmetric_clock(3, period, duty)
+
+
+def four_phase_clock(period: float, duty: float = 0.5) -> ClockSchedule:
+    """A symmetric four-phase clock (Fig. 3, bottom)."""
+    return symmetric_clock(4, period, duty)
+
+
+def fig3_clocks(period: float = 100.0) -> dict[str, ClockSchedule]:
+    """The two-, three- and four-phase example clocks of the paper's Fig. 3.
+
+    All three satisfy the minimal clock constraints C1-C4; in particular the
+    two-phase instance is nonoverlapping, as the constraints require for
+    k = 2 (see the remark below eq. (9) in the paper).
+    """
+    return {
+        "two-phase": two_phase_clock(period),
+        "three-phase": three_phase_clock(period),
+        "four-phase": four_phase_clock(period),
+    }

@@ -1,0 +1,64 @@
+"""A single clock phase: an active interval inside the common clock cycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ClockError
+
+
+@dataclass(frozen=True)
+class ClockPhase:
+    """One phase of a k-phase clock.
+
+    A phase is identified by ``name`` and described, per Section III-A of the
+    paper, by the start time ``start`` (the paper's ``s_i``, measured from the
+    beginning of the common clock cycle) and the duration ``width`` (the
+    paper's ``T_i``) of its active interval.  Phases are assumed active-high;
+    latches controlled by the phase are enabled on ``[start, start + width)``.
+    """
+
+    name: str
+    start: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ClockError("clock phase must have a non-empty name")
+        if self.start < 0:
+            raise ClockError(f"phase {self.name!r}: start must be >= 0, got {self.start}")
+        if self.width < 0:
+            raise ClockError(f"phase {self.name!r}: width must be >= 0, got {self.width}")
+
+    @property
+    def end(self) -> float:
+        """End time of the active interval (may exceed the cycle boundary)."""
+        return self.start + self.width
+
+    def is_active(self, t: float, period: float) -> bool:
+        """Return True if the phase is active at absolute time ``t``.
+
+        The phase is periodic with the given ``period``; the active interval
+        is taken as half-open, ``[start, end)``, folded into the cycle.
+        """
+        if period <= 0:
+            raise ClockError(f"period must be positive, got {period}")
+        local = t % period
+        if self.end <= period:
+            return self.start <= local < self.end
+        # The active interval wraps around the cycle boundary.
+        return local >= self.start or local < self.end - period
+
+    def shifted(self, delta: float) -> "ClockPhase":
+        """Return a copy with the start moved by ``delta``."""
+        return replace(self, start=self.start + delta)
+
+    def scaled(self, factor: float) -> "ClockPhase":
+        """Return a copy with start and width scaled by ``factor``."""
+        if factor < 0:
+            raise ClockError(f"scale factor must be >= 0, got {factor}")
+        return replace(self, start=self.start * factor, width=self.width * factor)
+
+    def renamed(self, name: str) -> "ClockPhase":
+        """Return a copy carrying a different name."""
+        return replace(self, name=name)

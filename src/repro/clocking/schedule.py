@@ -1,0 +1,269 @@
+"""The k-phase clock schedule and the paper's C matrix and S operator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.clocking.phase import ClockPhase
+from repro.errors import ClockError
+
+#: Default numerical tolerance used when checking the clock constraints.
+DEFAULT_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ClockViolation:
+    """A single violated clock constraint, reported by :meth:`ClockSchedule.violations`."""
+
+    constraint: str  # one of "C1", "C2", "C3", "C4"
+    message: str
+    amount: float  # by how much the inequality is violated (positive)
+
+    def __str__(self) -> str:
+        return f"{self.constraint}: {self.message} (by {self.amount:g})"
+
+
+class ClockSchedule:
+    """A concrete k-phase clock: a period plus k ordered phases.
+
+    The schedule holds the clock variables of Section III-A -- the common
+    period ``Tc`` and, for each phase, its start ``s_i`` and width ``T_i`` --
+    and implements the two pieces of machinery the constraint formulation is
+    built on:
+
+    * the phase-ordering flag ``C_ij`` (eq. 1), exposed as
+      :meth:`ordering_flag`, and
+    * the phase-shift operator ``S_ij = s_j - (s_i + C_ij * Tc)`` (eq. 12),
+      exposed as :meth:`phase_shift`.
+
+    Phases are indexed from 0 in the API (the paper numbers them from 1);
+    ordering of the ``phases`` sequence defines the phase ordering used by
+    ``C_ij`` and by constraint C2.
+    """
+
+    def __init__(self, period: float, phases: Sequence[ClockPhase]):
+        if period < 0:
+            raise ClockError(f"clock period must be >= 0, got {period}")
+        if not phases:
+            raise ClockError("a clock schedule needs at least one phase")
+        names = [p.name for p in phases]
+        if len(set(names)) != len(names):
+            raise ClockError(f"duplicate phase names in schedule: {names}")
+        self._period = float(period)
+        self._phases = tuple(phases)
+        self._index = {p.name: i for i, p in enumerate(self._phases)}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def period(self) -> float:
+        """The clock cycle time ``Tc``."""
+        return self._period
+
+    @property
+    def phases(self) -> tuple[ClockPhase, ...]:
+        return self._phases
+
+    @property
+    def k(self) -> int:
+        """Number of phases."""
+        return len(self._phases)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self._phases)
+
+    @property
+    def starts(self) -> tuple[float, ...]:
+        """The ``s_i`` values in phase order."""
+        return tuple(p.start for p in self._phases)
+
+    @property
+    def widths(self) -> tuple[float, ...]:
+        """The ``T_i`` values in phase order."""
+        return tuple(p.width for p in self._phases)
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def __iter__(self) -> Iterator[ClockPhase]:
+        return iter(self._phases)
+
+    def __getitem__(self, key: int | str) -> ClockPhase:
+        return self._phases[self.index(key)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClockSchedule):
+            return NotImplemented
+        return self._period == other._period and self._phases == other._phases
+
+    def __hash__(self) -> int:
+        return hash((self._period, self._phases))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{p.name}[s={p.start:g}, T={p.width:g}]" for p in self._phases
+        )
+        return f"ClockSchedule(Tc={self._period:g}, {parts})"
+
+    def index(self, key: int | str) -> int:
+        """Resolve a phase name or index to its 0-based index."""
+        if isinstance(key, str):
+            try:
+                return self._index[key]
+            except KeyError:
+                raise ClockError(f"unknown phase {key!r}; have {list(self._index)}") from None
+        if not 0 <= key < self.k:
+            raise ClockError(f"phase index {key} out of range 0..{self.k - 1}")
+        return key
+
+    # ------------------------------------------------------------------
+    # The paper's operators
+    # ------------------------------------------------------------------
+    def ordering_flag(self, i: int | str, j: int | str) -> int:
+        """The phase-ordering flag ``C_ij`` of eq. (1): 0 if i < j else 1.
+
+        ``C_ij = 1`` means that going from phase i to phase j requires
+        crossing a clock-cycle boundary.
+        """
+        return 0 if self.index(i) < self.index(j) else 1
+
+    def phase_shift(self, i: int | str, j: int | str) -> float:
+        """The phase-shift operator ``S_ij`` of eq. (12).
+
+        ``S_ij = s_i - (s_j + C_ij * Tc)``.  Adding ``S_ij`` to a time
+        referenced to the start of phase i re-references it to the start of
+        phase j, accounting for a cycle-boundary crossing when ``i >= j``
+        (the paper's Appendix lists, e.g., ``S_13 = s_1 - s_3`` and
+        ``S_21 = s_2 - s_1 - Tc``).
+        """
+        ii, jj = self.index(i), self.index(j)
+        c = 0 if ii < jj else 1
+        return self._phases[ii].start - (self._phases[jj].start + c * self._period)
+
+    # ------------------------------------------------------------------
+    # Constraint checking (C1-C4 of Section III-A)
+    # ------------------------------------------------------------------
+    def violations(
+        self,
+        k_matrix: Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None = None,
+        tol: float = DEFAULT_TOL,
+    ) -> list[ClockViolation]:
+        """Check the clock constraints C1-C4 and return any violations.
+
+        ``k_matrix`` identifies the input/output phase pairs of the circuit
+        (the paper's K matrix, eq. 2); it is required to check the phase
+        nonoverlap constraints C3 and may be given either as a k-by-k nested
+        sequence of 0/1 or as a mapping from ``(i, j)`` index pairs.  When it
+        is omitted only C1, C2 and C4 are checked.
+        """
+        out: list[ClockViolation] = []
+        tc = self._period
+
+        def check(constraint: str, lhs: float, rhs: float, message: str) -> None:
+            # Constraint form: lhs <= rhs.
+            if lhs > rhs + tol:
+                out.append(ClockViolation(constraint, message, lhs - rhs))
+
+        for idx, p in enumerate(self._phases):
+            check("C1", p.width, tc, f"T_{p.name} = {p.width:g} exceeds Tc = {tc:g}")
+            check("C1", p.start, tc, f"s_{p.name} = {p.start:g} exceeds Tc = {tc:g}")
+            check("C4", 0.0, p.width, f"T_{p.name} = {p.width:g} is negative")
+            check("C4", 0.0, p.start, f"s_{p.name} = {p.start:g} is negative")
+            if idx + 1 < self.k:
+                nxt = self._phases[idx + 1]
+                check(
+                    "C2",
+                    p.start,
+                    nxt.start,
+                    f"s_{p.name} = {p.start:g} exceeds s_{nxt.name} = {nxt.start:g}",
+                )
+        check("C4", 0.0, tc, f"Tc = {tc:g} is negative")
+
+        if k_matrix is not None:
+            for i, j in self._iter_k_pairs(k_matrix):
+                # C3 (eq. 6): s_i >= s_j + T_j - C_ji * Tc for each I/O phase
+                # pair phi_i (input) / phi_j (output): the output phase must
+                # end before the input phase starts (modulo the cycle).
+                pi, pj = self._phases[i], self._phases[j]
+                cji = self.ordering_flag(j, i)
+                lhs = pj.start + pj.width - cji * tc
+                check(
+                    "C3",
+                    lhs,
+                    pi.start,
+                    f"output phase {pj.name} must end before input phase "
+                    f"{pi.name} starts: s_{pi.name} = {pi.start:g} < {lhs:g}",
+                )
+        return out
+
+    def _iter_k_pairs(
+        self,
+        k_matrix: Mapping[tuple[int, int], bool] | Sequence[Sequence[int]],
+    ) -> Iterable[tuple[int, int]]:
+        if isinstance(k_matrix, Mapping):
+            for (i, j), flag in k_matrix.items():
+                if flag:
+                    yield self.index(i), self.index(j)
+            return
+        for i, row in enumerate(k_matrix):
+            if len(row) != self.k:
+                raise ClockError(
+                    f"K matrix row {i} has {len(row)} entries, expected {self.k}"
+                )
+            for j, flag in enumerate(row):
+                if flag:
+                    yield i, j
+
+    def validate(
+        self,
+        k_matrix: Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None = None,
+        tol: float = DEFAULT_TOL,
+    ) -> None:
+        """Raise :class:`ClockError` if any of C1-C4 is violated."""
+        problems = self.violations(k_matrix, tol=tol)
+        if problems:
+            details = "; ".join(str(v) for v in problems)
+            raise ClockError(f"invalid clock schedule: {details}")
+
+    def is_valid(
+        self,
+        k_matrix: Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None = None,
+        tol: float = DEFAULT_TOL,
+    ) -> bool:
+        """Return True if the schedule satisfies C1-C4."""
+        return not self.violations(k_matrix, tol=tol)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "ClockSchedule":
+        """Return a schedule with all times multiplied by ``factor``."""
+        if factor < 0:
+            raise ClockError(f"scale factor must be >= 0, got {factor}")
+        return ClockSchedule(self._period * factor, [p.scaled(factor) for p in self._phases])
+
+    def with_period(self, period: float) -> "ClockSchedule":
+        """Return a schedule with the same phases but a different period."""
+        return ClockSchedule(period, self._phases)
+
+    def normalized(self) -> "ClockSchedule":
+        """Return a schedule with phases sorted by start time (stable).
+
+        Constraint C2 requires phases to be numbered in order of their start
+        times; this re-establishes that invariant after transformations.
+        """
+        ordered = sorted(self._phases, key=lambda p: p.start)
+        return ClockSchedule(self._period, ordered)
+
+    def as_dict(self) -> dict[str, object]:
+        """A plain-data view of the schedule, convenient for reporting."""
+        return {
+            "period": self._period,
+            "phases": [
+                {"name": p.name, "start": p.start, "width": p.width}
+                for p in self._phases
+            ],
+        }

@@ -1,0 +1,92 @@
+"""Clock-skew modeling (one of the "further requirements" of Section III-A).
+
+The paper notes that requirements such as clock skew "can be easily added"
+to the minimal constraint set C1-C4.  This module provides the schedule-side
+machinery: bounded per-phase skews and enumeration of worst-case skewed
+schedules.  The corresponding constraint-generation hook lives in
+:mod:`repro.core.constraints` (``ConstraintOptions.skew``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Mapping, Sequence
+
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.errors import ClockError
+
+
+@dataclass(frozen=True)
+class SkewBound:
+    """Earliest/latest deviation of a phase's edges from their nominal time.
+
+    ``early`` and ``late`` are both nonnegative; the actual phase start may
+    fall anywhere in ``[start - early, start + late]``.
+    """
+
+    early: float = 0.0
+    late: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.early < 0 or self.late < 0:
+            raise ClockError(
+                f"skew bounds must be >= 0, got early={self.early}, late={self.late}"
+            )
+
+    @property
+    def span(self) -> float:
+        return self.early + self.late
+
+
+def apply_skew(
+    schedule: ClockSchedule, offsets: Mapping[str, float] | Sequence[float]
+) -> ClockSchedule:
+    """Shift each phase start by a per-phase offset, keeping widths.
+
+    Negative results are clamped to zero (a phase cannot start before the
+    cycle origin in the paper's model); clamping only occurs when the
+    caller supplies a skew larger than the nominal start.
+    """
+    if isinstance(offsets, Mapping):
+        deltas = [offsets.get(p.name, 0.0) for p in schedule.phases]
+    else:
+        if len(offsets) != schedule.k:
+            raise ClockError(
+                f"need {schedule.k} offsets, got {len(offsets)}"
+            )
+        deltas = list(offsets)
+    phases = []
+    for p, d in zip(schedule.phases, deltas):
+        phases.append(ClockPhase(p.name, max(0.0, p.start + d), p.width))
+    return ClockSchedule(schedule.period, phases)
+
+
+def worst_case_schedules(
+    schedule: ClockSchedule,
+    bounds: Mapping[str, SkewBound],
+    max_phases: int = 12,
+) -> list[ClockSchedule]:
+    """Enumerate the corner schedules induced by independent phase skews.
+
+    Each skewed phase independently takes its earliest or latest start, so
+    there are ``2**m`` corners for ``m`` skewed phases.  Verifying a design
+    against every corner is the brute-force counterpart of adding skew
+    margins directly to the constraints; tests use it to cross-check the
+    constraint-level treatment.
+    """
+    skewed = [p.name for p in schedule.phases if bounds.get(p.name, SkewBound()).span > 0]
+    if len(skewed) > max_phases:
+        raise ClockError(
+            f"refusing to enumerate 2**{len(skewed)} skew corners; "
+            f"raise max_phases if you really want this"
+        )
+    corners: list[ClockSchedule] = []
+    for signs in product((-1, 1), repeat=len(skewed)):
+        offsets = {}
+        for name, sign in zip(skewed, signs):
+            b = bounds[name]
+            offsets[name] = -b.early if sign < 0 else b.late
+        corners.append(apply_skew(schedule, offsets))
+    return corners or [schedule]

@@ -1,0 +1,173 @@
+"""Waveform-level views of clock schedules.
+
+These helpers turn the algebraic schedule description (``s_i``, ``T_i``,
+``Tc``) into concrete periodic waveforms: sampled levels, edge lists and
+active intervals inside arbitrary observation windows.  They back the
+renderers, the discrete-event simulator, and the structural check that the
+phases controlling a feedback loop are never simultaneously active.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.errors import ClockError
+
+
+def sample_phase(
+    phase: ClockPhase, period: float, times: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Sample one phase at the given absolute times; returns a bool array."""
+    if period <= 0:
+        raise ClockError(f"period must be positive, got {period}")
+    t = np.asarray(times, dtype=float) % period
+    end = phase.end
+    if end <= period:
+        return (t >= phase.start) & (t < end)
+    return (t >= phase.start) | (t < end - period)
+
+
+def sample_schedule(
+    schedule: ClockSchedule, times: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Sample all phases; returns a (k, len(times)) bool array."""
+    return np.vstack(
+        [sample_phase(p, schedule.period, times) for p in schedule.phases]
+    )
+
+
+def phase_edges(
+    schedule: ClockSchedule,
+    phase: int | str,
+    t_start: float = 0.0,
+    t_end: float | None = None,
+    n_cycles: float = 2.0,
+) -> list[tuple[float, str]]:
+    """List the (time, kind) edges of a phase inside an observation window.
+
+    ``kind`` is ``"rise"`` at the start of each active interval and
+    ``"fall"`` at its end.  The default window spans two clock cycles from
+    t = 0, matching the timing diagrams of Fig. 6.
+    """
+    if t_end is None:
+        t_end = t_start + n_cycles * schedule.period
+    if t_end < t_start:
+        raise ClockError(f"empty window: [{t_start}, {t_end}]")
+    p = schedule[schedule.index(phase)]
+    tc = schedule.period
+    if tc <= 0:
+        raise ClockError("phase_edges requires a positive period")
+    edges: list[tuple[float, str]] = []
+    # Enumerate the cycle instances whose active interval can intersect the
+    # window.  The interval of cycle n is [n*Tc + s, n*Tc + s + T).
+    n_lo = int(np.floor((t_start - p.end) / tc)) - 1
+    n_hi = int(np.ceil((t_end - p.start) / tc)) + 1
+    for n in range(n_lo, n_hi + 1):
+        rise = n * tc + p.start
+        fall = rise + p.width
+        if t_start <= rise <= t_end:
+            edges.append((rise, "rise"))
+        if t_start <= fall <= t_end and p.width > 0:
+            edges.append((fall, "fall"))
+    edges.sort(key=lambda e: (e[0], e[1] == "fall"))
+    return edges
+
+
+def intervals_in_window(
+    schedule: ClockSchedule,
+    phase: int | str,
+    t_start: float,
+    t_end: float,
+) -> list[tuple[float, float]]:
+    """The active intervals of a phase clipped to ``[t_start, t_end]``."""
+    if t_end < t_start:
+        raise ClockError(f"empty window: [{t_start}, {t_end}]")
+    p = schedule[schedule.index(phase)]
+    tc = schedule.period
+    if tc <= 0:
+        raise ClockError("intervals_in_window requires a positive period")
+    if p.width <= 0:
+        return []
+    out: list[tuple[float, float]] = []
+    n_lo = int(np.floor((t_start - p.end) / tc)) - 1
+    n_hi = int(np.ceil((t_end - p.start) / tc)) + 1
+    for n in range(n_lo, n_hi + 1):
+        lo = n * tc + p.start
+        hi = lo + p.width
+        clipped_lo, clipped_hi = max(lo, t_start), min(hi, t_end)
+        if clipped_lo < clipped_hi:
+            out.append((clipped_lo, clipped_hi))
+    return out
+
+
+def overlap_duration(
+    schedule: ClockSchedule, phase_a: int | str, phase_b: int | str
+) -> float:
+    """Total time per cycle during which both phases are active.
+
+    Because phases are periodic, the overlap is computed over one full
+    period.  A positive value means the two phases are simultaneously
+    active for part of the cycle.
+    """
+    tc = schedule.period
+    if tc <= 0:
+        raise ClockError("overlap_duration requires a positive period")
+    ia = intervals_in_window(schedule, phase_a, 0.0, 2 * tc)
+    ib = intervals_in_window(schedule, phase_b, 0.0, 2 * tc)
+    total = 0.0
+    for lo_a, hi_a in ia:
+        for lo_b, hi_b in ib:
+            lo, hi = max(lo_a, lo_b), min(hi_a, hi_b)
+            if lo < hi:
+                total += hi - lo
+    # The window covered two periods, so halve the accumulated overlap.
+    return total / 2.0
+
+
+def phases_overlap(
+    schedule: ClockSchedule,
+    phase_a: int | str,
+    phase_b: int | str,
+    tol: float = 1e-12,
+) -> bool:
+    """True if the two phases are ever simultaneously active."""
+    return overlap_duration(schedule, phase_a, phase_b) > tol
+
+
+def simultaneous_and_is_zero(
+    schedule: ClockSchedule, phases: Iterable[int | str], tol: float = 1e-12
+) -> bool:
+    """Check the paper's feedback-loop requirement on a set of phases.
+
+    Section III requires the logical AND of the phases controlling each
+    feedback loop to be identically 0: at no time may *all* of them be
+    active at once.  Returns True when that holds.
+    """
+    idxs = [schedule.index(p) for p in phases]
+    if not idxs:
+        return True
+    if len(idxs) == 1:
+        # A single phase ANDed with itself is the phase: it must never be
+        # active, i.e. have zero width, for the AND to be identically 0.
+        return schedule[idxs[0]].width <= tol
+    tc = schedule.period
+    if tc <= 0:
+        raise ClockError("simultaneous_and_is_zero requires a positive period")
+    # Intersect the active-interval sets of all phases over one period.
+    common = intervals_in_window(schedule, idxs[0], 0.0, 2 * tc)
+    for idx in idxs[1:]:
+        nxt = intervals_in_window(schedule, idx, 0.0, 2 * tc)
+        merged: list[tuple[float, float]] = []
+        for lo_a, hi_a in common:
+            for lo_b, hi_b in nxt:
+                lo, hi = max(lo_a, lo_b), min(hi_a, hi_b)
+                if lo < hi - tol:
+                    merged.append((lo, hi))
+        common = merged
+        if not common:
+            return True
+    return not common

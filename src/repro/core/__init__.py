@@ -1,0 +1,74 @@
+"""The paper's primary contribution: SMO constraints and Algorithm MLP.
+
+* :mod:`repro.core.constraints` -- generate the clock constraints C1-C4 and
+  latch constraints L1/L2R/L3 for any circuit and clocking scheme
+  (Section III), as a linear program with purely topological coefficients;
+* :mod:`repro.core.mlp` -- Algorithm MLP: solve the LP relaxation P2, then
+  slide departure times to a P1 fixpoint (Section IV, Theorem 1);
+* :mod:`repro.core.analysis` -- the *analysis* problem: verify a circuit
+  against a fixed clock schedule;
+* :mod:`repro.core.critical` -- critical segments from LP slacks/duals;
+* :mod:`repro.core.parametric` -- piecewise-linear Tc(delay) sweeps (Fig. 7);
+* :mod:`repro.core.shortpath` -- hold-time (short-path) extension.
+"""
+
+from repro.core.constraints import (
+    ConstraintOptions,
+    SMOProgram,
+    build_program,
+    build_maxplus_system,
+    TC,
+    s_var,
+    t_var,
+    d_var,
+)
+from repro.core.analysis import SyncTiming, TimingReport, analyze
+from repro.core.mlp import MLPOptions, OptimalClockResult, minimize_cycle_time
+from repro.core.critical import CriticalReport, critical_segments
+from repro.core.parametric import (
+    SweepPoint,
+    SweepResult,
+    sweep_delay,
+    exact_sweep,
+    exact_sweep_delay,
+)
+from repro.core.shortpath import HoldReport, check_hold, required_padding
+from repro.core.minperiod import feasible_period, min_period_search
+from repro.core.tuning import TuningResult, maximize_slack
+from repro.core.theorem1 import P3Result, solve_p3
+from repro.core.signoff import SignoffReport, signoff
+
+__all__ = [
+    "ConstraintOptions",
+    "SMOProgram",
+    "build_program",
+    "build_maxplus_system",
+    "TC",
+    "s_var",
+    "t_var",
+    "d_var",
+    "SyncTiming",
+    "TimingReport",
+    "analyze",
+    "MLPOptions",
+    "OptimalClockResult",
+    "minimize_cycle_time",
+    "CriticalReport",
+    "critical_segments",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_delay",
+    "exact_sweep",
+    "exact_sweep_delay",
+    "HoldReport",
+    "check_hold",
+    "required_padding",
+    "feasible_period",
+    "min_period_search",
+    "TuningResult",
+    "maximize_slack",
+    "P3Result",
+    "solve_p3",
+    "SignoffReport",
+    "signoff",
+]

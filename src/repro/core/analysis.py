@@ -1,0 +1,236 @@
+"""Fixed-schedule timing analysis (the paper's *analysis* problem).
+
+Given a circuit and a concrete clock schedule, decide whether the timing
+constraints are satisfied: compute the steady-state departure times as the
+least fixpoint of the propagation constraints L2 and then check every setup
+requirement and the clock constraints C1-C4.  This is the verification dual
+of the design problem solved by :mod:`repro.core.mlp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.elements import EdgeKind, FlipFlop
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.core.constraints import ConstraintOptions, build_maxplus_system
+from repro.errors import DivergentTimingError
+from repro.maxplus.fixpoint import least_fixpoint
+
+_NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class SyncTiming:
+    """Steady-state timing at one synchronizer (times relative to its phase).
+
+    ``arrival`` is the paper's A_i (``-inf`` when the synchronizer has no
+    fanin); ``departure`` is D_i; ``output`` is Q_i = D_i + Delta_DQ;
+    ``slack`` is the margin on the setup requirement (negative = violated);
+    ``waiting`` is how long an early-arriving signal idles at a closed latch
+    (the gaps in the paper's Fig. 6 strips).
+    """
+
+    name: str
+    phase: str
+    arrival: float
+    departure: float
+    output: float
+    slack: float
+    tol: float = 1e-6
+
+    @property
+    def waiting(self) -> float:
+        if self.arrival == _NEG_INF:
+            return 0.0
+        return max(0.0, self.departure - self.arrival)
+
+    @property
+    def ok(self) -> bool:
+        """True if the setup requirement is met (within solver tolerance)."""
+        return self.slack >= -self.tol
+
+
+@dataclass
+class TimingReport:
+    """Result of :func:`analyze`: verdict, slacks and steady-state times."""
+
+    schedule: ClockSchedule
+    timings: dict[str, SyncTiming]
+    clock_violations: list[str] = field(default_factory=list)
+    divergent_cycle: str | None = None
+    iterations: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        if self.divergent_cycle is not None or self.clock_violations:
+            return False
+        return all(t.ok for t in self.timings.values())
+
+    @property
+    def worst_slack(self) -> float:
+        if self.divergent_cycle is not None:
+            return _NEG_INF
+        return min((t.slack for t in self.timings.values()), default=float("inf"))
+
+    @property
+    def setup_violations(self) -> list[SyncTiming]:
+        return [t for t in self.timings.values() if not t.ok]
+
+    def departures(self) -> dict[str, float]:
+        return {name: t.departure for name, t in self.timings.items()}
+
+    def borrowing(self, tol: float = 1e-9) -> dict[str, float]:
+        """Time borrowed through each transparent latch (positive D_i only).
+
+        A positive departure time means the signal flowed through the open
+        latch ``D_i`` after the phase began -- the "borrowing" that
+        edge-triggered analyses cannot model and that Fig. 7's slope-1/2
+        region illustrates.  Latches whose data waited for the phase
+        (``D_i = 0``) borrow nothing.
+        """
+        return {
+            name: t.departure
+            for name, t in self.timings.items()
+            if t.departure > tol
+        }
+
+    @property
+    def total_borrowed(self) -> float:
+        """Sum of all borrowed time -- 0 exactly when edge-triggering would do."""
+        return sum(self.borrowing().values())
+
+    def __str__(self) -> str:
+        lines = [
+            f"schedule: {self.schedule}",
+            f"feasible: {self.feasible}   worst slack: {self.worst_slack:g}",
+        ]
+        if self.divergent_cycle:
+            lines.append(f"divergent cycle: {self.divergent_cycle}")
+        for v in self.clock_violations:
+            lines.append(f"clock violation: {v}")
+        header = f"{'sync':<12} {'phase':<8} {'A':>9} {'D':>9} {'Q':>9} {'slack':>9}"
+        lines.append(header)
+        for t in self.timings.values():
+            arr = "-inf" if t.arrival == _NEG_INF else f"{t.arrival:.4g}"
+            lines.append(
+                f"{t.name:<12} {t.phase:<8} {arr:>9} {t.departure:>9.4g} "
+                f"{t.output:>9.4g} {t.slack:>9.4g}"
+            )
+        return "\n".join(lines)
+
+
+def _arrival(
+    graph: TimingGraph, schedule: ClockSchedule, departures: dict[str, float], name: str
+) -> float:
+    """A_i = max over fanin arcs of (D_j + Delta_DQj + Delta_ji + S_{pj pi})."""
+    best = _NEG_INF
+    dst_phase = graph[name].phase
+    for arc in graph.fanin(name):
+        src = graph[arc.src]
+        value = (
+            departures[arc.src]
+            + src.delay
+            + arc.delay
+            + schedule.phase_shift(src.phase, dst_phase)
+        )
+        best = max(best, value)
+    return best
+
+
+def analyze(
+    graph: TimingGraph,
+    schedule: ClockSchedule,
+    options: ConstraintOptions | None = None,
+    method: str = "event",
+    tol: float = 1e-6,
+) -> TimingReport:
+    """Verify ``graph`` against a fixed ``schedule``.
+
+    Computes steady-state departure times (least fixpoint of L2), arrival
+    times, and setup slacks for every synchronizer; also records violations
+    of the clock constraints C1-C4.  A divergent fixpoint (positive latch
+    cycle) is reported rather than raised, with ``feasible = False``.
+    """
+    options = options or ConstraintOptions()
+    margin = options.setup_margin
+
+    clock_violations = [
+        str(v) for v in schedule.violations(k_matrix=graph.k_matrix(), tol=tol)
+    ]
+    if options.min_width:
+        for p in schedule.phases:
+            if p.width < options.min_width - 1e-9:
+                clock_violations.append(
+                    f"XW: phase {p.name} width {p.width:g} below minimum "
+                    f"{options.min_width:g}"
+                )
+    if options.skew:
+        # Re-check C3 with the worst-case skew padding used by the
+        # constraint generator: the input phase may start early and the
+        # output phase may end late.
+        for i, j in graph.io_phase_pairs():
+            pi, pj = schedule.phases[i], schedule.phases[j]
+            cji = 0 if j < i else 1
+            pad = options.skew_of(pi.name).early + options.skew_of(pj.name).late
+            bound = pj.start + pj.width - cji * schedule.period + pad
+            if pi.start < bound - tol:
+                clock_violations.append(
+                    f"C3+skew: phase {pi.name} must start after the skewed "
+                    f"end of {pj.name} ({pi.start:g} < {bound:g})"
+                )
+
+    system = build_maxplus_system(graph, schedule, options)
+    try:
+        fix = least_fixpoint(system, method=method)
+    except DivergentTimingError as err:
+        return TimingReport(
+            schedule=schedule,
+            timings={},
+            clock_violations=clock_violations,
+            divergent_cycle=str(err),
+        )
+
+    departures = fix.values
+    timings: dict[str, SyncTiming] = {}
+    for sync in graph.synchronizers:
+        arrival = _arrival(graph, schedule, departures, sync.name)
+        departure = departures[sync.name]
+        # With skew the closing/triggering edge may come early.
+        early = options.skew_of(sync.phase).early
+        if sync.is_latch:
+            # L1 (eq. 16): D_i + Delta_DC <= T_{p_i}.
+            slack = (
+                schedule[sync.phase].width
+                - early
+                - departure
+                - sync.setup
+                - margin
+            )
+        else:
+            assert isinstance(sync, FlipFlop)
+            # Arrival must beat the triggering edge by the setup time.
+            if sync.edge is EdgeKind.RISE:
+                deadline = -early
+            else:
+                deadline = schedule[sync.phase].width - early
+            if arrival == _NEG_INF:
+                slack = float("inf")
+            else:
+                slack = deadline - arrival - sync.setup - margin
+        timings[sync.name] = SyncTiming(
+            name=sync.name,
+            phase=sync.phase,
+            arrival=arrival,
+            departure=departure,
+            output=departure + sync.delay,
+            slack=slack,
+            tol=tol,
+        )
+    return TimingReport(
+        schedule=schedule,
+        timings=timings,
+        clock_violations=clock_violations,
+        iterations=fix.iterations,
+    )

@@ -1,0 +1,78 @@
+"""Feasibility queries and binary-search minimum period.
+
+These helpers answer "can the circuit run at period X with this clock
+shape?" and locate the smallest such X by bisection.  They are the building
+blocks of the Agrawal-style baseline (Section II reviews Agrawal's bounded
+binary search) and are useful on their own for what-if analysis.  Note that
+unlike Algorithm MLP, the search keeps the *shape* of the clock fixed
+(phase starts and widths scale proportionally with the period), so its
+answer is optimal only over that one-parameter family.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.core.analysis import analyze
+from repro.core.constraints import ConstraintOptions
+from repro.errors import AnalysisError
+
+ScheduleTemplate = Callable[[float], ClockSchedule]
+
+
+def proportional_template(reference: ClockSchedule) -> ScheduleTemplate:
+    """A template that scales a reference schedule to any period."""
+    if reference.period <= 0:
+        raise AnalysisError("reference schedule must have a positive period")
+
+    def template(period: float) -> ClockSchedule:
+        return reference.scaled(period / reference.period)
+
+    return template
+
+
+def feasible_period(
+    graph: TimingGraph,
+    template: ScheduleTemplate,
+    period: float,
+    options: ConstraintOptions | None = None,
+) -> bool:
+    """True if the circuit meets timing at ``template(period)``."""
+    return analyze(graph, template(period), options).feasible
+
+
+def min_period_search(
+    graph: TimingGraph,
+    template: ScheduleTemplate,
+    lo: float = 0.0,
+    hi: float = 1e6,
+    tol: float = 1e-6,
+    options: ConstraintOptions | None = None,
+    max_steps: int = 200,
+) -> float:
+    """Smallest feasible period of the template family, by bisection.
+
+    ``hi`` must be feasible (raises :class:`AnalysisError` otherwise); ``lo``
+    is assumed infeasible or zero.  Under proportional scaling feasibility
+    is monotone in the period for well-formed circuits, so bisection
+    converges to the boundary within ``tol``.
+    """
+    if hi <= lo:
+        raise AnalysisError(f"need hi > lo, got lo={lo}, hi={hi}")
+    if not feasible_period(graph, template, hi, options):
+        raise AnalysisError(
+            f"upper bound {hi:g} is itself infeasible; raise hi"
+        )
+    if lo > 0 and feasible_period(graph, template, lo, options):
+        return lo
+    steps = 0
+    while hi - lo > tol and steps < max_steps:
+        mid = 0.5 * (lo + hi)
+        if feasible_period(graph, template, mid, options):
+            hi = mid
+        else:
+            lo = mid
+        steps += 1
+    return hi

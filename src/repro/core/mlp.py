@@ -1,0 +1,178 @@
+"""Algorithm MLP: optimal cycle time calculation by modified LP (Section IV).
+
+The design problem P1 (minimize Tc subject to C1-C4 and the nonlinear latch
+constraints L1-L3) is solved in two steps, following Theorem 1:
+
+1. Solve the LP relaxation P2 (propagation equalities relaxed to ``>=``).
+   By Theorem 1 its optimal Tc equals P1's.
+2. Hold the clock variables at the LP optimum and "slide" the departure
+   times down to a fixpoint of the max constraints (steps 3-5 of the
+   paper's listing), turning the LP point into a feasible P1 solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.core.analysis import TimingReport, analyze
+from repro.core.constraints import (
+    ConstraintOptions,
+    SMOProgram,
+    build_maxplus_system,
+    build_program,
+    d_var,
+    s_var,
+    t_var,
+    schedule_from_values,
+)
+from repro.errors import ReproError
+from repro.lp.backends import solve
+from repro.lp.expr import LinExpr, var
+from repro.lp.result import LPResult
+from repro.maxplus.fixpoint import slide
+
+
+@dataclass(frozen=True)
+class MLPOptions:
+    """Knobs for :func:`minimize_cycle_time`.
+
+    ``iteration`` selects how the departure-time slide is performed:
+    ``"jacobi"`` is the paper's listing, ``"gauss-seidel"`` and ``"event"``
+    are the more efficient variants the paper suggests.  ``verify`` re-runs
+    the independent fixed-schedule analyzer on the result and raises if the
+    produced schedule is not actually feasible (it always should be).
+
+    ``compact`` selects among the (generally non-unique, see the paper's
+    Fig. 6 discussion) optimal schedules: after the minimum Tc is found, a
+    second LP pass holds Tc fixed and minimizes the sum of phase starts,
+    phase widths and departure times, yielding a canonical "compact"
+    schedule that is deterministic across LP backends.  The optimal cycle
+    time is unaffected.
+    """
+
+    backend: str | None = None
+    iteration: str = "jacobi"
+    verify: bool = True
+    compact: bool = True
+    tol: float = 1e-9
+
+
+@dataclass
+class OptimalClockResult:
+    """Outcome of Algorithm MLP.
+
+    ``period`` is the optimal cycle time (equal for P1 and P2 by Theorem 1);
+    ``schedule`` is the optimal clock schedule; ``departures`` are the P1
+    departure times after the slide; ``lp_departures`` are the raw P2 values
+    before the slide; ``slide_sweeps`` counts the update iterations of
+    steps 3-5 (the paper reports 0-3 in practice).
+    """
+
+    period: float
+    schedule: ClockSchedule
+    departures: dict[str, float]
+    lp_departures: dict[str, float]
+    lp_result: LPResult
+    #: the raw Tc-minimizing solve (before any compact tie-break pass);
+    #: its duals are the true sensitivities dTc*/d(rhs) -- use these for
+    #: parametric/criticality reasoning.  Equal to ``lp_result`` when the
+    #: compact pass is disabled.
+    lp_tc_result: LPResult = None  # type: ignore[assignment]
+    smo: SMOProgram = None  # type: ignore[assignment]
+    slide_sweeps: int = 0
+    slide_method: str = "jacobi"
+    report: TimingReport | None = None
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return self.report.feasible if self.report is not None else True
+
+
+def _compact_pass(
+    graph: TimingGraph,
+    options: ConstraintOptions,
+    mlp: "MLPOptions",
+    optimal_period: float,
+    fallback: LPResult,
+) -> LPResult:
+    """Re-optimize with Tc pinned at the optimum for a canonical schedule.
+
+    Minimizes ``sum(s_i) + sum(T_i) + sum(D_i)``: phases start as early and
+    stay as narrow as the constraints allow, and departures hug the phase
+    openings.  Any feasible point of this pass is an alternate optimum of
+    P2, so Theorem 1 still applies.
+    """
+    pinned = replace(options, fixed_period=optimal_period)
+    smo2 = build_program(graph, pinned, name="P2-compact")
+    tie_break = LinExpr()
+    for phase in graph.phase_names:
+        tie_break = tie_break + var(s_var(phase)) + var(t_var(phase))
+    for sync in graph.synchronizers:
+        tie_break = tie_break + var(d_var(sync.name))
+    smo2.program.minimize(tie_break)
+    result = solve(smo2.program, backend=mlp.backend)
+    if not result.ok:  # pragma: no cover - the pinned LP is always feasible
+        return fallback
+    # Restore the cycle-time objective value for downstream consumers.
+    result.objective = optimal_period
+    return result
+
+
+def minimize_cycle_time(
+    graph: TimingGraph,
+    options: ConstraintOptions | None = None,
+    mlp: MLPOptions | None = None,
+) -> OptimalClockResult:
+    """Find the minimum cycle time and an optimal clock schedule (Algorithm MLP).
+
+    Raises :class:`repro.errors.InfeasibleError` when the constraint system
+    has no solution (e.g. contradictory fixed clock values) and
+    :class:`repro.errors.ReproError` if verification of the result fails,
+    which would indicate a bug rather than a property of the circuit.
+    """
+    options = options or ConstraintOptions()
+    mlp = mlp or MLPOptions()
+
+    # Step 1: solve the LP relaxation P2.
+    smo = build_program(graph, options)
+    tc_result = solve(smo.program, backend=mlp.backend).raise_for_status()
+
+    lp_result = tc_result
+    if mlp.compact:
+        lp_result = _compact_pass(graph, options, mlp, tc_result.objective, tc_result)
+
+    schedule = schedule_from_values(graph, lp_result.values)
+    lp_departures = {
+        sync.name: lp_result.values[d_var(sync.name)]
+        for sync in graph.synchronizers
+    }
+
+    # Steps 2-5: slide the departures to a fixpoint of the max constraints,
+    # holding the clock variables at their LP-optimal values.
+    system = build_maxplus_system(graph, schedule, options)
+    fix = slide(system, lp_departures, method=mlp.iteration, tol=mlp.tol)
+
+    result = OptimalClockResult(
+        period=schedule.period,
+        schedule=schedule,
+        departures=fix.values,
+        lp_departures=lp_departures,
+        lp_result=lp_result,
+        lp_tc_result=tc_result,
+        smo=smo,
+        slide_sweeps=fix.iterations,
+        slide_method=fix.method,
+    )
+
+    if mlp.verify:
+        report = analyze(graph, schedule, options)
+        result.report = report
+        if not report.feasible:
+            raise ReproError(
+                "internal error: MLP produced an infeasible schedule "
+                f"(worst slack {report.worst_slack:g}); please report this"
+            )
+    return result

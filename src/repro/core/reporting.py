@@ -1,0 +1,74 @@
+"""Text reports for optimization and analysis results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.circuit.graph import TimingGraph
+from repro.core.analysis import TimingReport
+from repro.core.mlp import OptimalClockResult
+from repro.render.ascii_art import clock_diagram, schedule_table
+
+
+def format_optimal_result(
+    result: OptimalClockResult, graph: TimingGraph | None = None
+) -> str:
+    """A human-readable summary of an MLP run (schedule + departures)."""
+    lines = [
+        f"optimal cycle time: {result.period:g}",
+        schedule_table(result.schedule),
+        "",
+        clock_diagram(result.schedule),
+        "",
+        "departure times (relative to each synchronizer's phase):",
+    ]
+    width = max((len(n) for n in result.departures), default=4)
+    for name in sorted(result.departures):
+        before = result.lp_departures.get(name)
+        after = result.departures[name]
+        note = ""
+        if before is not None and abs(before - after) > 1e-9:
+            note = f"   (LP gave {before:g}, slid down)"
+        lines.append(f"  {name:<{width}}  D = {after:<10g}{note}")
+    lines.append(
+        f"slide: {result.slide_method}, {result.slide_sweeps} iteration(s)"
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Align a list of row dicts into a fixed-width table.
+
+    Floats are rendered with ``%g``; missing keys render blank.  Used by
+    the benchmark harnesses to print the paper's tables and figure series.
+    """
+    def cell(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    grid = [[cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in grid)) if grid else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in grid:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_analysis(report: TimingReport) -> str:
+    """Delegate to :class:`TimingReport`'s own rendering (one place to edit)."""
+    return str(report)

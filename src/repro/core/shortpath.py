@@ -1,0 +1,231 @@
+"""Short-path (hold-time) analysis: the early-arrival extension.
+
+The paper treats only the long-path (late-arrival) problem and cites Unger
+for the short-path side; this module supplies that complement.  For a fixed
+clock schedule it computes the *earliest* steady-state departure and
+arrival times (a min-plus fixpoint, the dual of the long-path max-plus
+system) and checks that no latch's newly-launched data races around and
+overwrites the previous cycle's value before it is safely held:
+
+    a_i + Tc >= close(p_i) + hold_i
+
+where ``a_i`` is the earliest arrival relative to the start of phase
+``p_i`` and ``close(p_i)`` is the latch's closing edge (``T_{p_i}``; for a
+rising-edge flip-flop the sampling edge, 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.elements import EdgeKind, FlipFlop
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.errors import AnalysisError
+
+_POS_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class HoldTiming:
+    """Earliest-arrival record for one synchronizer."""
+
+    name: str
+    phase: str
+    early_arrival: float  # +inf when no fanin
+    early_departure: float
+    slack: float  # margin on the hold requirement (negative = violated)
+    tol: float = 1e-9
+
+    @property
+    def ok(self) -> bool:
+        """True if the hold requirement is met (within float tolerance)."""
+        return self.slack >= -self.tol
+
+
+@dataclass
+class HoldReport:
+    """Result of :func:`check_hold`."""
+
+    schedule: ClockSchedule
+    timings: dict[str, HoldTiming] = field(default_factory=dict)
+    iterations: int = 0
+    #: set when the earliest-arrival fixpoint does not exist (a positive
+    #: min-plus cycle: the schedule is unclockable, so hold is moot)
+    divergent: str | None = None
+
+    @property
+    def feasible(self) -> bool:
+        if self.divergent is not None:
+            return False
+        return all(t.ok for t in self.timings.values())
+
+    @property
+    def worst_slack(self) -> float:
+        if self.divergent is not None:
+            return float("-inf")
+        return min((t.slack for t in self.timings.values()), default=_POS_INF)
+
+    @property
+    def violations(self) -> list[HoldTiming]:
+        return [t for t in self.timings.values() if not t.ok]
+
+
+def _early_fixpoint(
+    graph: TimingGraph, schedule: ClockSchedule, tol: float = 1e-9
+) -> tuple[dict[str, float], int]:
+    """Earliest departures: least fixpoint of d_i = max(0, min-arrival_i).
+
+    Uses the conservative convention that a synchronizer with no fanin can
+    launch a new value as soon as its phase opens (d = 0).  The map is
+    monotone in the departures, so iteration from all-zeros converges to
+    the least (earliest, most pessimistic) consistent solution.
+    """
+    departures = {name: 0.0 for name in graph.names}
+    for ff in graph.flipflops:
+        departures[ff.name] = (
+            0.0 if ff.edge is EdgeKind.RISE else schedule[ff.phase].width
+        )
+    sweeps = 0
+    for sweeps in range(1, len(graph.names) + 3):
+        changed = False
+        for sync in graph.synchronizers:
+            if not sync.is_latch:
+                continue  # flip-flop departures are pinned to the edge
+            earliest_arrival = _POS_INF
+            for arc in graph.fanin(sync.name):
+                src = graph[arc.src]
+                value = (
+                    departures[arc.src]
+                    + src.delay  # contamination conservatively = 0 would be
+                    # even more pessimistic; we use the declared latch delay
+                    + arc.min_delay
+                    + schedule.phase_shift(src.phase, sync.phase)
+                )
+                earliest_arrival = min(earliest_arrival, value)
+            new = 0.0 if earliest_arrival == _POS_INF else max(0.0, earliest_arrival)
+            if abs(new - departures[sync.name]) > tol:
+                departures[sync.name] = new
+                changed = True
+        if not changed:
+            return departures, sweeps
+    # A positive min-plus cycle: earliest arrivals recede every sweep.
+    # The schedule cannot support a periodic steady state at all.
+    raise AnalysisError(
+        "earliest-arrival fixpoint diverges: the schedule admits no "
+        "periodic steady state (positive short-path cycle)"
+    )
+
+
+def check_hold(graph: TimingGraph, schedule: ClockSchedule) -> HoldReport:
+    """Check every synchronizer's hold requirement under ``schedule``.
+
+    The next cycle's earliest arrival (``a_i + Tc`` in absolute time) must
+    come no sooner than ``hold`` after the element stops listening to its
+    input: the closing edge ``T_{p_i}`` for latches and falling-edge
+    flip-flops, the sampling edge (time 0) for rising-edge flip-flops.
+
+    A schedule with no periodic steady state (divergent earliest-arrival
+    fixpoint) is reported as infeasible via ``HoldReport.divergent`` rather
+    than raised.
+    """
+    try:
+        departures, sweeps = _early_fixpoint(graph, schedule)
+    except AnalysisError as err:
+        return HoldReport(schedule=schedule, divergent=str(err))
+    tc = schedule.period
+    report = HoldReport(schedule=schedule, iterations=sweeps)
+    for sync in graph.synchronizers:
+        earliest = _POS_INF
+        for arc in graph.fanin(sync.name):
+            src = graph[arc.src]
+            value = (
+                departures[arc.src]
+                + src.delay
+                + arc.min_delay
+                + schedule.phase_shift(src.phase, sync.phase)
+            )
+            earliest = min(earliest, value)
+        if isinstance(sync, FlipFlop) and sync.edge is EdgeKind.RISE:
+            close = 0.0
+        else:
+            close = schedule[sync.phase].width
+        if earliest == _POS_INF:
+            slack = _POS_INF
+        else:
+            slack = (earliest + tc) - (close + sync.hold)
+        report.timings[sync.name] = HoldTiming(
+            name=sync.name,
+            phase=sync.phase,
+            early_arrival=earliest,
+            early_departure=departures[sync.name],
+            slack=slack,
+        )
+    return report
+
+
+def required_padding(
+    graph: TimingGraph, schedule: ClockSchedule
+) -> dict[tuple[str, str], float]:
+    """Minimum-delay padding that repairs every hold violation.
+
+    For each synchronizer whose hold slack is negative, every fanin arc
+    capable of delivering the earliest (racing) arrival needs its short
+    path slowed by the shortfall.  Returns the per-arc extra ``min_delay``
+    to insert (the classic hold-fix buffer-insertion recipe); arcs that
+    are not on any violating early path are absent from the mapping.
+
+    The returned padding is *sufficient*: adding it (to both min and max
+    delays, the conservative buffer model) and re-running
+    :func:`check_hold` yields no violations, provided the padded max delays
+    still meet setup -- which the caller should re-verify with
+    :func:`repro.core.analysis.analyze`.
+    """
+    report = check_hold(graph, schedule)
+    padding: dict[tuple[str, str], float] = {}
+    departures, _ = _early_fixpoint(graph, schedule)
+    for timing in report.timings.values():
+        if timing.ok:
+            continue
+        shortfall = -timing.slack
+        for arc in graph.fanin(timing.name):
+            src = graph[arc.src]
+            arrival = (
+                departures[arc.src]
+                + src.delay
+                + arc.min_delay
+                + schedule.phase_shift(src.phase, timing.phase)
+            )
+            # Any early path within `shortfall` of the racing arrival must
+            # be slowed enough to clear the hold window.
+            deficit = (timing.early_arrival + shortfall) - arrival
+            if deficit > 0:
+                key = (arc.src, arc.dst)
+                padding[key] = max(padding.get(key, 0.0), deficit)
+    return padding
+
+
+def apply_padding(
+    graph: TimingGraph, padding: dict[tuple[str, str], float]
+) -> TimingGraph:
+    """Insert hold-fix buffers: per-arc delay added to both min and max.
+
+    A buffer slows the fast paths through an arc but also its slow ones,
+    so the padding is added to the arc's ``min_delay`` *and* ``delay``
+    (the conservative model); re-verify setup afterwards.
+    """
+    from repro.circuit.graph import DelayArc
+
+    arcs = []
+    for arc in graph.arcs:
+        extra = padding.get((arc.src, arc.dst), 0.0)
+        arcs.append(
+            DelayArc(
+                arc.src,
+                arc.dst,
+                arc.delay + extra,
+                arc.min_delay + extra,
+                arc.label,
+            )
+        )
+    return TimingGraph(graph.phase_names, graph.synchronizers, arcs)

@@ -1,0 +1,71 @@
+"""One-call timing signoff: structure + clock + setup + hold together.
+
+``signoff`` is the "is this design done?" entry point: it bundles the
+structural preconditions of Section III, the clock constraints C1-C4, the
+long-path analysis (L1/L2), and the short-path/hold extension into a
+single report with a single verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.graph import TimingGraph
+from repro.circuit.validate import StructureReport, check_structure
+from repro.clocking.schedule import ClockSchedule
+from repro.core.analysis import TimingReport, analyze
+from repro.core.constraints import ConstraintOptions
+from repro.core.shortpath import HoldReport, check_hold
+
+
+@dataclass
+class SignoffReport:
+    """Combined verdict over every check the library implements."""
+
+    structure: StructureReport
+    timing: TimingReport
+    hold: HoldReport
+
+    @property
+    def ok(self) -> bool:
+        return self.structure.ok and self.timing.feasible and self.hold.feasible
+
+    @property
+    def failures(self) -> list[str]:
+        """Human-readable list of everything that failed."""
+        problems: list[str] = list(self.structure.errors)
+        problems.extend(self.timing.clock_violations)
+        if self.timing.divergent_cycle:
+            problems.append(self.timing.divergent_cycle)
+        for t in self.timing.setup_violations:
+            problems.append(
+                f"setup violation at {t.name}: slack {t.slack:g}"
+            )
+        for t in self.hold.violations:
+            problems.append(f"hold violation at {t.name}: slack {t.slack:g}")
+        return problems
+
+    def __str__(self) -> str:
+        lines = [f"signoff: {'PASS' if self.ok else 'FAIL'}"]
+        lines.append(
+            f"  setup worst slack: {self.timing.worst_slack:g}   "
+            f"hold worst slack: {self.hold.worst_slack:g}"
+        )
+        for w in self.structure.warnings:
+            lines.append(f"  warning: {w}")
+        for f in self.failures:
+            lines.append(f"  FAIL: {f}")
+        return "\n".join(lines)
+
+
+def signoff(
+    graph: TimingGraph,
+    schedule: ClockSchedule,
+    options: ConstraintOptions | None = None,
+) -> SignoffReport:
+    """Run every check against a concrete schedule and combine the verdicts."""
+    return SignoffReport(
+        structure=check_structure(graph, schedule),
+        timing=analyze(graph, schedule, options),
+        hold=check_hold(graph, schedule),
+    )

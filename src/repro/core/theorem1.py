@@ -1,0 +1,169 @@
+"""An executable rendition of the paper's Theorem 1 proof (Section IV).
+
+The proof of ``Tc*(P1) = Tc*(P2)`` constructs an *augmented* problem P3:
+starting from a P2 optimum, wherever a departure variable floats above the
+value the nonlinear constraints L2 dictate, an equality constraint is
+added --
+
+* case (a): ``A_i <= 0`` but ``D_i > 0``      ->  add ``D_i = 0``;
+* case (b): ``A_i > 0``  but ``D_i > A_i``    ->  add ``D_i = A_i``;
+
+-- and, because lowering one departure can invalidate another's, the
+procedure is repeated "as often as necessary" until the constraints are
+equivalent to P1's.  The theorem's stipulations are that the optimum
+never gets worse along the way and that the final point solves P1.
+
+Algorithm MLP replaces this construction with the cheaper fixpoint slide;
+this module keeps the construction itself as an executable, testable
+artifact.  Realization notes: after the first solve the clock variables
+are held at their optimal values (the proof's argument tracks the optimal
+solution point, and Theorem 1 guarantees this loses nothing), so each
+case-(b) equality pins the departure to the concrete arrival value, and a
+pinned latch whose arrival later drops is simply re-pinned -- exactly the
+"add further equality constraints ... and repeat" step of the proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.core.constraints import (
+    ConstraintOptions,
+    build_maxplus_system,
+    build_program,
+    d_var,
+    schedule_from_values,
+)
+from repro.lp.backends import solve
+from repro.lp.expr import var
+from repro.maxplus.system import MaxPlusSystem
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class P3Result:
+    """Outcome of the literal Theorem-1 construction."""
+
+    period: float
+    schedule: ClockSchedule
+    departures: dict[str, float]
+    rounds: int
+    #: equality pins added or updated per round: (latch, case) pairs where
+    #: case is "zero" (a) or "arrival" (b)
+    history: list[list[tuple[str, str]]] = field(default_factory=list)
+    #: Tc after every LP solve; Theorem 1 says all entries are equal
+    period_trace: list[float] = field(default_factory=list)
+    #: True when the round budget ran out and the construction's limit was
+    #: taken directly (see :func:`solve_p3` notes on geometric tails)
+    snapped_to_limit: bool = False
+
+
+def _violations(
+    system: MaxPlusSystem, values: dict[str, float], tol: float
+) -> list[tuple[str, str, float]]:
+    """Latches whose departure exceeds the L2 max, with the repair target."""
+    fanin = system.fanin()
+    out = []
+    for node in system.nodes:
+        if node in system.frozen:
+            continue
+        arrival = _NEG_INF
+        for arc in fanin[node]:
+            arrival = max(arrival, values[arc.src] + arc.weight)
+        floor = system.floor(node)
+        target = max(floor, arrival)
+        if values[node] > target + tol:
+            case = "zero" if arrival <= floor else "arrival"
+            out.append((node, case, target))
+    return out
+
+
+def solve_p3(
+    graph: TimingGraph,
+    options: ConstraintOptions | None = None,
+    backend: str | None = None,
+    tol: float = 1e-7,
+    max_rounds: int | None = None,
+) -> P3Result:
+    """Solve P1 by the augmentation procedure of the Theorem 1 proof.
+
+    Round 0 solves P2 and freezes the clock at its optimum.  Each later
+    round re-solves the LP with the accumulated departure equalities,
+    detects the latches violating the nonlinear constraints L2, and adds
+    (or updates) their case-(a)/(b) pins.  Terminates when the LP optimum
+    satisfies L2 exactly.
+
+    Around a negative-total-weight latch cycle the paper's "repeat as
+    often as necessary" has a geometric tail: each repetition lowers the
+    cycle's departures by the fixed cycle weight, so finitely many rounds
+    only approach the limit.  When the round budget runs out, the limit is
+    taken directly (the least fixpoint at the frozen optimal clock, which
+    is what the repetitions converge to) and the result is flagged with
+    ``snapped_to_limit``.  The theorem's conclusion -- same ``Tc``, P1
+    constraints satisfied -- holds either way.
+    """
+    options = options or ConstraintOptions()
+    if max_rounds is None:
+        max_rounds = 10 * graph.l + 20
+
+    # Round 0: plain P2.
+    smo0 = build_program(graph, options, name="P3-round0")
+    base = solve(smo0.program, backend=backend).raise_for_status()
+    schedule = schedule_from_values(graph, base.values)
+    system = build_maxplus_system(graph, schedule, options)
+    frozen_clock = replace(
+        options,
+        fixed_period=schedule.period,
+        fixed_starts={p.name: p.start for p in schedule.phases},
+        fixed_widths={p.name: p.width for p in schedule.phases},
+    )
+
+    pins: dict[str, float] = {}
+    history: list[list[tuple[str, str]]] = []
+    period_trace = [base.objective]
+    departures = {
+        s.name: base.values[d_var(s.name)] for s in graph.synchronizers
+    }
+
+    for round_idx in range(1, max_rounds + 1):
+        violations = _violations(system, departures, tol)
+        if not violations:
+            return P3Result(
+                period=period_trace[0],
+                schedule=schedule,
+                departures=departures,
+                rounds=round_idx,
+                history=history,
+                period_trace=period_trace,
+            )
+        round_pins: list[tuple[str, str]] = []
+        for latch, case, target in violations:
+            pins[latch] = target
+            round_pins.append((latch, case))
+        history.append(round_pins)
+
+        smo = build_program(graph, frozen_clock, name=f"P3-round{round_idx}")
+        for latch, value in pins.items():
+            smo.program.add_eq(var(d_var(latch)), value, name=f"P3[{latch}]")
+        result = solve(smo.program, backend=backend).raise_for_status()
+        period_trace.append(result.objective)
+        departures = {
+            s.name: result.values[d_var(s.name)] for s in graph.synchronizers
+        }
+
+    # Geometric tail: take the limit of the construction directly.
+    from repro.maxplus.fixpoint import least_fixpoint
+
+    limit = least_fixpoint(system)
+    return P3Result(
+        period=period_trace[0],
+        schedule=schedule,
+        departures=limit.values,
+        rounds=max_rounds,
+        history=history,
+        period_trace=period_trace,
+        snapped_to_limit=True,
+    )

@@ -1,0 +1,37 @@
+"""Reference designs: the paper's example circuits.
+
+* :mod:`repro.designs.example1` -- Fig. 5: a two-stage, two-phase loop;
+* :mod:`repro.designs.example2` -- Fig. 8: the "more complicated" circuit
+  (reconstructed; see DESIGN.md section 5);
+* :mod:`repro.designs.fig1` -- the 11-latch, four-phase circuit of Fig. 1,
+  whose full constraint listing appears in the paper's Appendix;
+* :mod:`repro.designs.gaas` -- the GaAs MIPS datapath case study of
+  Fig. 10/11 and Table I (reconstructed timing model).
+"""
+
+from repro.designs.example1 import (
+    example1,
+    example1_optimal_period,
+    example1_nrip_period,
+)
+from repro.designs.example2 import example2
+from repro.designs.fig1 import fig1_circuit, fig1_k_matrix
+from repro.designs.gaas import (
+    gaas_datapath,
+    GAAS_TARGET_PERIOD,
+    GAAS_OPTIMAL_PERIOD,
+    TRANSISTOR_COUNTS,
+)
+
+__all__ = [
+    "example1",
+    "example1_optimal_period",
+    "example1_nrip_period",
+    "example2",
+    "fig1_circuit",
+    "fig1_k_matrix",
+    "gaas_datapath",
+    "GAAS_TARGET_PERIOD",
+    "GAAS_OPTIMAL_PERIOD",
+    "TRANSISTOR_COUNTS",
+]

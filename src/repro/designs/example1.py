@@ -1,0 +1,71 @@
+"""The paper's example 1 (Fig. 5): a two-stage loop on a two-phase clock.
+
+Four latches L1..L4, all with setup and propagation delays of 10 ns, are
+connected in a ring through four combinational blocks:
+
+    L1 --La(20)--> L2 --Lb(20)--> L3 --Lc(60)--> L4 --Ld(D41)--> L1
+
+with L1, L3 on phase phi1 and L2, L4 on phase phi2.  The delay of block Ld
+(``Delta_41``) is the swept parameter of the paper's Figs. 6 and 7.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.graph import TimingGraph
+
+#: Latch setup and propagation delay used throughout example 1 (ns).
+LATCH_DELAY = 10.0
+
+#: Fixed combinational block delays (ns): La = Delta_12, Lb = Delta_23,
+#: Lc = Delta_34.
+DELAY_LA = 20.0
+DELAY_LB = 20.0
+DELAY_LC = 60.0
+
+
+def example1(delta_41: float = 80.0) -> TimingGraph:
+    """Build example 1 with the given ``Delta_41`` (block Ld delay, ns)."""
+    builder = CircuitBuilder(phases=["phi1", "phi2"])
+    builder.latch("L1", phase="phi1", setup=LATCH_DELAY, delay=LATCH_DELAY)
+    builder.latch("L2", phase="phi2", setup=LATCH_DELAY, delay=LATCH_DELAY)
+    builder.latch("L3", phase="phi1", setup=LATCH_DELAY, delay=LATCH_DELAY)
+    builder.latch("L4", phase="phi2", setup=LATCH_DELAY, delay=LATCH_DELAY)
+    builder.path("L1", "L2", DELAY_LA, label="La")
+    builder.path("L2", "L3", DELAY_LB, label="Lb")
+    builder.path("L3", "L4", DELAY_LC, label="Lc")
+    builder.path("L4", "L1", delta_41, label="Ld")
+    return builder.build()
+
+
+def example1_optimal_period(delta_41: float) -> float:
+    """Closed-form optimal cycle time of example 1 (derived in Section V).
+
+    The feedback loop spans two clock cycles, so the optimum is the larger
+    of the *average* delay around the loop and the *difference* between the
+    delays of the two cycles making up the loop (the paper's observation),
+    floored by the heaviest single-cycle stage (block Lc plus two latch
+    traversals: 60 + 10 + 10 = 80 ns):
+
+        Tc*(D41) = max(80, (140 + D41) / 2, 20 + D41)
+
+    This reproduces every value the paper quotes: 110 ns at D41 = 80,
+    120 ns at 100, 140 ns at 120, a flat 80 ns for D41 <= 20, slope 1/2 on
+    [20, 100] and slope 1 beyond.
+    """
+    return max(80.0, (140.0 + delta_41) / 2.0, 20.0 + delta_41)
+
+
+def example1_nrip_period(delta_41: float) -> float:
+    """Closed-form cycle time of the NRIP baseline on example 1.
+
+    With null retardation imposed on the initial phase's latches (L2 and
+    L4; see DESIGN.md section 5 for the phase-labeling discussion), the
+    achievable cycle time is
+
+        Tc_NRIP(D41) = max(100, 40 + D41)
+
+    which touches the optimum exactly at D41 = 60 ns and exceeds it
+    everywhere else -- the behaviour the paper reports for NRIP in Fig. 7.
+    """
+    return max(100.0, 40.0 + delta_41)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ClockError(ReproError):
+    """A clock phase or schedule is malformed or violates C1-C4."""
+
+
+class CircuitError(ReproError):
+    """A circuit description is structurally invalid."""
+
+
+class PhaseOverlapError(CircuitError):
+    """A feedback loop is controlled by simultaneously-overlapping phases.
+
+    Section III of the paper requires the logical AND of the phases
+    controlling every feedback loop to be identically 0; this error reports
+    a violation of that structural precondition.
+    """
+
+
+class LPError(ReproError):
+    """Base class for linear-programming failures."""
+
+
+class InfeasibleError(LPError):
+    """The LP (or the timing problem it encodes) has no feasible solution."""
+
+
+class UnboundedError(LPError):
+    """The LP objective is unbounded below."""
+
+
+class SolverError(LPError):
+    """A backend failed for a reason other than infeasibility/unboundedness."""
+
+
+class AnalysisError(ReproError):
+    """Fixed-schedule timing analysis could not be completed."""
+
+
+class DivergentTimingError(AnalysisError):
+    """The max-plus departure-time fixpoint does not exist.
+
+    This corresponds to a positive cycle in the propagation graph: under the
+    given clock schedule, signals around some latch loop get later every
+    cycle, so the circuit cannot be clocked at that schedule.
+    """
+
+
+class ParseError(ReproError):
+    """The circuit-description text is syntactically or semantically invalid."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")

@@ -1,0 +1,13 @@
+"""Interchange exports: LP/MPS constraint files and Graphviz circuit views.
+
+The SMO constraint systems this library builds are plain linear programs;
+:mod:`repro.export.lpformat` writes them in the CPLEX LP and fixed MPS
+formats so they can be handed to any industrial solver, and
+:mod:`repro.export.dot` renders circuits as Graphviz digraphs for
+documentation and debugging.
+"""
+
+from repro.export.lpformat import to_cplex_lp, to_mps
+from repro.export.dot import to_dot
+
+__all__ = ["to_cplex_lp", "to_mps", "to_dot"]

@@ -1,0 +1,56 @@
+"""Render circuits as Graphviz digraphs."""
+
+from __future__ import annotations
+
+from repro.circuit.elements import FlipFlop
+from repro.circuit.graph import TimingGraph
+
+#: One fill color per phase index, cycled.
+_PALETTE = ["#cfe2f3", "#d9ead3", "#fff2cc", "#f4cccc", "#d9d2e9", "#fce5cd"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def to_dot(graph: TimingGraph, name: str = "circuit") -> str:
+    """A Graphviz digraph: latches as boxes, flip-flops as double boxes.
+
+    Nodes are colored by controlling phase; edges are labeled with the
+    combinational max delay (and min delay when nonzero).  The output is
+    deterministic, so it can be committed as documentation.
+    """
+    lines = [
+        f"digraph {_quote(name)} {{",
+        "  rankdir=LR;",
+        '  node [style=filled, fontname="Helvetica"];',
+    ]
+    for idx, phase in enumerate(graph.phase_names):
+        color = _PALETTE[idx % len(_PALETTE)]
+        lines.append(
+            f"  subgraph cluster_{idx} {{ label={_quote(phase)}; "
+            f"style=dashed; color=gray;"
+        )
+        for sync in graph.synchronizers:
+            if sync.phase != phase:
+                continue
+            shape = "box" if not isinstance(sync, FlipFlop) else "doubleoctagon"
+            label = f"{sync.name}\\nDQ={sync.delay:g} DC={sync.setup:g}"
+            if isinstance(sync, FlipFlop):
+                label += f"\\n{sync.edge.value}-edge FF"
+            lines.append(
+                f"    {_quote(sync.name)} [shape={shape}, "
+                f"fillcolor={_quote(color)}, label={_quote(label)}];"
+            )
+        lines.append("  }")
+    for arc in graph.arcs:
+        label = f"{arc.delay:g}"
+        if arc.min_delay:
+            label += f" ({arc.min_delay:g} min)"
+        if arc.label:
+            label = f"{arc.label}: {label}"
+        lines.append(
+            f"  {_quote(arc.src)} -> {_quote(arc.dst)} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

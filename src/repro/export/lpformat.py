@@ -1,0 +1,95 @@
+"""Write :class:`LinearProgram` instances as CPLEX LP and MPS files."""
+
+from __future__ import annotations
+
+import re
+
+from repro.lp.model import LinearProgram, Sense
+
+#: LP-format identifiers may not contain these; they are replaced by '_'.
+_BAD_CHARS = re.compile(r"[^A-Za-z0-9_.]")
+
+
+def _clean(name: str) -> str:
+    """Sanitize a variable/constraint name for solver file formats."""
+    cleaned = _BAD_CHARS.sub("_", name)
+    if cleaned[0].isdigit():
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+def _terms(expr_terms: dict[str, float], rename: dict[str, str]) -> str:
+    parts: list[str] = []
+    for name in sorted(expr_terms):
+        coeff = expr_terms[name]
+        sign = "-" if coeff < 0 else "+"
+        mag = abs(coeff)
+        term = rename[name] if mag == 1.0 else f"{mag:.12g} {rename[name]}"
+        if not parts and sign == "+":
+            parts.append(term)
+        else:
+            parts.append(f"{sign} {term}")
+    return " ".join(parts) if parts else "0 " + next(iter(rename.values()))
+
+
+def to_cplex_lp(program: LinearProgram, name: str | None = None) -> str:
+    """Serialize in the CPLEX LP file format.
+
+    Variables keep their default nonnegative bounds; free variables get a
+    ``-inf <= v <= +inf`` line in the Bounds section.  Names are sanitized
+    (``D[L1]`` becomes ``D_L1_``) -- deterministically, so files diff
+    cleanly across runs.
+    """
+    rename = {v: _clean(v) for v in program.variables}
+    lines = [f"\\ {name or program.name}", "Minimize", f" obj: {_terms(program.objective.terms, rename)}"]
+    lines.append("Subject To")
+    for con in program.constraints:
+        op = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}[con.sense]
+        lines.append(
+            f" {_clean(con.name)}: {_terms(con.lhs.terms, rename)} {op} "
+            f"{con.rhs:.12g}"
+        )
+    free = [rename[v] for v in program.free_variables]
+    if free:
+        lines.append("Bounds")
+        for v in sorted(free):
+            lines.append(f" {v} free")
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def to_mps(program: LinearProgram, name: str | None = None) -> str:
+    """Serialize in the (free-form) MPS format."""
+    rename = {v: _clean(v) for v in program.variables}
+    rows = [("N", "COST")]
+    senses = {Sense.LE: "L", Sense.GE: "G", Sense.EQ: "E"}
+    for con in program.constraints:
+        rows.append((senses[con.sense], _clean(con.name)))
+
+    lines = [f"NAME {name or program.name}", "ROWS"]
+    for kind, row_name in rows:
+        lines.append(f" {kind} {row_name}")
+
+    lines.append("COLUMNS")
+    for variable in program.variables:
+        col = rename[variable]
+        coeff = program.objective.terms.get(variable)
+        if coeff:
+            lines.append(f" {col} COST {coeff:.12g}")
+        for con in program.constraints:
+            c = con.lhs.terms.get(variable)
+            if c:
+                lines.append(f" {col} {_clean(con.name)} {c:.12g}")
+
+    lines.append("RHS")
+    for con in program.constraints:
+        if con.rhs:
+            lines.append(f" RHS {_clean(con.name)} {con.rhs:.12g}")
+
+    free = sorted(rename[v] for v in program.free_variables)
+    if free:
+        lines.append("BOUNDS")
+        for v in free:
+            lines.append(f" FR BND {v}")
+    lines.append("ENDATA")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,42 @@
+"""A small circuit-description language and its parser.
+
+The paper's initial MLP implementation "incorporates a simple parser"
+(Section V); this package provides the equivalent: a compact text format
+(``.lcd`` -- latch-controlled circuit description) for clocks,
+synchronizers and combinational delay arcs, with a lexer, a
+recursive-descent parser producing :class:`repro.circuit.TimingGraph`
+objects, and a writer that round-trips graphs back to text.
+
+Example::
+
+    # Example 1 of the paper (Fig. 5)
+    clock { phase phi1; phase phi2; }
+    latch L1 phase phi1 setup 10 delay 10;
+    latch L2 phase phi2 setup 10 delay 10;
+    path L1 -> L2 delay 20 label "La";
+"""
+
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.ast import (
+    CircuitDecl,
+    ClockDecl,
+    PhaseDecl,
+    SyncDecl,
+    PathDecl,
+)
+from repro.lang.parser import parse_circuit, parse_file
+from repro.lang.writer import write_circuit
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "CircuitDecl",
+    "ClockDecl",
+    "PhaseDecl",
+    "SyncDecl",
+    "PathDecl",
+    "parse_circuit",
+    "parse_file",
+    "write_circuit",
+]

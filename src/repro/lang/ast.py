@@ -1,0 +1,98 @@
+"""AST node types for the ``.lcd`` circuit-description language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.graph import TimingGraph
+from repro.errors import ParseError
+
+
+@dataclass(frozen=True)
+class PhaseDecl:
+    """``phase <name> [start <t>] [width <t>];`` inside a clock block."""
+
+    name: str
+    start: float | None = None
+    width: float | None = None
+
+
+@dataclass(frozen=True)
+class ClockDecl:
+    """``clock { [period <t>;] phase ...; }``"""
+
+    phases: tuple[PhaseDecl, ...]
+    period: float | None = None
+
+
+@dataclass(frozen=True)
+class SyncDecl:
+    """``latch``/``flipflop`` declaration."""
+
+    kind: str  # "latch" or "flipflop"
+    name: str
+    phase: str
+    setup: float = 0.0
+    delay: float = 0.0
+    hold: float = 0.0
+    edge: str = "rise"  # flip-flops only
+
+
+@dataclass(frozen=True)
+class PathDecl:
+    """``path <src> -> <dst> delay <d> [min <d>] [label "<text>"];``"""
+
+    src: str
+    dst: str
+    delay: float
+    min_delay: float = 0.0
+    label: str = ""
+
+
+@dataclass
+class CircuitDecl:
+    """A parsed circuit description."""
+
+    clock: ClockDecl
+    syncs: list[SyncDecl] = field(default_factory=list)
+    paths: list[PathDecl] = field(default_factory=list)
+
+    def to_graph(self) -> TimingGraph:
+        """Build the :class:`TimingGraph`; raises on semantic errors."""
+        builder = CircuitBuilder([p.name for p in self.clock.phases])
+        for s in self.syncs:
+            if s.kind == "latch":
+                builder.latch(
+                    s.name, phase=s.phase, setup=s.setup, delay=s.delay, hold=s.hold
+                )
+            elif s.kind == "flipflop":
+                builder.flipflop(
+                    s.name,
+                    phase=s.phase,
+                    setup=s.setup,
+                    delay=s.delay,
+                    hold=s.hold,
+                    edge=s.edge,
+                )
+            else:  # pragma: no cover - parser only emits the two kinds
+                raise ParseError(f"unknown synchronizer kind {s.kind!r}")
+        for p in self.paths:
+            builder.path(p.src, p.dst, p.delay, min_delay=p.min_delay, label=p.label)
+        return builder.build()
+
+    def to_schedule(self):
+        """Build a :class:`~repro.clocking.ClockSchedule` when the clock is
+        fully specified (period plus every phase's start and width);
+        returns None for structural-only descriptions."""
+        from repro.clocking.phase import ClockPhase
+        from repro.clocking.schedule import ClockSchedule
+
+        if self.clock.period is None:
+            return None
+        phases = []
+        for p in self.clock.phases:
+            if p.start is None or p.width is None:
+                return None
+            phases.append(ClockPhase(p.name, p.start, p.width))
+        return ClockSchedule(self.clock.period, phases)

@@ -1,0 +1,135 @@
+"""Tokenizer for the ``.lcd`` circuit-description language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenKind(str, enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMI = ";"
+    ARROW = "->"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def number(self) -> float:
+        if self.kind is not TokenKind.NUMBER:
+            raise ParseError(
+                f"expected a number, got {self.text!r}", self.line, self.column
+            )
+        return float(self.text)
+
+
+_SINGLE = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ";": TokenKind.SEMI,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_./[]"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn source text into a token list ending with an EOF token.
+
+    Comments run from ``#`` (or ``//``) to end of line.  Numbers accept an
+    optional sign, decimal point and exponent.  Strings are double-quoted
+    with no escape processing (labels only).
+    """
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#" or text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line, col))
+            i += 1
+            col += 1
+            continue
+        if text.startswith("->", i):
+            tokens.append(Token(TokenKind.ARROW, "->", line, col))
+            i += 2
+            col += 2
+            continue
+        if ch == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise ParseError("unterminated string literal", line, col)
+            value = text[i + 1 : j]
+            if "\n" in value:
+                raise ParseError("newline inside string literal", line, col)
+            tokens.append(Token(TokenKind.STRING, value, line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")
+        ):
+            j = i
+            if text[j] in "+-":
+                j += 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            word = text[i:j]
+            try:
+                float(word)
+            except ValueError:
+                raise ParseError(f"malformed number {word!r}", line, col) from None
+            tokens.append(Token(TokenKind.NUMBER, word, line, col))
+            col += j - i
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, text[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,192 @@
+"""Recursive-descent parser for the ``.lcd`` circuit-description language.
+
+Grammar (informal)::
+
+    circuit   := clock ( sync | path )*
+    clock     := "clock" "{" ( "period" NUMBER ";" | phase )* "}"
+    phase     := "phase" IDENT [ "start" NUMBER ] [ "width" NUMBER ] ";"
+    sync      := ("latch" | "flipflop") IDENT "phase" IDENT attrs ";"
+    attrs     := ( "setup" NUMBER | "delay" NUMBER | "hold" NUMBER
+                 | "edge" ("rise"|"fall") )*
+    path      := "path" IDENT "->" IDENT "delay" NUMBER
+                 [ "min" NUMBER ] [ "label" STRING ] ";"
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ParseError
+from repro.lang.ast import CircuitDecl, ClockDecl, PathDecl, PhaseDecl, SyncDecl
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        tok = self.next()
+        if tok.kind is not kind:
+            raise ParseError(
+                f"expected {what}, got {tok.text!r}", tok.line, tok.column
+            )
+        return tok
+
+    def expect_keyword(self, word: str) -> Token:
+        tok = self.next()
+        if tok.kind is not TokenKind.IDENT or tok.text != word:
+            raise ParseError(
+                f"expected {word!r}, got {tok.text!r}", tok.line, tok.column
+            )
+        return tok
+
+    def at_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        return tok.kind is TokenKind.IDENT and tok.text == word
+
+    # -- grammar ---------------------------------------------------------
+    def circuit(self) -> CircuitDecl:
+        clock = self.clock()
+        decl = CircuitDecl(clock=clock)
+        while self.peek().kind is not TokenKind.EOF:
+            if self.at_keyword("latch") or self.at_keyword("flipflop"):
+                decl.syncs.append(self.sync())
+            elif self.at_keyword("path"):
+                decl.paths.append(self.path())
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"expected 'latch', 'flipflop' or 'path', got {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+        return decl
+
+    def clock(self) -> ClockDecl:
+        self.expect_keyword("clock")
+        self.expect(TokenKind.LBRACE, "'{'")
+        phases: list[PhaseDecl] = []
+        period: float | None = None
+        while self.peek().kind is not TokenKind.RBRACE:
+            if self.at_keyword("period"):
+                self.next()
+                period = self.expect(TokenKind.NUMBER, "a period value").number
+                self.expect(TokenKind.SEMI, "';'")
+            elif self.at_keyword("phase"):
+                phases.append(self.phase())
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"expected 'period' or 'phase', got {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+        self.expect(TokenKind.RBRACE, "'}'")
+        if not phases:
+            tok = self.peek()
+            raise ParseError("clock block declares no phases", tok.line, tok.column)
+        return ClockDecl(phases=tuple(phases), period=period)
+
+    def phase(self) -> PhaseDecl:
+        self.expect_keyword("phase")
+        name = self.expect(TokenKind.IDENT, "a phase name").text
+        start: float | None = None
+        width: float | None = None
+        while self.peek().kind is not TokenKind.SEMI:
+            if self.at_keyword("start"):
+                self.next()
+                start = self.expect(TokenKind.NUMBER, "a start time").number
+            elif self.at_keyword("width"):
+                self.next()
+                width = self.expect(TokenKind.NUMBER, "a width").number
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"expected 'start', 'width' or ';', got {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+        self.expect(TokenKind.SEMI, "';'")
+        return PhaseDecl(name=name, start=start, width=width)
+
+    def sync(self) -> SyncDecl:
+        kind = self.next().text  # "latch" or "flipflop"
+        name = self.expect(TokenKind.IDENT, "a synchronizer name").text
+        self.expect_keyword("phase")
+        phase = self.expect(TokenKind.IDENT, "a phase name").text
+        attrs = {"setup": 0.0, "delay": 0.0, "hold": 0.0}
+        edge = "rise"
+        while self.peek().kind is not TokenKind.SEMI:
+            tok = self.peek()
+            if tok.kind is TokenKind.IDENT and tok.text in attrs:
+                self.next()
+                attrs[tok.text] = self.expect(
+                    TokenKind.NUMBER, f"a {tok.text} value"
+                ).number
+            elif self.at_keyword("edge"):
+                if kind != "flipflop":
+                    raise ParseError(
+                        "'edge' only applies to flip-flops", tok.line, tok.column
+                    )
+                self.next()
+                edge_tok = self.expect(TokenKind.IDENT, "'rise' or 'fall'")
+                if edge_tok.text not in ("rise", "fall"):
+                    raise ParseError(
+                        f"edge must be 'rise' or 'fall', got {edge_tok.text!r}",
+                        edge_tok.line,
+                        edge_tok.column,
+                    )
+                edge = edge_tok.text
+            else:
+                raise ParseError(
+                    f"unexpected attribute {tok.text!r}", tok.line, tok.column
+                )
+        self.expect(TokenKind.SEMI, "';'")
+        return SyncDecl(kind=kind, name=name, phase=phase, edge=edge, **attrs)
+
+    def path(self) -> PathDecl:
+        self.expect_keyword("path")
+        src = self.expect(TokenKind.IDENT, "a source synchronizer").text
+        self.expect(TokenKind.ARROW, "'->'")
+        dst = self.expect(TokenKind.IDENT, "a destination synchronizer").text
+        self.expect_keyword("delay")
+        delay = self.expect(TokenKind.NUMBER, "a delay value").number
+        min_delay = 0.0
+        label = ""
+        while self.peek().kind is not TokenKind.SEMI:
+            if self.at_keyword("min"):
+                self.next()
+                min_delay = self.expect(TokenKind.NUMBER, "a min delay").number
+            elif self.at_keyword("label"):
+                self.next()
+                label = self.expect(TokenKind.STRING, "a label string").text
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"unexpected attribute {tok.text!r}", tok.line, tok.column
+                )
+        self.expect(TokenKind.SEMI, "';'")
+        return PathDecl(src=src, dst=dst, delay=delay, min_delay=min_delay, label=label)
+
+
+def parse_circuit(text: str) -> CircuitDecl:
+    """Parse source text into a :class:`CircuitDecl`."""
+    return _Parser(tokenize(text)).circuit()
+
+
+def parse_file(path: str | os.PathLike) -> CircuitDecl:
+    """Parse a ``.lcd`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_circuit(handle.read())

@@ -1,0 +1,58 @@
+"""Serialize circuits (and optional schedules) back to ``.lcd`` text.
+
+``parse_circuit(write_circuit(graph)).to_graph()`` reproduces the original
+graph exactly -- the round-trip property tests rely on it.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.elements import FlipFlop
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+
+
+def _fmt(x: float) -> str:
+    # repr() emits the shortest decimal string that round-trips the float
+    # exactly, which the write/parse round-trip property relies on.
+    return repr(float(x))
+
+
+def write_circuit(
+    graph: TimingGraph, schedule: ClockSchedule | None = None
+) -> str:
+    """Render a :class:`TimingGraph` (plus optional clock values) as text."""
+    lines: list[str] = ["clock {"]
+    if schedule is not None:
+        lines.append(f"  period {_fmt(schedule.period)};")
+        for p in schedule.phases:
+            lines.append(
+                f"  phase {p.name} start {_fmt(p.start)} width {_fmt(p.width)};"
+            )
+    else:
+        for name in graph.phase_names:
+            lines.append(f"  phase {name};")
+    lines.append("}")
+
+    for sync in graph.synchronizers:
+        parts = []
+        if isinstance(sync, FlipFlop):
+            parts.append(f"flipflop {sync.name} phase {sync.phase}")
+            parts.append(f"edge {sync.edge.value}")
+        else:
+            parts.append(f"latch {sync.name} phase {sync.phase}")
+        if sync.setup:
+            parts.append(f"setup {_fmt(sync.setup)}")
+        if sync.delay:
+            parts.append(f"delay {_fmt(sync.delay)}")
+        if sync.hold:
+            parts.append(f"hold {_fmt(sync.hold)}")
+        lines.append(" ".join(parts) + ";")
+
+    for arc in graph.arcs:
+        parts = [f"path {arc.src} -> {arc.dst} delay {_fmt(arc.delay)}"]
+        if arc.min_delay:
+            parts.append(f"min {_fmt(arc.min_delay)}")
+        if arc.label:
+            parts.append(f'label "{arc.label}"')
+        lines.append(" ".join(parts) + ";")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,40 @@
+"""A small linear-programming toolkit.
+
+The paper's MLP algorithm reduces optimal cycle-time calculation to a
+linear program whose constraint matrix is purely topological (entries in
+{0, +1, -1}).  This package provides everything needed to state and solve
+such programs:
+
+* :mod:`repro.lp.expr` -- symbolic linear expressions over named variables;
+* :mod:`repro.lp.model` -- an LP model (objective, constraints, bounds);
+* :mod:`repro.lp.simplex` -- a dense two-phase simplex solver written from
+  scratch, mirroring the "dense-matrix LP solver which implements the
+  standard simplex algorithm" of the paper's initial implementation;
+* :mod:`repro.lp.scipy_backend` -- an optional cross-checking backend on
+  top of :func:`scipy.optimize.linprog`;
+* :mod:`repro.lp.sensitivity` -- binding-constraint and shadow-price
+  reporting used for critical-segment analysis (Section V).
+"""
+
+from repro.lp.expr import LinExpr, var
+from repro.lp.model import Constraint, LinearProgram, Sense
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import SimplexOptions, solve_simplex
+from repro.lp.backends import available_backends, solve
+from repro.lp.sensitivity import SensitivityReport, sensitivity
+
+__all__ = [
+    "LinExpr",
+    "var",
+    "Constraint",
+    "LinearProgram",
+    "Sense",
+    "LPResult",
+    "LPStatus",
+    "SimplexOptions",
+    "solve_simplex",
+    "available_backends",
+    "solve",
+    "SensitivityReport",
+    "sensitivity",
+]

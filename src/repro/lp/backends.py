@@ -1,0 +1,44 @@
+"""Backend registry: route LPs to the simplex or the scipy solver."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SolverError
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPResult
+from repro.lp.scipy_backend import HAVE_SCIPY, solve_scipy
+from repro.lp.simplex import solve_simplex
+
+#: Name of the backend used when the caller does not specify one.
+DEFAULT_BACKEND = "simplex"
+
+_BACKENDS: dict[str, Callable[[LinearProgram], LPResult]] = {
+    "simplex": solve_simplex,
+}
+if HAVE_SCIPY:
+    _BACKENDS["scipy"] = solve_scipy
+
+
+def available_backends() -> list[str]:
+    """Names of all usable LP backends."""
+    return sorted(_BACKENDS)
+
+
+def register_backend(
+    name: str, solver: Callable[[LinearProgram], LPResult]
+) -> None:
+    """Register a custom solver callable under ``name``."""
+    _BACKENDS[name] = solver
+
+
+def solve(program: LinearProgram, backend: str | None = None) -> LPResult:
+    """Solve a program with the named backend (default: from-scratch simplex)."""
+    name = backend or DEFAULT_BACKEND
+    try:
+        solver = _BACKENDS[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown LP backend {name!r}; available: {available_backends()}"
+        ) from None
+    return solver(program)

@@ -1,0 +1,162 @@
+"""Immutable linear expressions over named variables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Union
+
+Number = Union[int, float]
+
+#: Coefficients whose magnitude falls below this are dropped.
+_COEFF_EPS = 0.0  # exact arithmetic on user-supplied coefficients
+
+
+class LinExpr:
+    """A linear expression ``sum(coeff_i * var_i) + constant``.
+
+    Instances are immutable and support ``+``, ``-``, multiplication and
+    division by scalars, and comparison helpers used by
+    :class:`repro.lp.model.LinearProgram`.
+    """
+
+    __slots__ = ("_terms", "_constant")
+
+    def __init__(self, terms: Mapping[str, float] | None = None, constant: float = 0.0):
+        clean: dict[str, float] = {}
+        if terms:
+            for name, coeff in terms.items():
+                c = float(coeff)
+                if c != _COEFF_EPS:
+                    clean[name] = c
+        self._terms = clean
+        self._constant = float(constant)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def terms(self) -> dict[str, float]:
+        return dict(self._terms)
+
+    @property
+    def constant(self) -> float:
+        return self._constant
+
+    @property
+    def variables(self) -> set[str]:
+        return set(self._terms)
+
+    def coefficient(self, name: str) -> float:
+        return self._terms.get(name, 0.0)
+
+    def is_constant(self) -> bool:
+        return not self._terms
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Evaluate at a point; missing variables are an error."""
+        total = self._constant
+        for name, coeff in self._terms.items():
+            total += coeff * assignment[name]
+        return total
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _combine(self, other: "LinExpr | Number", sign: float) -> "LinExpr":
+        other_expr = as_expr(other)
+        terms = dict(self._terms)
+        for name, coeff in other_expr._terms.items():
+            terms[name] = terms.get(name, 0.0) + sign * coeff
+            if terms[name] == 0.0:
+                del terms[name]
+        return LinExpr(terms, self._constant + sign * other_expr._constant)
+
+    def __add__(self, other: "LinExpr | Number") -> "LinExpr":
+        return self._combine(other, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "LinExpr | Number") -> "LinExpr":
+        return self._combine(other, -1.0)
+
+    def __rsub__(self, other: "LinExpr | Number") -> "LinExpr":
+        return as_expr(other)._combine(self, -1.0)
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if isinstance(scalar, LinExpr):
+            raise TypeError("cannot multiply two linear expressions")
+        s = float(scalar)
+        return LinExpr(
+            {n: c * s for n, c in self._terms.items()}, self._constant * s
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        return self * (1.0 / float(scalar))
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __pos__(self) -> "LinExpr":
+        return self
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name in sorted(self._terms):
+            coeff = self._terms[name]
+            if coeff == 1.0:
+                text = name
+            elif coeff == -1.0:
+                text = f"-{name}"
+            else:
+                text = f"{coeff:g}*{name}"
+            if parts and not text.startswith("-"):
+                parts.append(f"+ {text}")
+            elif parts:
+                parts.append(f"- {text[1:]}")
+            else:
+                parts.append(text)
+        if self._constant or not parts:
+            c = self._constant
+            if parts:
+                parts.append(f"+ {c:g}" if c >= 0 else f"- {-c:g}")
+            else:
+                parts.append(f"{c:g}")
+        return " ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (LinExpr, int, float)):
+            return NotImplemented
+        o = as_expr(other)
+        return self._terms == o._terms and self._constant == o._constant
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._terms.items()), self._constant))
+
+
+def var(name: str) -> LinExpr:
+    """A linear expression consisting of a single variable."""
+    if not name:
+        raise ValueError("variable name must be non-empty")
+    return LinExpr({name: 1.0})
+
+
+def as_expr(value: "LinExpr | Number") -> LinExpr:
+    """Coerce a number to a constant expression; pass expressions through."""
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr({}, float(value))
+
+
+def linear_sum(exprs: Iterable["LinExpr | Number"]) -> LinExpr:
+    """Sum an iterable of expressions/numbers into one expression."""
+    total = LinExpr()
+    for e in exprs:
+        total = total + e
+    return total

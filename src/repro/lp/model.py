@@ -1,0 +1,252 @@
+"""The linear-program model: objective, constraints and variable bounds."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import LPError
+from repro.lp.expr import LinExpr, Number, as_expr
+
+
+class Sense(str, enum.Enum):
+    """Direction of a linear constraint ``lhs (sense) rhs``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named linear constraint ``lhs (sense) rhs``."""
+
+    name: str
+    lhs: LinExpr
+    sense: Sense
+    rhs: float
+
+    def normalized(self) -> "Constraint":
+        """Move any constant from the lhs into the rhs."""
+        if self.lhs.constant == 0.0:
+            return self
+        return Constraint(
+            self.name,
+            self.lhs - self.lhs.constant,
+            self.sense,
+            self.rhs - self.lhs.constant,
+        )
+
+    def violation(self, assignment: Mapping[str, float]) -> float:
+        """How much the constraint is violated at a point (0 if satisfied)."""
+        value = self.lhs.evaluate(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, value - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - value)
+        return abs(value - self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.lhs} {self.sense.value} {self.rhs:g}"
+
+
+class LinearProgram:
+    """A minimization LP over named, nonnegative-by-default variables.
+
+    Variables spring into existence when first referenced.  By default every
+    variable is bounded below by 0 (all the paper's LP variables --
+    ``Tc, s_i, T_i, D_i`` -- are nonnegative); :meth:`set_free` lifts that
+    bound for the occasional unrestricted variable.
+    """
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self._objective = LinExpr()
+        self._constraints: list[Constraint] = []
+        self._constraint_names: set[str] = set()
+        self._free: set[str] = set()
+        self._declared: dict[str, None] = {}  # insertion-ordered variable set
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def minimize(self, objective: LinExpr | Number) -> None:
+        self._objective = as_expr(objective)
+        self._touch(self._objective)
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    def add(
+        self,
+        lhs: LinExpr | Number,
+        sense: Sense | str,
+        rhs: LinExpr | Number = 0.0,
+        name: str | None = None,
+    ) -> Constraint:
+        """Add ``lhs (sense) rhs``; either side may be an expression.
+
+        The constraint is normalized so all variables sit on the left and a
+        bare constant on the right.
+        """
+        lhs_e, rhs_e = as_expr(lhs), as_expr(rhs)
+        moved = lhs_e - rhs_e
+        constraint = Constraint(
+            name=name or f"c{len(self._constraints)}",
+            lhs=moved - moved.constant,
+            sense=Sense(sense),
+            rhs=-moved.constant,
+        )
+        if constraint.name in self._constraint_names:
+            raise LPError(f"duplicate constraint name {constraint.name!r}")
+        self._constraint_names.add(constraint.name)
+        self._constraints.append(constraint)
+        self._touch(constraint.lhs)
+        return constraint
+
+    def add_le(self, lhs, rhs, name: str | None = None) -> Constraint:
+        return self.add(lhs, Sense.LE, rhs, name=name)
+
+    def add_ge(self, lhs, rhs, name: str | None = None) -> Constraint:
+        return self.add(lhs, Sense.GE, rhs, name=name)
+
+    def add_eq(self, lhs, rhs, name: str | None = None) -> Constraint:
+        return self.add(lhs, Sense.EQ, rhs, name=name)
+
+    def declare(self, name: str) -> None:
+        """Register a variable even if no constraint mentions it yet."""
+        self._declared.setdefault(name, None)
+
+    def set_free(self, name: str) -> None:
+        """Mark a variable as unrestricted in sign."""
+        self.declare(name)
+        self._free.add(name)
+
+    def _touch(self, expr: LinExpr) -> None:
+        for v in expr.terms:
+            self._declared.setdefault(v, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """All variables, in order of first appearance."""
+        return tuple(self._declared)
+
+    @property
+    def free_variables(self) -> frozenset[str]:
+        return frozenset(self._free)
+
+    def constraint(self, name: str) -> Constraint:
+        for c in self._constraints:
+            if c.name == name:
+                return c
+        raise LPError(f"no constraint named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __str__(self) -> str:
+        lines = [f"minimize {self._objective}", "subject to:"]
+        lines.extend(f"  {c}" for c in self._constraints)
+        if self._free:
+            lines.append(f"free: {', '.join(sorted(self._free))}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Matrix form
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> "LPArrays":
+        """Dense matrix form, keeping <=, >= and == rows separate."""
+        variables = list(self._declared)
+        index = {v: i for i, v in enumerate(variables)}
+        n = len(variables)
+        c = np.zeros(n)
+        for v, coeff in self._objective.terms.items():
+            c[index[v]] = coeff
+
+        rows = {Sense.LE: [], Sense.GE: [], Sense.EQ: []}
+        rhs = {Sense.LE: [], Sense.GE: [], Sense.EQ: []}
+        names = {Sense.LE: [], Sense.GE: [], Sense.EQ: []}
+        for con in self._constraints:
+            row = np.zeros(n)
+            for v, coeff in con.lhs.terms.items():
+                row[index[v]] = coeff
+            rows[con.sense].append(row)
+            rhs[con.sense].append(con.rhs)
+            names[con.sense].append(con.name)
+
+        def stack(sense: Sense) -> tuple[np.ndarray, np.ndarray]:
+            if rows[sense]:
+                return np.vstack(rows[sense]), np.asarray(rhs[sense])
+            return np.zeros((0, n)), np.zeros(0)
+
+        a_le, b_le = stack(Sense.LE)
+        a_ge, b_ge = stack(Sense.GE)
+        a_eq, b_eq = stack(Sense.EQ)
+        return LPArrays(
+            variables=variables,
+            c=c,
+            objective_constant=self._objective.constant,
+            a_le=a_le,
+            b_le=b_le,
+            names_le=list(names[Sense.LE]),
+            a_ge=a_ge,
+            b_ge=b_ge,
+            names_ge=list(names[Sense.GE]),
+            a_eq=a_eq,
+            b_eq=b_eq,
+            names_eq=list(names[Sense.EQ]),
+            free=[v in self._free for v in variables],
+        )
+
+    def check_topological(self) -> bool:
+        """True if every constraint coefficient is 0 or +/-1.
+
+        Section VI observes that the SMO constraint matrix is exclusively
+        topological; the core constraint generator asserts this property.
+        """
+        for con in self._constraints:
+            for coeff in con.lhs.terms.values():
+                if coeff not in (1.0, -1.0):
+                    return False
+        return True
+
+
+@dataclass
+class LPArrays:
+    """Dense matrix view of a :class:`LinearProgram`."""
+
+    variables: list[str]
+    c: np.ndarray
+    objective_constant: float
+    a_le: np.ndarray
+    b_le: np.ndarray
+    names_le: list[str]
+    a_ge: np.ndarray
+    b_ge: np.ndarray
+    names_ge: list[str]
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    names_eq: list[str]
+    free: list[bool]
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.names_le) + len(self.names_ge) + len(self.names_eq)

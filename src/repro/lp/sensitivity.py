@@ -1,0 +1,105 @@
+"""Shadow-price and binding-constraint reporting.
+
+Section V of the paper points out that the criticality of combinational
+delay *segments* "are directly related to associated slack variables in the
+inequality constraints", and Section VI proposes parametric programming to
+study the effect of delay changes.  This module extracts that information
+from a solved LP: which constraints are binding, what their shadow prices
+are, and a finite-difference rhs-ranging helper that re-solves the program
+to measure the true sensitivity of the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import LPError
+from repro.lp.model import Constraint, LinearProgram
+from repro.lp.result import LPResult
+
+
+@dataclass(frozen=True)
+class ConstraintSensitivity:
+    """Sensitivity record for one constraint at the LP optimum."""
+
+    name: str
+    binding: bool
+    slack: float
+    dual: float
+
+
+@dataclass
+class SensitivityReport:
+    """Per-constraint sensitivities at an LP optimum."""
+
+    entries: dict[str, ConstraintSensitivity]
+
+    @property
+    def binding(self) -> list[str]:
+        return [name for name, e in self.entries.items() if e.binding]
+
+    @property
+    def nonbinding(self) -> list[str]:
+        return [name for name, e in self.entries.items() if not e.binding]
+
+    def critical(self, tol: float = 1e-7) -> list[str]:
+        """Constraints that are binding *and* carry a nonzero shadow price.
+
+        These are the paper's critical segments: relaxing any of them by one
+        unit changes the optimal cycle time by its dual value.
+        """
+        return [
+            name
+            for name, e in self.entries.items()
+            if e.binding and abs(e.dual) > tol
+        ]
+
+    def __str__(self) -> str:
+        lines = ["constraint                     slack      dual  binding"]
+        for name, e in sorted(self.entries.items()):
+            lines.append(
+                f"{name:<28} {e.slack:>9.4g} {e.dual:>9.4g}  {'*' if e.binding else ''}"
+            )
+        return "\n".join(lines)
+
+
+def sensitivity(
+    program: LinearProgram, result: LPResult, tol: float = 1e-7
+) -> SensitivityReport:
+    """Build a :class:`SensitivityReport` from a solved program."""
+    if not result.ok:
+        raise LPError(f"cannot analyze a {result.status.value} result")
+    entries = {}
+    for con in program.constraints:
+        slack = result.slacks.get(con.name, float("nan"))
+        dual = result.duals.get(con.name, 0.0)
+        entries[con.name] = ConstraintSensitivity(
+            name=con.name,
+            binding=abs(slack) <= tol,
+            slack=slack,
+            dual=dual,
+        )
+    return SensitivityReport(entries)
+
+
+def rhs_ranging(
+    program_factory: Callable[[float], LinearProgram],
+    solve: Callable[[LinearProgram], LPResult],
+    at: float,
+    step: float = 1e-4,
+) -> float:
+    """Finite-difference derivative of the optimum w.r.t. a parameter.
+
+    ``program_factory(value)`` must rebuild the LP with the parameter set to
+    ``value``.  Used by tests to validate reported duals: the measured slope
+    must match the shadow price of the perturbed constraint.
+    """
+    lo = solve(program_factory(at - step)).raise_for_status().objective
+    hi = solve(program_factory(at + step)).raise_for_status().objective
+    return (hi - lo) / (2 * step)
+
+
+def perturbed(constraint: Constraint, delta: float) -> Constraint:
+    """A copy of ``constraint`` with its rhs shifted by ``delta``."""
+    return Constraint(constraint.name, constraint.lhs, constraint.sense, constraint.rhs + delta)

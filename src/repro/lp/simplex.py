@@ -1,0 +1,309 @@
+"""A dense two-phase primal simplex solver.
+
+This mirrors the solver in the paper's initial MLP implementation: "a
+dense-matrix LP solver which implements the standard simplex algorithm"
+(Section V).  It is self-contained (numpy only) and returns primal values,
+duals and an iteration count.
+
+The implementation keeps a full tableau.  Pivoting uses Dantzig's rule for
+speed and falls back to Bland's anti-cycling rule after a run of degenerate
+pivots, which guarantees termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPResult, LPStatus, attach_slacks
+
+
+@dataclass(frozen=True)
+class SimplexOptions:
+    """Tuning knobs for :func:`solve_simplex`."""
+
+    tol: float = 1e-9
+    max_iterations: int = 100_000
+    #: switch from Dantzig's rule to Bland's rule after this many consecutive
+    #: degenerate pivots (prevents cycling while keeping typical speed).
+    bland_after: int = 50
+
+
+class _StandardForm:
+    """min c'x  s.t.  Ax = b (b >= 0), x >= 0, built from a LinearProgram."""
+
+    def __init__(self, program: LinearProgram):
+        arrays = program.to_arrays()
+        self.program = program
+        n_orig = arrays.n_variables
+
+        # Split free variables into positive and negative parts.
+        self.var_names = list(arrays.variables)
+        self.pos_col = list(range(n_orig))
+        self.neg_col = [-1] * n_orig
+        extra_cols = []
+        for idx, free in enumerate(arrays.free):
+            if free:
+                self.neg_col[idx] = n_orig + len(extra_cols)
+                extra_cols.append(idx)
+
+        blocks = []
+        senses = []
+        rhs = []
+        self.row_names: list[str] = []
+        for a, b, names, sense in (
+            (arrays.a_le, arrays.b_le, arrays.names_le, "<="),
+            (arrays.a_ge, arrays.b_ge, arrays.names_ge, ">="),
+            (arrays.a_eq, arrays.b_eq, arrays.names_eq, "=="),
+        ):
+            for row, bi, name in zip(a, b, names):
+                blocks.append(row)
+                senses.append(sense)
+                rhs.append(bi)
+                self.row_names.append(name)
+
+        m = len(blocks)
+        a_orig = np.vstack(blocks) if m else np.zeros((0, n_orig))
+        b_vec = np.asarray(rhs, dtype=float)
+
+        # Structural columns: originals, negative parts of free vars, slacks.
+        n_slack = sum(1 for s in senses if s != "==")
+        n_struct = n_orig + len(extra_cols) + n_slack
+        a = np.zeros((m, n_struct))
+        a[:, :n_orig] = a_orig
+        for k, orig_idx in enumerate(extra_cols):
+            a[:, n_orig + k] = -a_orig[:, orig_idx]
+
+        self.slack_col_of_row = [-1] * m
+        col = n_orig + len(extra_cols)
+        for i, sense in enumerate(senses):
+            if sense == "<=":
+                a[i, col] = 1.0
+                self.slack_col_of_row[i] = col
+                col += 1
+            elif sense == ">=":
+                a[i, col] = -1.0
+                self.slack_col_of_row[i] = col
+                col += 1
+
+        # Normalize to b >= 0, remembering the sign flips for dual recovery.
+        self.row_sign = np.ones(m)
+        for i in range(m):
+            if b_vec[i] < 0:
+                a[i, :] *= -1.0
+                b_vec[i] *= -1.0
+                self.row_sign[i] = -1.0
+
+        c = np.zeros(n_struct)
+        c[:n_orig] = arrays.c
+        for k, orig_idx in enumerate(extra_cols):
+            c[n_orig + k] = -arrays.c[orig_idx]
+
+        self.a = a
+        self.b = b_vec
+        self.c = c
+        self.m = m
+        self.n_struct = n_struct
+        self.objective_constant = arrays.objective_constant
+
+    def recover_values(self, x: np.ndarray) -> dict[str, float]:
+        values: dict[str, float] = {}
+        for idx, name in enumerate(self.var_names):
+            v = x[self.pos_col[idx]]
+            if self.neg_col[idx] >= 0:
+                v -= x[self.neg_col[idx]]
+            values[name] = float(v)
+        return values
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    tableau[row, :] /= tableau[row, col]
+    pivot_row = tableau[row, :]
+    for r in range(tableau.shape[0]):
+        if r != row and tableau[r, col] != 0.0:
+            tableau[r, :] -= tableau[r, col] * pivot_row
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    costs: np.ndarray,
+    allowed: np.ndarray,
+    options: SimplexOptions,
+) -> tuple[str, int]:
+    """Optimize min costs'x over the tableau; returns (status, iterations).
+
+    ``tableau`` is (m, n+1) with the rhs in the last column; ``basis`` holds
+    the basic column of each row; ``allowed`` masks columns eligible to
+    enter (used to keep artificials out during phase 2).
+    """
+    m, n_plus = tableau.shape
+    n = n_plus - 1
+    tol = options.tol
+    iterations = 0
+    degenerate_run = 0
+
+    while True:
+        if iterations >= options.max_iterations:
+            raise SolverError(
+                f"simplex exceeded {options.max_iterations} iterations"
+            )
+        # Reduced costs: z_j - c_j = c_B B^-1 a_j - c_j; with the tableau in
+        # canonical form, compute via the basic costs.
+        cb = costs[basis]
+        reduced = costs[:n] - cb @ tableau[:, :n]
+        reduced[~allowed[:n]] = np.inf  # never enter disallowed columns
+        reduced[basis] = np.inf  # basic columns have zero reduced cost
+
+        use_bland = degenerate_run >= options.bland_after
+        candidates = np.where(reduced < -tol)[0]
+        if candidates.size == 0:
+            return "optimal", iterations
+        if use_bland:
+            col = int(candidates[0])
+        else:
+            col = int(candidates[np.argmin(reduced[candidates])])
+
+        column = tableau[:, col]
+        positive = column > tol
+        if not positive.any():
+            return "unbounded", iterations
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[positive, n] / column[positive]
+        best = ratios.min()
+        # Tie-break on the smallest basis index (Bland-compatible).
+        tied = np.where(ratios <= best + tol)[0]
+        row = int(tied[np.argmin(basis[tied])])
+
+        degenerate_run = degenerate_run + 1 if best <= tol else 0
+        _pivot(tableau, basis, row, col)
+        iterations += 1
+
+
+def solve_simplex(
+    program: LinearProgram, options: SimplexOptions | None = None
+) -> LPResult:
+    """Solve a :class:`LinearProgram` with the two-phase simplex method."""
+    options = options or SimplexOptions()
+    sf = _StandardForm(program)
+    m, n = sf.m, sf.n_struct
+    tol = options.tol
+
+    if m == 0:
+        # No constraints: optimum is 0 for all nonnegative variables (any
+        # negative cost coefficient would make the problem unbounded).
+        if np.any(sf.c < -tol):
+            return LPResult(status=LPStatus.UNBOUNDED, backend="simplex")
+        values = sf.recover_values(np.zeros(n))
+        result = LPResult(
+            status=LPStatus.OPTIMAL,
+            objective=sf.objective_constant,
+            values=values,
+            duals={},
+            backend="simplex",
+        )
+        return attach_slacks(result, program)
+
+    # ------------------------------------------------------------------
+    # Phase 1: find a basic feasible solution using artificial variables.
+    # Rows whose slack column enters with +1 (<= rows with b >= 0 that were
+    # not sign-flipped) can use the slack directly; others get an artificial.
+    # ------------------------------------------------------------------
+    artificial_rows = []
+    basis = np.full(m, -1, dtype=int)
+    for i in range(m):
+        sc = sf.slack_col_of_row[i]
+        if sc >= 0 and sf.a[i, sc] == 1.0:
+            basis[i] = sc
+        else:
+            artificial_rows.append(i)
+
+    n_art = len(artificial_rows)
+    total = n + n_art
+    tableau = np.zeros((m, total + 1))
+    tableau[:, :n] = sf.a
+    tableau[:, total] = sf.b
+    for k, i in enumerate(artificial_rows):
+        tableau[i, n + k] = 1.0
+        basis[i] = n + k
+
+    iterations = 0
+    if n_art:
+        phase1_costs = np.zeros(total)
+        phase1_costs[n:] = 1.0
+        # Canonicalize: zero out reduced costs of the basic artificials by
+        # running the optimization (the driver computes reduced costs from
+        # the basis directly, so no explicit canonicalization is needed).
+        allowed = np.ones(total, dtype=bool)
+        status, it1 = _run_simplex(tableau, basis, phase1_costs, allowed, options)
+        iterations += it1
+        if status != "optimal":  # pragma: no cover - phase 1 is never unbounded
+            raise SolverError(f"phase 1 ended with status {status}")
+        infeasibility = float(phase1_costs[basis] @ tableau[:, total])
+        if infeasibility > 1e-7:
+            return LPResult(
+                status=LPStatus.INFEASIBLE,
+                iterations=iterations,
+                backend="simplex",
+            )
+        # Drive any remaining zero-level artificials out of the basis.
+        for i in range(m):
+            if basis[i] >= n:
+                pivot_col = -1
+                for j in range(n):
+                    if abs(tableau[i, j]) > tol:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    _pivot(tableau, basis, i, pivot_col)
+                # else: the row is redundant; the artificial stays basic at 0.
+
+    # ------------------------------------------------------------------
+    # Phase 2: optimize the true objective with artificials locked out.
+    # ------------------------------------------------------------------
+    phase2_costs = np.zeros(total)
+    phase2_costs[:n] = sf.c
+    allowed = np.zeros(total, dtype=bool)
+    allowed[:n] = True
+    status, it2 = _run_simplex(tableau, basis, phase2_costs, allowed, options)
+    iterations += it2
+    if status == "unbounded":
+        return LPResult(
+            status=LPStatus.UNBOUNDED, iterations=iterations, backend="simplex"
+        )
+
+    x = np.zeros(total)
+    x[basis] = tableau[:, total]
+    objective = float(sf.c @ x[:n]) + sf.objective_constant
+    values = sf.recover_values(x[:n])
+
+    # Duals: solve B'y = c_B against the *original* standard-form columns.
+    columns = np.zeros((m, m))
+    cb = np.zeros(m)
+    full_a = np.hstack([sf.a, np.zeros((m, n_art))])
+    for k, i in enumerate(artificial_rows):
+        full_a[i, n + k] = 1.0
+    for r in range(m):
+        columns[:, r] = full_a[:, basis[r]]
+        cb[r] = phase2_costs[basis[r]]
+    try:
+        y = np.linalg.solve(columns.T, cb)
+    except np.linalg.LinAlgError:  # pragma: no cover - basis is nonsingular
+        y = np.linalg.lstsq(columns.T, cb, rcond=None)[0]
+    duals = {
+        name: float(y[i] * sf.row_sign[i]) for i, name in enumerate(sf.row_names)
+    }
+
+    result = LPResult(
+        status=LPStatus.OPTIMAL,
+        objective=objective,
+        values=values,
+        duals=duals,
+        iterations=iterations,
+        backend="simplex",
+    )
+    return attach_slacks(result, program)

@@ -1,0 +1,31 @@
+"""Max-plus fixpoint machinery for the latch propagation constraints.
+
+With the clock variables held fixed, the paper's propagation constraints L2
+(eq. 17) form a max-plus system
+
+    D_i = max(floor_i, max_j (D_j + w_ji))
+
+whose arc weights ``w_ji = Delta_DQj + Delta_ji + S_{pj pi}`` are constants.
+This package computes fixpoints of such systems three ways (Jacobi -- the
+paper's Algorithm MLP steps 3-5; Gauss-Seidel; event-driven worklist -- the
+paper's suggested enhancement) and detects the positive-weight cycles that
+signal an unclockable schedule.
+"""
+
+from repro.maxplus.system import MaxPlusSystem, WeightedArc
+from repro.maxplus.fixpoint import (
+    FixpointResult,
+    least_fixpoint,
+    slide,
+)
+from repro.maxplus.cycles import find_positive_cycle, max_cycle_weight
+
+__all__ = [
+    "MaxPlusSystem",
+    "WeightedArc",
+    "FixpointResult",
+    "least_fixpoint",
+    "slide",
+    "find_positive_cycle",
+    "max_cycle_weight",
+]

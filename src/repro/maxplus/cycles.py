@@ -1,0 +1,87 @@
+"""Positive-cycle detection in max-plus dependency graphs.
+
+A fixpoint of ``D = max(floor, max(D_src + w))`` exists if and only if
+every cycle of the (non-frozen) dependency graph has total weight <= 0.
+A positive cycle means signals around some latch loop get strictly later
+every time around -- under the given clock schedule the circuit cannot
+settle into a periodic steady state.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.maxplus.system import MaxPlusSystem
+
+
+def _cycle_graph(system: MaxPlusSystem) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(n for n in system.nodes if n not in system.frozen)
+    for arc in system.arcs:
+        if arc.src in system.frozen or arc.dst in system.frozen:
+            continue  # frozen nodes never propagate increases
+        if g.has_edge(arc.src, arc.dst):
+            # Parallel dependencies: the heavier one dominates in max-plus.
+            g[arc.src][arc.dst]["weight"] = max(
+                g[arc.src][arc.dst]["weight"], arc.weight
+            )
+        else:
+            g.add_edge(arc.src, arc.dst, weight=arc.weight)
+    return g
+
+
+def max_cycle_weight(system: MaxPlusSystem) -> float:
+    """The maximum total weight over all simple cycles (-inf if acyclic)."""
+    g = _cycle_graph(system)
+    best = float("-inf")
+    for cycle in nx.simple_cycles(g):
+        closed = cycle + [cycle[0]]
+        weight = sum(
+            g[a][b]["weight"] for a, b in zip(closed, closed[1:])
+        )
+        best = max(best, weight)
+    return best
+
+
+def find_positive_cycle(
+    system: MaxPlusSystem, tol: float = 1e-9
+) -> list[str] | None:
+    """Return the node sequence of some positive-weight cycle, or None.
+
+    Uses longest-path Bellman-Ford relaxation with predecessor tracing; a
+    node still relaxing after |V| rounds lies on (or is reachable from) a
+    positive cycle, which is then recovered by walking predecessors.
+    """
+    g = _cycle_graph(system)
+    nodes = list(g.nodes)
+    if not nodes:
+        return None
+    dist = {n: 0.0 for n in nodes}
+    pred: dict[str, str | None] = {n: None for n in nodes}
+    flagged: str | None = None
+    for round_idx in range(len(nodes) + 1):
+        changed = False
+        for a, b, data in g.edges(data=True):
+            cand = dist[a] + data["weight"]
+            if cand > dist[b] + tol:
+                dist[b] = cand
+                pred[b] = a
+                changed = True
+                if round_idx == len(nodes):
+                    flagged = b
+        if not changed:
+            return None
+    if flagged is None:  # pragma: no cover - changed implies flagged on last round
+        return None
+    # Walk back |V| steps to guarantee we are inside the cycle, then trace it.
+    node = flagged
+    for _ in range(len(nodes)):
+        node = pred[node]  # type: ignore[assignment]
+    start = node
+    cycle = [start]
+    node = pred[start]
+    while node != start:
+        cycle.append(node)  # type: ignore[arg-type]
+        node = pred[node]  # type: ignore[index]
+    cycle.reverse()
+    return cycle

@@ -1,0 +1,203 @@
+"""Fixpoint computation for max-plus systems.
+
+Two entry points:
+
+* :func:`least_fixpoint` -- compute the least fixpoint from below
+  (Bellman-Ford style; exact, terminates in at most ``|V|`` rounds, detects
+  divergence).  This is the physically meaningful solution: the earliest
+  periodic departure times under a fixed clock schedule.
+* :func:`slide` -- the paper's Algorithm MLP steps 3-5: start from a point
+  that satisfies the *relaxed* constraints (e.g. an LP optimum, which is a
+  pre-fixed point) and repeatedly apply the update map, "sliding" departure
+  times toward the time origin until the max constraints hold with equality.
+
+Both support Jacobi (the paper's listing), Gauss-Seidel, and event-driven
+worklist iteration (the paper's suggested enhancement).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import AnalysisError, DivergentTimingError
+from repro.maxplus.cycles import find_positive_cycle
+from repro.maxplus.system import MaxPlusSystem
+
+_METHODS = ("jacobi", "gauss-seidel", "event")
+
+
+@dataclass
+class FixpointResult:
+    """Fixpoint values plus convergence bookkeeping.
+
+    ``iterations`` counts full sweeps for the Jacobi/Gauss-Seidel methods
+    and individual node updates for the event-driven method.
+    """
+
+    values: dict[str, float]
+    iterations: int
+    method: str
+    converged: bool = True
+
+
+def _check_method(method: str) -> None:
+    if method not in _METHODS:
+        raise AnalysisError(
+            f"unknown iteration method {method!r}; choose from {_METHODS}"
+        )
+
+
+def least_fixpoint(
+    system: MaxPlusSystem,
+    method: str = "event",
+    tol: float = 1e-9,
+) -> FixpointResult:
+    """Least fixpoint of ``D = max(floor, max(D_src + w))`` from below.
+
+    Raises :class:`DivergentTimingError` when no fixpoint exists (positive
+    dependency cycle), attaching the offending latch cycle to the message.
+    """
+    _check_method(method)
+    n = len(system.nodes)
+    values = {node: system.floor(node) for node in system.nodes}
+    fanin = system.fanin()
+
+    if method == "event":
+        fanout = system.fanout()
+        updates = 0
+        # SPFA-style longest-path propagation with per-node relax counting.
+        queue = deque(system.nodes)
+        queued = set(system.nodes)
+        relaxations = {node: 0 for node in system.nodes}
+        while queue:
+            src = queue.popleft()
+            queued.discard(src)
+            for arc in fanout[src]:
+                dst = arc.dst
+                if dst in system.frozen:
+                    continue
+                cand = values[src] + arc.weight
+                if cand > values[dst] + tol:
+                    values[dst] = cand
+                    updates += 1
+                    relaxations[dst] += 1
+                    if relaxations[dst] > n:
+                        _raise_divergent(system)
+                    if dst not in queued:
+                        queue.append(dst)
+                        queued.add(dst)
+        return FixpointResult(values=values, iterations=updates, method=method)
+
+    # Sweep-based methods: at most |V| sweeps suffice for the least fixpoint
+    # when one exists (longest-path argument); one more changing sweep means
+    # a positive cycle.
+    for sweep in range(n + 1):
+        changed = False
+        current = dict(values) if method == "jacobi" else values
+        for node in system.nodes:
+            if node in system.frozen:
+                continue
+            best = system.floor(node)
+            for arc in fanin[node]:
+                best = max(best, current[arc.src] + arc.weight)
+            if best > values[node] + tol:
+                values[node] = best
+                changed = True
+        if not changed:
+            return FixpointResult(values=values, iterations=sweep + 1, method=method)
+    _raise_divergent(system)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def slide(
+    system: MaxPlusSystem,
+    start: Mapping[str, float],
+    method: str = "jacobi",
+    tol: float = 1e-9,
+    max_sweeps: int | None = None,
+) -> FixpointResult:
+    """Algorithm MLP steps 3-5: iterate the update map from ``start``.
+
+    ``start`` must dominate a fixpoint (any point satisfying the relaxed
+    constraints L2R does); the iteration is then monotonically decreasing
+    and converges to the greatest fixpoint below ``start``.  When the sweep
+    cap is hit without convergence (possible when a zero/negative-weight
+    cycle makes the slide geometric rather than finite) the exact least
+    fixpoint is returned instead -- it satisfies the same constraints and is
+    never larger, so optimality is preserved.
+    """
+    _check_method(method)
+    n = len(system.nodes)
+    if max_sweeps is None:
+        max_sweeps = max(10 * n, 100)
+    values = {node: float(start[node]) for node in system.nodes}
+    for node in system.frozen:
+        values[node] = system.floor(node)
+    fanin = system.fanin()
+
+    if method == "event":
+        fanout = system.fanout()
+        # Seed with every node; propagate decreases.
+        queue = deque(system.nodes)
+        queued = set(system.nodes)
+        updates = 0
+        budget = max_sweeps * max(n, 1)
+        while queue:
+            if updates > budget:
+                return _fallback_to_least(system, method)
+            node = queue.popleft()
+            queued.discard(node)
+            if node in system.frozen:
+                continue
+            best = system.floor(node)
+            for arc in fanin[node]:
+                best = max(best, values[arc.src] + arc.weight)
+            if best < values[node] - tol:
+                values[node] = best
+                updates += 1
+                for arc in fanout[node]:
+                    if arc.dst not in queued:
+                        queue.append(arc.dst)
+                        queued.add(arc.dst)
+        return FixpointResult(values=values, iterations=updates, method=method)
+
+    for sweep in range(max_sweeps):
+        changed = False
+        current = dict(values) if method == "jacobi" else values
+        for node in system.nodes:
+            if node in system.frozen:
+                continue
+            best = system.floor(node)
+            for arc in fanin[node]:
+                best = max(best, current[arc.src] + arc.weight)
+            if abs(best - values[node]) > tol:
+                values[node] = best
+                changed = True
+        if not changed:
+            return FixpointResult(values=values, iterations=sweep + 1, method=method)
+    return _fallback_to_least(system, method)
+
+
+def _fallback_to_least(system: MaxPlusSystem, method: str) -> FixpointResult:
+    exact = least_fixpoint(system, method="event")
+    return FixpointResult(
+        values=exact.values,
+        iterations=exact.iterations,
+        method=f"{method}+least-fixpoint",
+        converged=True,
+    )
+
+
+def _raise_divergent(system: MaxPlusSystem) -> None:
+    cycle = find_positive_cycle(system)
+    if cycle:
+        path = " -> ".join(cycle + [cycle[0]])
+        raise DivergentTimingError(
+            f"departure times diverge: positive-weight dependency cycle {path}; "
+            f"the circuit cannot settle at this clock schedule"
+        )
+    raise DivergentTimingError(
+        "departure times diverge under the given clock schedule"
+    )

@@ -1,0 +1,89 @@
+"""Data model for max-plus update systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class WeightedArc:
+    """A dependency ``dst >= src + weight`` in a max-plus system."""
+
+    src: str
+    dst: str
+    weight: float
+
+
+@dataclass
+class MaxPlusSystem:
+    """The system ``D_i = max(floor_i, max over arcs into i (D_src + w))``.
+
+    ``frozen`` nodes keep their floor value and are never updated; they model
+    edge-triggered flip-flops, whose departure times are pinned to a clock
+    edge rather than floating over an active interval.
+    """
+
+    nodes: list[str]
+    arcs: list[WeightedArc]
+    floors: dict[str, float] = field(default_factory=dict)
+    frozen: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        known = set(self.nodes)
+        if len(known) != len(self.nodes):
+            raise AnalysisError("duplicate node names in max-plus system")
+        for arc in self.arcs:
+            if arc.src not in known or arc.dst not in known:
+                raise AnalysisError(
+                    f"arc {arc.src}->{arc.dst} references unknown node"
+                )
+        for name in self.floors:
+            if name not in known:
+                raise AnalysisError(f"floor given for unknown node {name!r}")
+        for name in self.frozen:
+            if name not in known:
+                raise AnalysisError(f"frozen flag on unknown node {name!r}")
+
+    def floor(self, name: str) -> float:
+        return self.floors.get(name, 0.0)
+
+    def fanin(self) -> dict[str, list[WeightedArc]]:
+        table: dict[str, list[WeightedArc]] = {n: [] for n in self.nodes}
+        for arc in self.arcs:
+            table[arc.dst].append(arc)
+        return table
+
+    def fanout(self) -> dict[str, list[WeightedArc]]:
+        table: dict[str, list[WeightedArc]] = {n: [] for n in self.nodes}
+        for arc in self.arcs:
+            table[arc.src].append(arc)
+        return table
+
+    def apply(self, values: Mapping[str, float]) -> dict[str, float]:
+        """One synchronous (Jacobi) application of the update map F."""
+        fanin = self.fanin()
+        out: dict[str, float] = {}
+        for node in self.nodes:
+            if node in self.frozen:
+                out[node] = self.floor(node)
+                continue
+            best = self.floor(node)
+            for arc in fanin[node]:
+                best = max(best, values[arc.src] + arc.weight)
+            out[node] = best
+        return out
+
+    def residual(self, values: Mapping[str, float]) -> float:
+        """max |F(values) - values|: zero exactly at a fixpoint."""
+        nxt = self.apply(values)
+        return max(
+            (abs(nxt[n] - values[n]) for n in self.nodes), default=0.0
+        )
+
+    def is_prefixed_point(self, values: Mapping[str, float], tol: float = 1e-9) -> bool:
+        """True if ``values >= F(values)`` componentwise (LP solutions are)."""
+        nxt = self.apply(values)
+        return all(values[n] >= nxt[n] - tol for n in self.nodes)

@@ -1,0 +1,37 @@
+"""Gate-level substrate: cell library, netlist, and delay extraction.
+
+The paper assumes that "the circuit has been decomposed into clocked
+combinational stages, and that the various delay parameters have been
+calculated" (Section III); the original work obtained those parameters
+from SPICE.  This package supplies the equivalent preprocessing step for
+gate-level designs: a timing cell library, a structural netlist, a
+topological min/max combinational static timing analysis, and extraction
+of a latch-level :class:`repro.circuit.TimingGraph` whose ``Delta_ji``
+arcs are the longest (and shortest) gate paths between synchronizers.
+"""
+
+from repro.netlist.cells import (
+    Cell,
+    CellKind,
+    Library,
+    default_library,
+    parse_library,
+)
+from repro.netlist.netlist import Instance, Netlist
+from repro.netlist.sta import PathDelays, combinational_delays
+from repro.netlist.extract import extract_timing_graph
+from repro.netlist.generate import random_gate_pipeline
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "Library",
+    "default_library",
+    "parse_library",
+    "Instance",
+    "Netlist",
+    "PathDelays",
+    "combinational_delays",
+    "extract_timing_graph",
+    "random_gate_pipeline",
+]

@@ -1,0 +1,311 @@
+"""Timing cell library: combinational gates, latches and flip-flops.
+
+Cells carry *timing* information only (pin-to-pin min/max delays, setup
+and hold for sequential cells); logic functions are out of scope -- the
+timing model never needs them, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import CircuitError, ParseError
+
+
+class CellKind(str, enum.Enum):
+    COMB = "comb"
+    LATCH = "latch"
+    FF = "ff"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    For combinational cells, ``arcs`` maps ``(input_pin, output_pin)`` to
+    ``(min_delay, max_delay)``.  Sequential cells use the dedicated fields:
+    ``data_pin``/``clock_pin``/``output_pin`` plus ``dq_delay`` (min, max --
+    the data-to-output delay while transparent, or clock-to-output for a
+    flip-flop), ``setup`` and ``hold``.
+    """
+
+    name: str
+    kind: CellKind
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    arcs: Mapping[tuple[str, str], tuple[float, float]] = field(default_factory=dict)
+    data_pin: str = "D"
+    clock_pin: str = "G"
+    output_pin: str = "Q"
+    dq_delay: tuple[float, float] = (0.0, 0.0)
+    setup: float = 0.0
+    hold: float = 0.0
+    edge: str = "rise"  # flip-flops only
+
+    def __post_init__(self) -> None:
+        if self.kind is CellKind.COMB:
+            for (a, z), (lo, hi) in self.arcs.items():
+                if a not in self.inputs or z not in self.outputs:
+                    raise CircuitError(
+                        f"cell {self.name}: arc {a}->{z} references unknown pins"
+                    )
+                if not 0 <= lo <= hi:
+                    raise CircuitError(
+                        f"cell {self.name}: arc {a}->{z} has invalid delays "
+                        f"({lo}, {hi})"
+                    )
+        else:
+            lo, hi = self.dq_delay
+            if not 0 <= lo <= hi:
+                raise CircuitError(
+                    f"cell {self.name}: invalid dq_delay ({lo}, {hi})"
+                )
+            if self.setup < 0 or self.hold < 0:
+                raise CircuitError(
+                    f"cell {self.name}: setup/hold must be >= 0"
+                )
+
+    @property
+    def pins(self) -> tuple[str, ...]:
+        if self.kind is CellKind.COMB:
+            return self.inputs + self.outputs
+        return (self.data_pin, self.clock_pin, self.output_pin)
+
+
+def comb_cell(
+    name: str,
+    inputs: tuple[str, ...],
+    outputs: tuple[str, ...],
+    delay: tuple[float, float],
+) -> Cell:
+    """A combinational cell with one uniform delay for every in->out arc."""
+    arcs = {(a, z): delay for a in inputs for z in outputs}
+    return Cell(name, CellKind.COMB, inputs=inputs, outputs=outputs, arcs=arcs)
+
+
+class Library:
+    """A named collection of cells."""
+
+    def __init__(self, name: str, cells: Mapping[str, Cell] | None = None):
+        self.name = name
+        self._cells: dict[str, Cell] = dict(cells or {})
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self._cells:
+            raise CircuitError(f"duplicate cell {cell.name!r} in library {self.name}")
+        self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise CircuitError(
+                f"unknown cell {name!r}; library {self.name} has "
+                f"{sorted(self._cells)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._cells)
+
+
+def default_library() -> Library:
+    """A small generic library with ns-scale delays.
+
+    Delay values are loosely modeled on a fast sub-micron process: simple
+    gates 30-90 ps, complex gates up to 160 ps, latch D-to-Q 80 ps.
+    """
+    lib = Library("generic")
+    gates = [
+        ("INV", ("A",), 0.02, 0.04),
+        ("BUF", ("A",), 0.03, 0.06),
+        ("NAND2", ("A", "B"), 0.03, 0.06),
+        ("NAND3", ("A", "B", "C"), 0.04, 0.08),
+        ("NOR2", ("A", "B"), 0.03, 0.07),
+        ("AND2", ("A", "B"), 0.04, 0.08),
+        ("OR2", ("A", "B"), 0.04, 0.08),
+        ("XOR2", ("A", "B"), 0.05, 0.11),
+        ("XNOR2", ("A", "B"), 0.05, 0.11),
+        ("MUX2", ("A", "B", "S"), 0.05, 0.10),
+        ("AOI21", ("A", "B", "C"), 0.04, 0.09),
+        ("OAI21", ("A", "B", "C"), 0.04, 0.09),
+        ("FA_S", ("A", "B", "CI"), 0.08, 0.16),  # full-adder sum slice
+        ("FA_C", ("A", "B", "CI"), 0.06, 0.12),  # full-adder carry slice
+    ]
+    for name, inputs, lo, hi in gates:
+        lib.add(comb_cell(name, inputs, ("Z",), (lo, hi)))
+    lib.add(
+        Cell(
+            "DLATCH",
+            CellKind.LATCH,
+            data_pin="D",
+            clock_pin="G",
+            output_pin="Q",
+            dq_delay=(0.04, 0.08),
+            setup=0.06,
+            hold=0.02,
+        )
+    )
+    lib.add(
+        Cell(
+            "DFF",
+            CellKind.FF,
+            data_pin="D",
+            clock_pin="CK",
+            output_pin="Q",
+            dq_delay=(0.05, 0.10),
+            setup=0.08,
+            hold=0.02,
+            edge="rise",
+        )
+    )
+    lib.add(
+        Cell(
+            "DFFN",
+            CellKind.FF,
+            data_pin="D",
+            clock_pin="CK",
+            output_pin="Q",
+            dq_delay=(0.05, 0.10),
+            setup=0.08,
+            hold=0.02,
+            edge="fall",
+        )
+    )
+    return lib
+
+
+def parse_library(text: str) -> Library:
+    """Parse a compact cell-library description.
+
+    Format::
+
+        library fast {
+          cell NAND2 { input A B; output Z; delay A -> Z 0.03 0.06; }
+          latch DLAT { delay 0.04 0.08; setup 0.06; hold 0.02; }
+          ff DFF { delay 0.05 0.1; setup 0.08; hold 0.02; edge rise; }
+        }
+
+    Sequential cells use fixed pin names (D, G/CK, Q).
+    """
+    from repro.lang.lexer import TokenKind, tokenize
+
+    tokens = tokenize(text)
+    pos = 0
+
+    def peek():
+        return tokens[pos]
+
+    def advance():
+        nonlocal pos
+        tok = tokens[pos]
+        if tok.kind is not TokenKind.EOF:
+            pos += 1
+        return tok
+
+    def expect(kind: TokenKind, what: str):
+        tok = advance()
+        if tok.kind is not kind:
+            raise ParseError(f"expected {what}, got {tok.text!r}", tok.line, tok.column)
+        return tok
+
+    def keyword(word: str):
+        tok = advance()
+        if tok.kind is not TokenKind.IDENT or tok.text != word:
+            raise ParseError(f"expected {word!r}, got {tok.text!r}", tok.line, tok.column)
+
+    keyword("library")
+    lib = Library(expect(TokenKind.IDENT, "a library name").text)
+    expect(TokenKind.LBRACE, "'{'")
+    while peek().kind is not TokenKind.RBRACE:
+        head = advance()
+        if head.kind is not TokenKind.IDENT or head.text not in ("cell", "latch", "ff"):
+            raise ParseError(
+                f"expected 'cell', 'latch' or 'ff', got {head.text!r}",
+                head.line,
+                head.column,
+            )
+        name = expect(TokenKind.IDENT, "a cell name").text
+        expect(TokenKind.LBRACE, "'{'")
+        inputs: list[str] = []
+        outputs: list[str] = []
+        arcs: dict[tuple[str, str], tuple[float, float]] = {}
+        attrs = {"setup": 0.0, "hold": 0.0}
+        dq = (0.0, 0.0)
+        edge = "rise"
+        while peek().kind is not TokenKind.RBRACE:
+            word = expect(TokenKind.IDENT, "an attribute").text
+            if word == "input":
+                while peek().kind is TokenKind.IDENT:
+                    inputs.append(advance().text)
+            elif word == "output":
+                while peek().kind is TokenKind.IDENT:
+                    outputs.append(advance().text)
+            elif word == "delay":
+                if head.text == "cell":
+                    a = expect(TokenKind.IDENT, "an input pin").text
+                    expect(TokenKind.ARROW, "'->'")
+                    z = expect(TokenKind.IDENT, "an output pin").text
+                    lo = expect(TokenKind.NUMBER, "a min delay").number
+                    hi = expect(TokenKind.NUMBER, "a max delay").number
+                    arcs[(a, z)] = (lo, hi)
+                else:
+                    lo = expect(TokenKind.NUMBER, "a min delay").number
+                    hi = expect(TokenKind.NUMBER, "a max delay").number
+                    dq = (lo, hi)
+            elif word in attrs:
+                attrs[word] = expect(TokenKind.NUMBER, f"a {word} value").number
+            elif word == "edge":
+                edge = expect(TokenKind.IDENT, "'rise' or 'fall'").text
+                if edge not in ("rise", "fall"):
+                    raise ParseError(f"edge must be rise/fall, got {edge!r}")
+            else:
+                raise ParseError(f"unknown attribute {word!r}", head.line, head.column)
+            expect(TokenKind.SEMI, "';'")
+        expect(TokenKind.RBRACE, "'}'")
+        if head.text == "cell":
+            lib.add(
+                Cell(
+                    name,
+                    CellKind.COMB,
+                    inputs=tuple(inputs),
+                    outputs=tuple(outputs),
+                    arcs=arcs,
+                )
+            )
+        elif head.text == "latch":
+            lib.add(
+                Cell(
+                    name,
+                    CellKind.LATCH,
+                    clock_pin="G",
+                    dq_delay=dq,
+                    setup=attrs["setup"],
+                    hold=attrs["hold"],
+                )
+            )
+        else:
+            lib.add(
+                Cell(
+                    name,
+                    CellKind.FF,
+                    clock_pin="CK",
+                    dq_delay=dq,
+                    setup=attrs["setup"],
+                    hold=attrs["hold"],
+                    edge=edge,
+                )
+            )
+    expect(TokenKind.RBRACE, "'}'")
+    return lib

@@ -1,0 +1,91 @@
+"""A complete gate-level reference design: a two-phase accumulator ALU.
+
+A parameterizable ``bits``-wide datapath built gate by gate from the
+default library:
+
+* an **operand register** (phi1 latches, one per bit) holding the A input;
+* a **master-slave accumulator**: a phi2 master latch capturing the new
+  value and a phi1 slave latch presenting the held value to the ALU --
+  the two-phase structure the Section III loop requirement demands
+  (a single transparent latch feeding itself would oscillate);
+* a **ripple-carry adder** (FA_S/FA_C slices) computing A + ACC;
+* a **logic unit** (per-bit XOR) computing A ^ ACC;
+* a **function mux** selecting between the two, steered by a control
+  latch, feeding back into the accumulator master;
+* a **zero-detect** reduction tree whose output is sampled by a
+  rising-edge flag flip-flop.
+
+The design exercises every substrate at once: gate-level STA (the carry
+chain makes max delays grow linearly with ``bits`` while min delays stay
+flat), timing-graph extraction, vector-signal lumping (the per-bit latches
+collapse; the carry chain keeps the slices distinguishable exactly where
+timing differs), and clock optimization.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CircuitError
+from repro.netlist.cells import Library, default_library
+from repro.netlist.netlist import Netlist
+
+
+def alu_datapath_netlist(
+    bits: int = 4, library: Library | None = None
+) -> tuple[Netlist, dict[str, str]]:
+    """Build the accumulator-ALU netlist; returns (netlist, clock phases).
+
+    The returned mapping (``{"clk1": "phi1", "clk2": "phi2"}``) plugs
+    straight into :func:`repro.netlist.extract_timing_graph`.
+    """
+    if bits < 1:
+        raise CircuitError(f"need at least one bit, got {bits}")
+    library = library or default_library()
+    nl = Netlist(f"alu{bits}", library)
+    nl.add_input("clk1")
+    nl.add_input("clk2")
+    for b in range(bits):
+        nl.add_input(f"in{b}")
+
+    # Control latch: selects add vs xor (phi1, driven by the flag FF so the
+    # net has a driver -- a self-contained control loop).
+    nl.add("ctl", "DLATCH", D="flag_q", G="clk1", Q="fsel")
+
+    # Operand register: phi1 latches capturing the primary inputs.
+    for b in range(bits):
+        nl.add(f"opa{b}", "DLATCH", D=f"in{b}", G="clk1", Q=f"a{b}")
+
+    # Accumulator slave latches: phi1 copies of the master bits, so the
+    # feedback loop alternates phases (master on phi2, slave on phi1).
+    for b in range(bits):
+        nl.add(f"accs{b}", "DLATCH", D=f"accm{b}", G="clk1", Q=f"acc{b}")
+
+    # Ripple-carry adder: a[b] + acc[b] with carry chain.
+    nl.add("c_zero", "XOR2", A="a0", B="a0", Z="carry0")  # constant-0 source
+    for b in range(bits):
+        cin = f"carry{b}"
+        nl.add(
+            f"fas{b}", "FA_S", A=f"a{b}", B=f"acc{b}", CI=cin, Z=f"sum{b}"
+        )
+        if b + 1 < bits:
+            nl.add(
+                f"fac{b}", "FA_C", A=f"a{b}", B=f"acc{b}", CI=cin,
+                Z=f"carry{b + 1}",
+            )
+
+    # Logic unit and the function mux back into the accumulator master.
+    for b in range(bits):
+        nl.add(f"xor{b}", "XOR2", A=f"a{b}", B=f"acc{b}", Z=f"lg{b}")
+        nl.add(
+            f"mux{b}", "MUX2", A=f"sum{b}", B=f"lg{b}", S="fsel", Z=f"nxt{b}"
+        )
+        nl.add(f"acc{b}_lat", "DLATCH", D=f"nxt{b}", G="clk2", Q=f"accm{b}")
+
+    # Zero detect: a NOR reduction of the (slave) accumulator bits into a
+    # rising-edge status flip-flop on phi1.
+    prev = "acc0"
+    for b in range(1, bits):
+        nl.add(f"zr{b}", "NOR2", A=prev, B=f"acc{b}", Z=f"z{b}")
+        prev = f"z{b}"
+    nl.add("flag", "DFF", D=prev, CK="clk1", Q="flag_q")
+    nl.add_output("flag_q")
+    return nl, {"clk1": "phi1", "clk2": "phi2"}

@@ -1,0 +1,98 @@
+"""Extract a latch-level :class:`TimingGraph` from a gate netlist.
+
+This is the bridge from the gate-level substrate to the paper's model:
+sequential cells become :class:`Latch`/:class:`FlipFlop` synchronizers
+(with setup and D-to-Q delay taken from the library), and the min/max
+combinational path delays computed by :mod:`repro.netlist.sta` become the
+``Delta_ji`` arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.graph import TimingGraph
+from repro.errors import CircuitError
+from repro.netlist.cells import CellKind
+from repro.netlist.netlist import Netlist
+from repro.netlist.sta import PRIMARY, combinational_delays
+
+
+def extract_timing_graph(
+    netlist: Netlist,
+    phase_of_clock_net: Mapping[str, str],
+    phases: Sequence[str] | None = None,
+    ignore_primary_io: bool = True,
+) -> TimingGraph:
+    """Build the SMO timing graph of a gate netlist.
+
+    ``phase_of_clock_net`` maps each clock net (the net wired to latch
+    ``G`` / flip-flop ``CK`` pins) to a clock phase name.  ``phases`` fixes
+    the phase ordering (default: first-use order).  Combinational paths
+    from primary inputs or to primary outputs are dropped when
+    ``ignore_primary_io`` (their timing needs external arrival/required
+    times, which the paper's intra-circuit model does not cover); pass
+    False to raise instead, as a completeness check.
+    """
+    sequential = netlist.sequential_instances()
+    if not sequential:
+        raise CircuitError("netlist has no latches or flip-flops to extract")
+
+    # Establish the phase list and each synchronizer's phase.
+    phase_of_sync: dict[str, str] = {}
+    order: list[str] = list(phases or [])
+    for inst in sequential:
+        clock_net = inst.net(inst.cell.clock_pin)
+        try:
+            phase = phase_of_clock_net[clock_net]
+        except KeyError:
+            raise CircuitError(
+                f"instance {inst.name}: clock net {clock_net!r} has no "
+                f"phase mapping"
+            ) from None
+        phase_of_sync[inst.name] = phase
+        if phase not in order:
+            if phases is not None:
+                raise CircuitError(
+                    f"clock net {clock_net!r} maps to phase {phase!r}, which "
+                    f"is not in the declared phase list {list(phases)}"
+                )
+            order.append(phase)
+
+    builder = CircuitBuilder(order)
+    for inst in sequential:
+        cell = inst.cell
+        if cell.kind is CellKind.LATCH:
+            builder.latch(
+                inst.name,
+                phase=phase_of_sync[inst.name],
+                setup=cell.setup,
+                delay=cell.dq_delay[1],
+                hold=cell.hold,
+            )
+        else:
+            builder.flipflop(
+                inst.name,
+                phase=phase_of_sync[inst.name],
+                setup=cell.setup,
+                delay=cell.dq_delay[1],
+                hold=cell.hold,
+                edge=cell.edge,
+            )
+
+    for path in combinational_delays(netlist):
+        if path.start == PRIMARY or path.end == "<output>":
+            if ignore_primary_io:
+                continue
+            raise CircuitError(
+                f"path {path.start} -> {path.end} touches primary I/O; "
+                f"extraction covers only latch-to-latch paths"
+            )
+        builder.path(
+            path.start,
+            path.end,
+            delay=path.max_delay,
+            min_delay=path.min_delay,
+        )
+    return builder.build()

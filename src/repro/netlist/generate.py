@@ -1,0 +1,98 @@
+"""Random gate-level netlist generator.
+
+Produces structurally legal netlists -- single drivers, no combinational
+loops, latches alternating between two clock nets -- for property tests
+and for scaling the full gate-to-clock pipeline (STA extraction followed
+by Algorithm MLP).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CircuitError
+from repro.netlist.cells import Library, default_library
+from repro.netlist.netlist import Netlist
+
+#: Combinational cells the generator draws from, with their input pins.
+_GATES: list[tuple[str, tuple[str, ...]]] = [
+    ("INV", ("A",)),
+    ("BUF", ("A",)),
+    ("NAND2", ("A", "B")),
+    ("NOR2", ("A", "B")),
+    ("AND2", ("A", "B")),
+    ("OR2", ("A", "B")),
+    ("XOR2", ("A", "B")),
+    ("AOI21", ("A", "B", "C")),
+    ("MUX2", ("A", "B", "S")),
+    ("FA_S", ("A", "B", "CI")),
+]
+
+
+def random_gate_pipeline(
+    n_stages: int = 2,
+    gates_per_stage: int = 6,
+    seed: int = 0,
+    library: Library | None = None,
+    close_loop: bool = True,
+) -> tuple[Netlist, dict[str, str]]:
+    """A looped pipeline of latch stages separated by random gate clouds.
+
+    Stage ``i`` is a DLATCH clocked by ``clk1``/``clk2`` alternately,
+    followed by ``gates_per_stage`` random gates wired in a topological
+    chain (each gate reads from earlier nets of the same cloud, so the
+    cloud is loop-free by construction).  Returns the netlist plus the
+    clock-net-to-phase mapping expected by
+    :func:`repro.netlist.extract_timing_graph`.
+    """
+    if n_stages < 2:
+        raise CircuitError("need at least two stages for a legal latch loop")
+    if gates_per_stage < 1:
+        raise CircuitError("need at least one gate per stage")
+    rng = random.Random(seed)
+    library = library or default_library()
+    netlist = Netlist(f"random_pipeline_{seed}", library)
+    netlist.add_input("clk1")
+    netlist.add_input("clk2")
+
+    stage_out: list[str] = []
+    for stage in range(n_stages):
+        clk = "clk1" if stage % 2 == 0 else "clk2"
+        d_net = f"s{stage}_d"
+        q_net = f"s{stage}_q"
+        netlist.add(f"lat{stage}", "DLATCH", D=d_net, G=clk, Q=q_net)
+        # Random gate cloud from q_net to the next stage's d-net.
+        available = [q_net]
+        last = q_net
+        for g in range(gates_per_stage):
+            cell, pins = rng.choice(_GATES)
+            out = f"s{stage}_n{g}"
+            bindings = {"Z": out}
+            # First input follows the chain so every gate is reachable.
+            bindings[pins[0]] = last
+            for pin in pins[1:]:
+                bindings[pin] = rng.choice(available)
+            netlist.add(f"g{stage}_{g}", cell, **bindings)
+            available.append(out)
+            last = out
+        stage_out.append(last)
+
+    # Wire each cloud output to the next stage's latch input.
+    for stage in range(n_stages):
+        nxt = (stage + 1) % n_stages
+        if nxt == 0 and not close_loop:
+            netlist.add_output(stage_out[stage])
+            continue
+        # The D net of the next stage must be driven by this cloud's output
+        # through a buffer (the D net name was fixed above).
+        netlist.add(
+            f"link{stage}",
+            "BUF",
+            A=stage_out[stage],
+            Z=f"s{nxt}_d",
+        )
+    if not close_loop:
+        # Stage 0's latch input becomes a primary input.
+        netlist.add_input("s0_d_ext")
+        netlist.add("link_in", "BUF", A="s0_d_ext", Z="s0_d")
+    return netlist, {"clk1": "phi1", "clk2": "phi2"}

@@ -1,0 +1,154 @@
+"""Structural gate-level netlist."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import CircuitError
+from repro.netlist.cells import Cell, CellKind, Library
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One placed cell: an instance name, its cell, and pin-to-net bindings."""
+
+    name: str
+    cell: Cell
+    pins: Mapping[str, str]  # pin name -> net name
+
+    def net(self, pin: str) -> str:
+        try:
+            return self.pins[pin]
+        except KeyError:
+            raise CircuitError(
+                f"instance {self.name}: pin {pin!r} is unconnected"
+            ) from None
+
+
+class Netlist:
+    """Instances wired by named nets, plus primary inputs/outputs.
+
+    Nets spring into existence when first referenced.  Every net may have
+    at most one driver (a cell output pin or a primary input).
+    """
+
+    def __init__(self, name: str, library: Library):
+        self.name = name
+        self.library = library
+        self._instances: dict[str, Instance] = {}
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._driver: dict[str, tuple[str, str]] = {}  # net -> (instance, pin)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> None:
+        if net in self._driver:
+            raise CircuitError(f"net {net!r} already driven; cannot be an input")
+        if net in self._inputs:
+            raise CircuitError(f"duplicate primary input {net!r}")
+        self._inputs.append(net)
+        self._driver[net] = ("", "")  # sentinel: driven by the outside world
+
+    def add_output(self, net: str) -> None:
+        if net in self._outputs:
+            raise CircuitError(f"duplicate primary output {net!r}")
+        self._outputs.append(net)
+
+    def add(self, name: str, cell_name: str, **pins: str) -> Instance:
+        """Place a cell; keyword arguments bind pins to nets.
+
+        Example: ``netlist.add("u1", "NAND2", A="a", B="b", Z="y")``.
+        """
+        if name in self._instances:
+            raise CircuitError(f"duplicate instance name {name!r}")
+        cell = self.library[cell_name]
+        missing = set(cell.pins) - set(pins)
+        if missing:
+            raise CircuitError(
+                f"instance {name} ({cell_name}): unconnected pins {sorted(missing)}"
+            )
+        extra = set(pins) - set(cell.pins)
+        if extra:
+            raise CircuitError(
+                f"instance {name} ({cell_name}): unknown pins {sorted(extra)}"
+            )
+        inst = Instance(name=name, cell=cell, pins=dict(pins))
+        out_pins = (
+            cell.outputs if cell.kind is CellKind.COMB else (cell.output_pin,)
+        )
+        for pin in out_pins:
+            net = pins[pin]
+            if net in self._driver:
+                raise CircuitError(
+                    f"net {net!r} has multiple drivers "
+                    f"({self._driver[net]} and {name}.{pin})"
+                )
+            self._driver[net] = (name, pin)
+        self._instances[name] = inst
+        return inst
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def instances(self) -> tuple[Instance, ...]:
+        return tuple(self._instances.values())
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(self._outputs)
+
+    def instance(self, name: str) -> Instance:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise CircuitError(f"unknown instance {name!r}") from None
+
+    def sequential_instances(self) -> tuple[Instance, ...]:
+        return tuple(
+            i for i in self._instances.values() if i.cell.kind is not CellKind.COMB
+        )
+
+    def comb_instances(self) -> tuple[Instance, ...]:
+        return tuple(
+            i for i in self._instances.values() if i.cell.kind is CellKind.COMB
+        )
+
+    def nets(self) -> set[str]:
+        all_nets: set[str] = set(self._inputs) | set(self._outputs)
+        for inst in self._instances.values():
+            all_nets.update(inst.pins.values())
+        return all_nets
+
+    def driver_of(self, net: str) -> tuple[str, str] | None:
+        """The (instance, pin) driving a net; ("", "") for primary inputs;
+        None for floating nets."""
+        return self._driver.get(net)
+
+    def loads_of(self, net: str) -> list[tuple[Instance, str]]:
+        """All (instance, input-pin) pairs reading a net."""
+        loads = []
+        for inst in self._instances.values():
+            if inst.cell.kind is CellKind.COMB:
+                in_pins: Iterable[str] = inst.cell.inputs
+            else:
+                in_pins = (inst.cell.data_pin,)
+            for pin in in_pins:
+                if inst.pins.get(pin) == net:
+                    loads.append((inst, pin))
+        return loads
+
+    def check(self) -> list[str]:
+        """Structural lint: floating nets, undriven loads."""
+        problems = []
+        for net in sorted(self.nets()):
+            if net not in self._driver:
+                problems.append(f"net {net!r} has no driver")
+        return problems

@@ -1,0 +1,140 @@
+"""Topological min/max combinational static timing analysis.
+
+Computes, for every pair (timing start point, timing end point), the
+longest and shortest pure-combinational gate path between them.  Start
+points are sequential-cell outputs and primary inputs; end points are
+sequential-cell data pins and primary outputs.  This is the calculation
+that turns a gate netlist into the paper's ``Delta_ji`` parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import CircuitError
+from repro.netlist.netlist import Netlist
+
+#: Start-point key for a primary input net.
+PRIMARY = "<input>"
+
+
+@dataclass(frozen=True)
+class PathDelays:
+    """Min/max combinational delay between one start and one end point."""
+
+    start: str  # sequential instance name, or PRIMARY
+    end: str  # sequential instance name, or "<output>"
+    start_net: str
+    end_net: str
+    min_delay: float
+    max_delay: float
+
+
+@dataclass
+class _NetTimes:
+    """Per-net (min, max) delay from each reachable start point."""
+
+    times: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def relax(self, start: str, lo: float, hi: float) -> None:
+        if start in self.times:
+            old_lo, old_hi = self.times[start]
+            self.times[start] = (min(old_lo, lo), max(old_hi, hi))
+        else:
+            self.times[start] = (lo, hi)
+
+
+def _comb_graph(netlist: Netlist) -> nx.DiGraph:
+    """Net-to-net digraph through combinational cells only."""
+    g = nx.DiGraph()
+    for net in netlist.nets():
+        g.add_node(net)
+    for inst in netlist.comb_instances():
+        for (a, z), (lo, hi) in inst.cell.arcs.items():
+            src = inst.net(a)
+            dst = inst.net(z)
+            if g.has_edge(src, dst):
+                old = g[src][dst]["delays"]
+                g[src][dst]["delays"] = (min(old[0], lo), max(old[1], hi))
+            else:
+                g.add_edge(src, dst, delays=(lo, hi))
+    return g
+
+
+def combinational_delays(netlist: Netlist) -> list[PathDelays]:
+    """All start-to-end min/max combinational path delays.
+
+    Raises :class:`CircuitError` if the combinational portion of the
+    netlist contains a cycle (a combinational loop -- the paper's model
+    requires feedback-free combinational blocks).
+    """
+    g = _comb_graph(netlist)
+    try:
+        order = list(nx.topological_sort(g))
+    except nx.NetworkXUnfeasible:
+        cycle = nx.find_cycle(g)
+        path = " -> ".join(str(a) for a, _ in cycle)
+        raise CircuitError(
+            f"combinational loop through nets: {path}; the timing model "
+            f"requires feedback-free combinational blocks"
+        ) from None
+
+    # Seed start points: sequential outputs and primary inputs.
+    start_of_net: dict[str, str] = {}
+    for inst in netlist.sequential_instances():
+        start_of_net[inst.net(inst.cell.output_pin)] = inst.name
+    for net in netlist.inputs:
+        start_of_net.setdefault(net, PRIMARY)
+
+    arrive: dict[str, _NetTimes] = {net: _NetTimes() for net in g.nodes}
+    for net, start in start_of_net.items():
+        arrive[net].relax(start, 0.0, 0.0)
+
+    for net in order:
+        for _, dst, data in g.out_edges(net, data=True):
+            lo_e, hi_e = data["delays"]
+            for start, (lo, hi) in arrive[net].times.items():
+                arrive[dst].relax(start, lo + lo_e, hi + hi_e)
+
+    # Collect end points: sequential data pins and primary outputs.
+    results: list[PathDelays] = []
+    seen: dict[tuple[str, str], PathDelays] = {}
+
+    def record(end_name: str, end_net: str) -> None:
+        for start, (lo, hi) in arrive[end_net].times.items():
+            key = (start, end_name)
+            start_net = ""
+            if start != PRIMARY:
+                inst = netlist.instance(start)
+                start_net = inst.net(inst.cell.output_pin)
+            entry = PathDelays(
+                start=start,
+                end=end_name,
+                start_net=start_net,
+                end_net=end_net,
+                min_delay=lo,
+                max_delay=hi,
+            )
+            prev = seen.get(key)
+            if prev is None:
+                seen[key] = entry
+            else:
+                seen[key] = PathDelays(
+                    start=start,
+                    end=end_name,
+                    start_net=prev.start_net,
+                    end_net=prev.end_net,
+                    min_delay=min(prev.min_delay, lo),
+                    max_delay=max(prev.max_delay, hi),
+                )
+
+    for inst in netlist.sequential_instances():
+        record(inst.name, inst.net(inst.cell.data_pin))
+    for net in netlist.outputs:
+        record("<output>", net)
+
+    results = list(seen.values())
+    results.sort(key=lambda p: (p.start, p.end))
+    return results

@@ -1,0 +1,12 @@
+"""Text and SVG renderers for clock schedules and timing strips.
+
+These reproduce the visual content of the paper's figures: clock waveforms
+over two cycles (Figs. 3, 6, 11) and the per-latch "strip" diagrams of
+Fig. 6 showing departure times, latch propagation (shaded) and waiting
+gaps for early arrivals.
+"""
+
+from repro.render.ascii_art import clock_diagram, strip_diagram, schedule_table
+from repro.render.svg import schedule_svg
+
+__all__ = ["clock_diagram", "strip_diagram", "schedule_table", "schedule_svg"]

@@ -1,0 +1,117 @@
+"""Plain-text renderings of clock schedules and signal strips."""
+
+from __future__ import annotations
+
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.clocking.waveform import intervals_in_window
+from repro.core.analysis import TimingReport
+from repro.errors import ReproError
+
+#: Glyphs used by the text renderers.
+ACTIVE, PASSIVE = "#", "."
+LATCH_SHADE, PROPAGATE, WAIT = "X", "=", " "
+
+
+def _time_to_col(t: float, t_end: float, width: int) -> int:
+    return min(width - 1, max(0, int(round(t / t_end * (width - 1)))))
+
+
+def clock_diagram(
+    schedule: ClockSchedule, n_cycles: float = 2.0, width: int = 72
+) -> str:
+    """Render the phase waveforms over ``n_cycles`` cycles as text.
+
+    One row per phase, ``#`` while active and ``.`` while passive, plus a
+    time ruler -- the textual analogue of the clock traces in Fig. 6.
+    """
+    if width < 16:
+        raise ReproError(f"diagram width must be >= 16, got {width}")
+    if schedule.period <= 0:
+        raise ReproError("clock_diagram requires a positive period")
+    t_end = n_cycles * schedule.period
+    name_width = max(len(p.name) for p in schedule.phases)
+    lines = []
+    for phase in schedule.phases:
+        row = [PASSIVE] * width
+        for lo, hi in intervals_in_window(schedule, phase.name, 0.0, t_end):
+            a = _time_to_col(lo, t_end, width)
+            b = _time_to_col(hi, t_end, width)
+            for col in range(a, max(a + 1, b)):
+                row[col] = ACTIVE
+        lines.append(f"{phase.name:>{name_width}} |{''.join(row)}|")
+    ruler = [" "] * width
+    marks = []
+    n_marks = 5
+    for i in range(n_marks):
+        t = t_end * i / (n_marks - 1)
+        col = _time_to_col(t, t_end, width)
+        ruler[col] = "+"
+        marks.append((col, f"{t:g}"))
+    lines.append(f"{'':>{name_width}} +{''.join(ruler)}+")
+    longest = max(len(text) for _, text in marks)
+    label_row = [" "] * (width + 2 + longest)
+    for col, text in marks:
+        for offset, ch in enumerate(text):
+            label_row[col + 1 + offset] = ch
+    lines.append(f"{'':>{name_width}} {''.join(label_row).rstrip()}")
+    return "\n".join(lines)
+
+
+def strip_diagram(
+    graph: TimingGraph,
+    report: TimingReport,
+    n_cycles: float = 2.0,
+    width: int = 72,
+) -> str:
+    """Fig. 6-style strips: one row per synchronizer.
+
+    For each synchronizer the row shades the latch propagation interval
+    (``X``, the paper's shaded Delta_DQ regions), marks the departure
+    instant ``D`` and the arrival instant ``A``, and shows the waiting gap
+    between an early arrival and the enabling clock edge as blank space.
+    Absolute times place each departure in its first-cycle position
+    ``s_{p_i} + D_i``.
+    """
+    schedule = report.schedule
+    if schedule.period <= 0:
+        raise ReproError("strip_diagram requires a positive period")
+    t_end = n_cycles * schedule.period
+    name_width = max((len(n) for n in graph.names), default=4)
+    lines = [clock_diagram(schedule, n_cycles, width), ""]
+    for sync in graph.synchronizers:
+        timing = report.timings.get(sync.name)
+        if timing is None:
+            continue
+        phase = schedule[sync.phase]
+        depart_abs = phase.start + timing.departure
+        out_abs = depart_abs + sync.delay
+        row = [WAIT] * width
+        a = _time_to_col(depart_abs, t_end, width)
+        b = _time_to_col(out_abs, t_end, width)
+        for col in range(a, max(a + 1, b)):
+            row[col] = LATCH_SHADE
+        if timing.arrival != float("-inf"):
+            arrive_abs = phase.start + timing.arrival
+            if 0 <= arrive_abs <= t_end:
+                col = _time_to_col(arrive_abs, t_end, width)
+                if row[col] == WAIT:
+                    row[col] = "A"
+        row[a] = "D"
+        lines.append(
+            f"{sync.name:>{name_width}} |{''.join(row)}|"
+            f"  D={timing.departure:g} @abs {depart_abs:g}"
+        )
+    return "\n".join(lines)
+
+
+def schedule_table(schedule: ClockSchedule) -> str:
+    """A small aligned table of Tc, s_i and T_i values."""
+    lines = [f"Tc = {schedule.period:g}"]
+    name_width = max(len(p.name) for p in schedule.phases)
+    lines.append(f"{'phase':<{max(5, name_width)}} {'start':>10} {'width':>10} {'end':>10}")
+    for p in schedule.phases:
+        lines.append(
+            f"{p.name:<{max(5, name_width)}} {p.start:>10g} {p.width:>10g} {p.end:>10g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""SVG rendering of clock schedules and timing strips (Fig. 6 / Fig. 11)."""
+
+from __future__ import annotations
+
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.clocking.waveform import intervals_in_window
+from repro.core.analysis import TimingReport
+from repro.errors import ReproError
+
+_PHASE_COLOR = "#4477aa"
+_LATCH_COLOR = "#cc6677"
+_WAIT_COLOR = "#dddddd"
+_ROW_H = 26
+_GAP = 8
+_LEFT = 90
+_TOP = 24
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def schedule_svg(
+    schedule: ClockSchedule,
+    graph: TimingGraph | None = None,
+    report: TimingReport | None = None,
+    n_cycles: float = 2.0,
+    width: int = 720,
+) -> str:
+    """Render a schedule (and optionally Fig. 6-style strips) as an SVG string.
+
+    Each phase becomes a row of filled rectangles over ``n_cycles`` cycles;
+    when ``graph`` and ``report`` are given, a strip row per synchronizer
+    shows the latch propagation interval (dark) starting at the absolute
+    departure time.
+    """
+    if schedule.period <= 0:
+        raise ReproError("schedule_svg requires a positive period")
+    t_end = n_cycles * schedule.period
+    scale = (width - _LEFT - 10) / t_end
+
+    rows: list[str] = []
+    y = _TOP
+
+    def add_label(label: str, y_pos: int) -> None:
+        rows.append(
+            f'<text x="{_LEFT - 8}" y="{y_pos + _ROW_H - 9}" '
+            f'text-anchor="end" font-size="12" font-family="monospace">'
+            f"{_esc(label)}</text>"
+        )
+
+    for phase in schedule.phases:
+        add_label(phase.name, y)
+        rows.append(
+            f'<line x1="{_LEFT}" y1="{y + _ROW_H - 4}" x2="{width - 10}" '
+            f'y2="{y + _ROW_H - 4}" stroke="#999" stroke-width="0.5"/>'
+        )
+        for lo, hi in intervals_in_window(schedule, phase.name, 0.0, t_end):
+            x = _LEFT + lo * scale
+            w = max(1.0, (hi - lo) * scale)
+            rows.append(
+                f'<rect x="{x:.2f}" y="{y + 4}" width="{w:.2f}" '
+                f'height="{_ROW_H - 10}" fill="{_PHASE_COLOR}"/>'
+            )
+        y += _ROW_H
+
+    if graph is not None and report is not None:
+        y += _GAP
+        for sync in graph.synchronizers:
+            timing = report.timings.get(sync.name)
+            if timing is None:
+                continue
+            add_label(sync.name, y)
+            phase = schedule[sync.phase]
+            depart_abs = phase.start + timing.departure
+            if timing.arrival != float("-inf"):
+                arrive_abs = phase.start + timing.arrival
+                if arrive_abs < depart_abs:  # waiting gap (early arrival)
+                    x = _LEFT + max(0.0, arrive_abs) * scale
+                    w = (depart_abs - max(0.0, arrive_abs)) * scale
+                    rows.append(
+                        f'<rect x="{x:.2f}" y="{y + 8}" width="{w:.2f}" '
+                        f'height="{_ROW_H - 18}" fill="{_WAIT_COLOR}"/>'
+                    )
+            x = _LEFT + depart_abs * scale
+            w = max(1.0, sync.delay * scale)
+            rows.append(
+                f'<rect x="{x:.2f}" y="{y + 4}" width="{w:.2f}" '
+                f'height="{_ROW_H - 10}" fill="{_LATCH_COLOR}"/>'
+            )
+            y += _ROW_H
+
+    # Cycle-boundary guides and time labels.
+    cycle = 0.0
+    while cycle <= t_end + 1e-9:
+        x = _LEFT + cycle * scale
+        rows.append(
+            f'<line x1="{x:.2f}" y1="{_TOP - 6}" x2="{x:.2f}" y2="{y + 4}" '
+            f'stroke="#444" stroke-dasharray="3,3" stroke-width="0.7"/>'
+        )
+        rows.append(
+            f'<text x="{x:.2f}" y="{_TOP - 10}" text-anchor="middle" '
+            f'font-size="10" font-family="monospace">{cycle:g}</text>'
+        )
+        cycle += schedule.period
+
+    height = y + 16
+    header = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    title = (
+        f'<text x="{_LEFT}" y="{12}" font-size="11" font-family="monospace">'
+        f"Tc = {schedule.period:g}</text>"
+    )
+    return "\n".join([header, title, *rows, "</svg>"])

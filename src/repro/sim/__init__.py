@@ -1,0 +1,15 @@
+"""Cycle-accurate latch-level simulation.
+
+An independent cross-check of the analytical machinery: instead of solving
+the max-plus fixpoint in phase-relative coordinates, the simulator plays
+the circuit forward in *absolute time*, cycle by cycle, applying the
+physical rules directly -- a latch passes data while open, holds it while
+closed, and data takes real combinational delays to travel.  If the
+analytical model is right, the simulated departure times settle into a
+periodic steady state that matches :func:`repro.core.analysis.analyze`
+exactly, and setup violations appear at the same latches.
+"""
+
+from repro.sim.simulator import CycleRecord, SimulationResult, simulate
+
+__all__ = ["CycleRecord", "SimulationResult", "simulate"]

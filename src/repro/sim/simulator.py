@@ -1,0 +1,223 @@
+"""Forward simulation of a latch circuit under a concrete clock schedule."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.circuit.elements import EdgeKind, FlipFlop
+from repro.circuit.graph import TimingGraph
+from repro.clocking.schedule import ClockSchedule
+from repro.clocking.skew import SkewBound
+from repro.errors import AnalysisError
+
+_NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """Timing of one synchronizer in one simulated cycle (absolute times)."""
+
+    sync: str
+    cycle: int
+    open_time: float
+    close_time: float
+    arrival: float  # -inf when nothing has arrived yet
+    departure: float
+    setup_slack: float
+
+    @property
+    def ok(self) -> bool:
+        return self.setup_slack >= -1e-9
+
+    @property
+    def relative_departure(self) -> float:
+        """Departure re-referenced to the phase start (the paper's D_i)."""
+        return self.departure - self.open_time
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of :func:`simulate`."""
+
+    schedule: ClockSchedule
+    records: dict[tuple[str, int], CycleRecord] = field(default_factory=dict)
+    cycles: int = 0
+    settled_at: int | None = None  # first cycle of periodic steady state
+
+    @property
+    def converged(self) -> bool:
+        return self.settled_at is not None
+
+    def steady_departures(self) -> dict[str, float]:
+        """Phase-relative departures in the periodic steady state."""
+        if self.settled_at is None:
+            raise AnalysisError("simulation did not reach a steady state")
+        last = self.cycles - 1
+        return {
+            name: self.records[(name, last)].relative_departure
+            for name in {k[0] for k in self.records}
+        }
+
+    def violations(self, from_cycle: int | None = None) -> list[CycleRecord]:
+        """Setup violations at or after ``from_cycle`` (default: steady state)."""
+        start = from_cycle if from_cycle is not None else (self.settled_at or 0)
+        return [
+            r
+            for r in self.records.values()
+            if r.cycle >= start and not r.ok
+        ]
+
+    @property
+    def feasible(self) -> bool:
+        """True if the steady state meets every setup requirement."""
+        return self.converged and not self.violations()
+
+    def clean_after(self, warmup: int) -> bool:
+        """True if no setup violation occurs from cycle ``warmup`` on.
+
+        The right verdict for jittered runs, which never settle into an
+        exactly periodic steady state.
+        """
+        return not self.violations(from_cycle=warmup)
+
+
+def simulate(
+    graph: TimingGraph,
+    schedule: ClockSchedule,
+    cycles: int = 64,
+    tol: float = 1e-9,
+    jitter: Mapping[str, SkewBound] | None = None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Play the circuit forward for up to ``cycles`` clock cycles.
+
+    Initial condition: in "cycle -1" every synchronizer is assumed to have
+    launched its reset value exactly at its enabling instant.  The
+    simulation then applies, per cycle and in phase order:
+
+    * latch: departure = max(arrival, phase opening); setup requires the
+      arrival to precede the closing edge by the setup time;
+    * rising-edge flip-flop: departure pinned to the phase opening;
+    * falling-edge flip-flop: departure pinned to the phase closing edge.
+
+    The run stops early once relative departures repeat from one cycle to
+    the next (periodic steady state).  Within a cycle, same-cycle data
+    dependencies always point from earlier to later phases (crossing the
+    cycle boundary otherwise), so processing synchronizers in phase order
+    is exact.
+
+    ``jitter`` injects clock uncertainty: each phase's edges in each cycle
+    shift by an independent uniform draw from its
+    :class:`~repro.clocking.skew.SkewBound` (``[-early, +late]``),
+    deterministic given ``seed``.  With jitter active the run never
+    settles into a perfectly periodic steady state, so it executes all
+    ``cycles`` cycles and the verdict comes from
+    ``violations(from_cycle=...)`` / ``feasible``; this is the stochastic
+    cross-check of the worst-case skew-aware optimizer.
+    """
+    if cycles < 1:
+        raise AnalysisError(f"need at least one cycle, got {cycles}")
+    if schedule.period <= 0:
+        raise AnalysisError("simulation requires a positive clock period")
+    if tuple(schedule.names) != tuple(graph.phase_names):
+        raise AnalysisError(
+            f"schedule phases {schedule.names} do not match circuit phases "
+            f"{graph.phase_names}"
+        )
+    tc = schedule.period
+    result = SimulationResult(schedule=schedule)
+
+    rng = random.Random(seed)
+    offsets: dict[tuple[str, int], float] = {}
+    if jitter:
+        for bad in set(jitter) - set(schedule.names):
+            raise AnalysisError(f"jitter bound for unknown phase {bad!r}")
+        for n in range(-1, cycles):
+            for name in schedule.names:
+                bound = jitter.get(name, SkewBound())
+                offsets[(name, n)] = rng.uniform(-bound.early, bound.late)
+
+    def phase_of(name: str):
+        return schedule[graph[name].phase]
+
+    def open_time(name: str, n: int) -> float:
+        nominal = phase_of(name).start + n * tc
+        return nominal + offsets.get((graph[name].phase, n), 0.0)
+
+    # departure[(name, n)] -- absolute departure time in cycle n.  Cycle -1
+    # seeds the reset state.
+    departure: dict[tuple[str, int], float] = {}
+    for sync in graph.synchronizers:
+        if isinstance(sync, FlipFlop) and sync.edge is EdgeKind.FALL:
+            departure[(sync.name, -1)] = open_time(sync.name, -1) + phase_of(
+                sync.name
+            ).width
+        else:
+            departure[(sync.name, -1)] = open_time(sync.name, -1)
+
+    order = sorted(
+        graph.synchronizers, key=lambda s: graph.phase_index(s.phase)
+    )
+    prev_relative: dict[str, float] | None = None
+
+    for n in range(cycles):
+        for sync in order:
+            arrival = _NEG_INF
+            for arc in graph.fanin(sync.name):
+                src = graph[arc.src]
+                # An arc stays within the cycle when the source phase
+                # strictly precedes the destination phase (C_ij = 0) and
+                # crosses the boundary otherwise (C_ij = 1), mirroring the
+                # phase-shift operator.
+                crossing = (
+                    0
+                    if graph.phase_index(src.phase) < graph.phase_index(sync.phase)
+                    else 1
+                )
+                src_cycle = n - crossing
+                value = departure[(arc.src, src_cycle)] + src.delay + arc.delay
+                arrival = max(arrival, value)
+
+            opening = open_time(sync.name, n)
+            closing = opening + phase_of(sync.name).width
+            if isinstance(sync, FlipFlop):
+                if sync.edge is EdgeKind.RISE:
+                    depart = opening
+                    deadline = opening
+                else:
+                    depart = closing
+                    deadline = closing
+                slack = (
+                    float("inf")
+                    if arrival == _NEG_INF
+                    else deadline - sync.setup - arrival
+                )
+            else:
+                depart = opening if arrival == _NEG_INF else max(arrival, opening)
+                # The paper's "realistic" setup form (eq. 11): the departing
+                # signal, not just the raw arrival, must precede the closing
+                # edge by the setup time.  This matches analyze() exactly.
+                slack = closing - sync.setup - depart
+            departure[(sync.name, n)] = depart
+            result.records[(sync.name, n)] = CycleRecord(
+                sync=sync.name,
+                cycle=n,
+                open_time=opening,
+                close_time=closing,
+                arrival=arrival,
+                departure=depart,
+                setup_slack=slack,
+            )
+        relative = {
+            s.name: departure[(s.name, n)] - open_time(s.name, n) for s in order
+        }
+        result.cycles = n + 1
+        if prev_relative is not None and all(
+            abs(relative[k] - prev_relative[k]) <= tol for k in relative
+        ):
+            result.settled_at = n
+            break
+        prev_relative = relative
+    return result

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.clocking.library import two_phase_clock
+from repro.designs import example1, example2, gaas_datapath, fig1_circuit
+
+
+@pytest.fixture
+def ex1():
+    """Example 1 (Fig. 5) at the paper's Fig. 6(a) operating point."""
+    return example1(80.0)
+
+
+@pytest.fixture
+def ex2():
+    return example2()
+
+
+@pytest.fixture
+def gaas():
+    return gaas_datapath()
+
+
+@pytest.fixture
+def fig1():
+    return fig1_circuit()
+
+
+@pytest.fixture
+def simple_pipeline():
+    """A tiny open two-phase pipeline: L1 -> L2 -> L3."""
+    b = CircuitBuilder(phases=["phi1", "phi2"])
+    b.latch("L1", phase="phi1", setup=2, delay=3)
+    b.latch("L2", phase="phi2", setup=2, delay=3)
+    b.latch("L3", phase="phi1", setup=2, delay=3)
+    b.path("L1", "L2", 10, min_delay=4)
+    b.path("L2", "L3", 8, min_delay=3)
+    return b.build()
+
+
+@pytest.fixture
+def nonoverlap_clock():
+    """A 100 ns two-phase nonoverlapping clock."""
+    return two_phase_clock(100.0)

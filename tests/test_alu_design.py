@@ -1,0 +1,138 @@
+"""Tests for the gate-level accumulator-ALU reference design."""
+
+import pytest
+
+from repro.circuit.lump import lump_parallel_latches
+from repro.core.analysis import analyze
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.shortpath import check_hold
+from repro.errors import CircuitError
+from repro.netlist.designs import alu_datapath_netlist
+from repro.netlist.extract import extract_timing_graph
+from repro.netlist.sta import combinational_delays
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def alu4():
+    nl, phases = alu_datapath_netlist(4)
+    return nl, phases, extract_timing_graph(nl, phases)
+
+
+class TestStructure:
+    def test_lint_clean(self, alu4):
+        nl, _, _ = alu4
+        assert nl.check() == []
+
+    def test_synchronizer_census(self, alu4):
+        _, _, g = alu4
+        # ctl + 4 operand latches + 4 accumulator masters + 4 slaves +
+        # the flag FF.
+        assert g.l == 14
+        assert len(g.flipflops) == 1
+
+    def test_two_phases(self, alu4):
+        _, _, g = alu4
+        assert g.phase_names == ("phi1", "phi2")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(CircuitError):
+            alu_datapath_netlist(0)
+
+
+class TestTiming:
+    def test_carry_chain_dominates(self, alu4):
+        nl, _, g = alu4
+        # The longest operand->accumulator path rides the carry chain into
+        # the top bit; it must strictly exceed the bottom bit's path.
+        top = g.arc("opa0", "acc3_lat")
+        assert top is not None
+        assert top.delay > g.arc("opa0", "acc0_lat").delay
+
+    def test_min_delays_flat_across_bits(self, alu4):
+        _, _, g = alu4
+        # Short paths take the logic unit (one XOR + mux), identical per bit.
+        mins = {
+            b: g.arc(f"opa{b}", f"acc{b}_lat").min_delay for b in range(4)
+        }
+        assert len(set(mins.values())) == 1
+
+    def test_optimum_grows_with_width(self):
+        fast = MLPOptions(verify=False)
+        periods = []
+        for bits in (2, 4, 8):
+            nl, phases = alu_datapath_netlist(bits)
+            g = extract_timing_graph(nl, phases)
+            periods.append(minimize_cycle_time(g, mlp=fast).period)
+        assert periods[0] < periods[1] < periods[2]
+
+    def test_optimum_verifies_and_simulates(self, alu4):
+        _, _, g = alu4
+        result = minimize_cycle_time(g)
+        assert analyze(g, result.schedule).feasible
+        assert simulate(g, result.schedule).feasible
+
+    def test_master_slave_structure_is_hold_clean(self, alu4):
+        # The slave latch inserts a phase crossing into the accumulate
+        # loop, so the extracted contamination delays clear every hold
+        # requirement at the aggressive optimum.
+        _, _, g = alu4
+        result = minimize_cycle_time(g)
+        assert check_hold(g, result.schedule).feasible
+
+    def test_hold_fix_flow_with_unknown_contamination(self, alu4):
+        # Degrade the model: pretend contamination delays are unknown
+        # (min_delay = 0, the pessimistic default) and demand a real hold
+        # margin.  The short-path extension flags the races and
+        # required_padding repairs them.
+        from repro.circuit.elements import Latch
+        from repro.circuit.graph import DelayArc, TimingGraph
+        from repro.core.shortpath import apply_padding, required_padding
+
+        _, _, g = alu4
+        syncs = []
+        for s in g.synchronizers:
+            if s.is_latch:
+                syncs.append(
+                    Latch(name=s.name, phase=s.phase, setup=s.setup,
+                          delay=s.delay, hold=0.1)
+                )
+            else:
+                syncs.append(s)
+        degraded = TimingGraph(
+            g.phase_names,
+            syncs,
+            [DelayArc(a.src, a.dst, a.delay, 0.0, a.label) for a in g.arcs],
+        )
+        schedule = minimize_cycle_time(degraded).schedule
+        hold = check_hold(degraded, schedule)
+        assert not hold.feasible
+
+        padding = required_padding(degraded, schedule)
+        assert padding
+        padded = apply_padding(degraded, padding)
+        assert check_hold(padded, schedule).feasible
+
+    def test_sta_paths_cover_all_register_pairs(self, alu4):
+        nl, _, _ = alu4
+        pairs = {(p.start, p.end) for p in combinational_delays(nl)}
+        # Every accumulator slave bit feeds the flag FF via the zero tree.
+        for b in range(4):
+            assert (f"accs{b}", "flag") in pairs
+
+
+class TestLumping:
+    def test_distinguishable_slices_not_merged(self, alu4):
+        # Carry-chain timing differs per bit, so lumping must keep every
+        # latch distinct -- merging here would be a correctness bug.
+        _, _, g = alu4
+        reduced, _ = lump_parallel_latches(g)
+        assert reduced.l == g.l
+
+    def test_lumping_preserves_optimum_anyway(self, alu4):
+        _, _, g = alu4
+        reduced, _ = lump_parallel_latches(g)
+        fast = MLPOptions(verify=False)
+        assert minimize_cycle_time(reduced, mlp=fast).period == pytest.approx(
+            minimize_cycle_time(g, mlp=fast).period
+        )

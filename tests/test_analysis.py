@@ -1,0 +1,157 @@
+"""Unit tests for fixed-schedule timing analysis (the analysis problem)."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.clocking.library import two_phase_clock
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.core.analysis import analyze
+from repro.core.constraints import ConstraintOptions
+from repro.core.mlp import minimize_cycle_time
+from repro.designs import example1
+
+
+class TestFeasibleSchedules:
+    def test_generous_schedule_passes(self, ex1):
+        schedule = ClockSchedule(
+            400.0,
+            [ClockPhase("phi1", 0.0, 150.0), ClockPhase("phi2", 200.0, 150.0)],
+        )
+        report = analyze(ex1, schedule)
+        assert report.feasible
+        assert report.worst_slack > 0
+
+    def test_departures_nonnegative(self, ex1):
+        schedule = two_phase_clock(400.0)
+        report = analyze(ex1, schedule)
+        assert all(t.departure >= 0 for t in report.timings.values())
+
+    def test_waiting_gap_reported(self):
+        # The Fig. 6(c) phenomenon: at D41 = 120 and Tc = 140 the input to
+        # latch 3 becomes valid 20 ns before phi1 rises.
+        g = example1(120.0)
+        result = minimize_cycle_time(g)
+        report = analyze(g, result.schedule)
+        l3 = report.timings["L3"]
+        assert l3.arrival == pytest.approx(-20.0)
+        assert l3.departure == pytest.approx(0.0)
+        assert l3.waiting == pytest.approx(20.0)
+
+    def test_no_fanin_latch(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("src", phase="phi1", setup=1, delay=1)
+        b.latch("dst", phase="phi2", setup=1, delay=1)
+        b.path("src", "dst", 5)
+        report = analyze(b.build(), two_phase_clock(100.0))
+        assert report.timings["src"].arrival == float("-inf")
+        assert report.timings["src"].waiting == 0.0
+        assert report.feasible
+
+
+class TestInfeasibleSchedules:
+    def test_setup_violation_detected(self, ex1):
+        # 112 ns exceeds the 110 ns optimum, but the symmetric clock shape
+        # leaves phi1 too narrow for the borrowed departure of L1.
+        schedule = two_phase_clock(112.0)
+        report = analyze(ex1, schedule)
+        assert not report.feasible
+        assert report.setup_violations
+        assert report.worst_slack < 0
+
+    def test_divergent_cycle_reported(self, ex1):
+        # Tiny cycle: signals can't make it around the loop -> positive
+        # max-plus cycle -> divergence, reported rather than raised.
+        schedule = two_phase_clock(10.0)
+        report = analyze(ex1, schedule)
+        assert not report.feasible
+        assert report.divergent_cycle is not None
+        assert report.worst_slack == float("-inf")
+
+    def test_clock_violations_reported(self, ex1):
+        overlapping = ClockSchedule(
+            400.0,
+            [ClockPhase("phi1", 0.0, 300.0), ClockPhase("phi2", 100.0, 150.0)],
+        )
+        report = analyze(ex1, overlapping)
+        assert report.clock_violations
+        assert not report.feasible
+
+    def test_min_width_option_checked(self, ex1):
+        schedule = two_phase_clock(400.0)
+        report = analyze(ex1, schedule, ConstraintOptions(min_width=999.0))
+        assert any("XW" in v for v in report.clock_violations)
+
+
+class TestFlipFlopAnalysis:
+    def build(self, edge, delay=10.0):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("L", phase="phi1", setup=1, delay=2)
+        b.flipflop("F", phase="phi2", setup=1, delay=2, edge=edge)
+        b.path("L", "F", delay)
+        return b.build()
+
+    def test_rise_ff_departure_pinned(self):
+        g = self.build("rise")
+        report = analyze(g, two_phase_clock(100.0))
+        assert report.timings["F"].departure == 0.0
+
+    def test_fall_ff_departure_is_width(self):
+        g = self.build("fall")
+        schedule = two_phase_clock(100.0)
+        report = analyze(g, schedule)
+        assert report.timings["F"].departure == schedule["phi2"].width
+
+    def test_rise_ff_setup_against_edge(self):
+        # Arrival at F (rel. q) = 0 + 2 + delay + S_pq = 2 + delay - 50.
+        g = self.build("rise", delay=30.0)
+        report = analyze(g, two_phase_clock(100.0))
+        f = report.timings["F"]
+        assert f.arrival == pytest.approx(-18.0)
+        assert f.slack == pytest.approx(0.0 - (-18.0) - 1.0)
+
+    def test_rise_ff_violation(self):
+        g = self.build("rise", delay=60.0)
+        report = analyze(g, two_phase_clock(100.0))
+        assert not report.timings["F"].ok
+
+    def test_ff_no_fanin(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.flipflop("F", phase="phi1")
+        b.latch("L", phase="phi2")
+        b.path("F", "L", 1)
+        report = analyze(b.build(), two_phase_clock(100.0))
+        assert report.timings["F"].slack == float("inf")
+
+
+class TestReportRendering:
+    def test_str_contains_table(self, ex1):
+        report = analyze(ex1, two_phase_clock(400.0))
+        text = str(report)
+        assert "feasible: True" in text
+        assert "L3" in text
+
+    def test_departures_helper(self, ex1):
+        report = analyze(ex1, two_phase_clock(400.0))
+        assert set(report.departures()) == {"L1", "L2", "L3", "L4"}
+
+
+class TestBorrowing:
+    def test_optimal_schedule_borrows(self, ex1):
+        # At the 110 ns optimum (slope-1/2 region of Fig. 7) the circuit
+        # works only because latches pass data while transparent.
+        report = analyze(ex1, minimize_cycle_time(ex1).schedule)
+        assert report.total_borrowed > 0
+        assert all(v > 0 for v in report.borrowing().values())
+
+    def test_relaxed_schedule_borrows_less(self, ex1):
+        tight = analyze(ex1, minimize_cycle_time(ex1).schedule)
+        loose = analyze(ex1, minimize_cycle_time(ex1).schedule.scaled(2.0))
+        assert loose.total_borrowed <= tight.total_borrowed
+
+    def test_waiting_circuit_borrows_nothing(self):
+        # A generous symmetric clock: all signals wait for their phases.
+        g = example1(0.0)
+        report = analyze(g, two_phase_clock(400.0))
+        assert report.total_borrowed == 0.0
+        assert report.borrowing() == {}

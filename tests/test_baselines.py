@@ -1,0 +1,134 @@
+"""Unit tests for the baseline algorithms and their orderings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.binary_search import binary_search_minimize
+from repro.baselines.borrowing import borrowing_minimize
+from repro.baselines.edge_triggered import as_edge_triggered, edge_triggered_minimize
+from repro.baselines.nrip import nrip_minimize
+from repro.circuit.generate import random_multiloop_circuit
+from repro.clocking.library import symmetric_clock
+from repro.clocking.schedule import ClockSchedule
+from repro.core.analysis import analyze
+from repro.core.mlp import minimize_cycle_time
+from repro.designs import example1
+from repro.errors import AnalysisError, CircuitError
+
+
+class TestEdgeTriggered:
+    def test_conversion_preserves_parameters(self, ex1):
+        g = as_edge_triggered(ex1)
+        assert len(g.flipflops) == 4
+        assert g["L1"].setup == 10.0 and g["L1"].delay == 10.0
+
+    def test_conversion_keeps_existing_ffs(self, gaas):
+        g = as_edge_triggered(gaas)
+        assert len(g.flipflops) == 18
+
+    def test_example1_edge_period(self, ex1):
+        # Chained stage delays with no transparency:
+        # s2-s1 >= max(40, 80) = 80 and Tc >= (s2-s1) + max(40, 100).
+        assert edge_triggered_minimize(ex1).period == pytest.approx(180.0)
+
+    def test_upper_bounds_mlp(self, ex1):
+        assert edge_triggered_minimize(ex1).period >= minimize_cycle_time(ex1).period
+
+    def test_tagged(self, ex1):
+        assert edge_triggered_minimize(ex1).extra["baseline"] == "edge-triggered"
+
+
+class TestNRIP:
+    def test_default_initial_phase_is_last(self, ex1):
+        assert nrip_minimize(ex1).extra["initial_phase"] == "phi2"
+
+    def test_explicit_initial_phase(self, ex1):
+        result = nrip_minimize(ex1, initial_phase="phi1")
+        assert result.extra["initial_phase"] == "phi1"
+        assert result.period >= minimize_cycle_time(ex1).period - 1e-9
+
+    def test_unknown_initial_phase_rejected(self, ex1):
+        with pytest.raises(CircuitError):
+            nrip_minimize(ex1, initial_phase="zz")
+
+    def test_phase1_restriction_formula(self):
+        # With null retardation imposed on phi1 instead, example 1 obeys
+        # Tc = max(60, 80 + Delta_41) (no borrowing across phi1).
+        for d41 in (0.0, 40.0, 80.0):
+            got = nrip_minimize(example1(d41), initial_phase="phi1").period
+            assert got == pytest.approx(max(60.0, 80.0 + d41))
+
+
+class TestBorrowing:
+    def test_monotone_in_iterations(self, ex1):
+        periods = [
+            borrowing_minimize(ex1, iterations=i).period for i in (0, 1, 2, 4, 16)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(periods, periods[1:]))
+
+    def test_zero_iterations_matches_start(self, ex1):
+        r = borrowing_minimize(ex1, iterations=0)
+        assert r.iterations_used == 0
+        assert r.period >= minimize_cycle_time(ex1).period
+
+    def test_converged_between_mlp_and_edge(self, ex1):
+        r = borrowing_minimize(ex1, iterations=40)
+        assert minimize_cycle_time(ex1).period <= r.period + 1e-6
+        assert r.period <= r.edge_triggered_period + 1e-9
+
+    def test_improvement_metric(self, ex1):
+        r = borrowing_minimize(ex1, iterations=40)
+        assert 0.0 <= r.improvement < 1.0
+
+    def test_history_recorded(self, ex1):
+        r = borrowing_minimize(ex1, iterations=3)
+        assert len(r.history) == r.iterations_used
+
+    def test_result_schedule_feasible(self, ex1):
+        r = borrowing_minimize(ex1, iterations=10)
+        assert analyze(ex1, r.schedule).feasible
+
+    def test_negative_iterations_rejected(self, ex1):
+        with pytest.raises(AnalysisError):
+            borrowing_minimize(ex1, iterations=-1)
+
+
+class TestBinarySearch:
+    def test_example1_symmetric_shape(self, ex1):
+        # The symmetric two-phase shape cannot reach the reshaped optimum.
+        period = binary_search_minimize(ex1, tol=1e-4)
+        assert period == pytest.approx(136.0, abs=1e-2)
+        assert period >= minimize_cycle_time(ex1).period
+
+    def test_result_boundary_is_tight(self, ex1):
+        period = binary_search_minimize(ex1, tol=1e-6)
+        ref = symmetric_clock(2, 1.0)
+        phases = [
+            p.renamed(n) for p, n in zip(ref.phases, ex1.phase_names)
+        ]
+        template = ClockSchedule(1.0, phases)
+        assert analyze(ex1, template.scaled(period)).feasible
+        assert not analyze(ex1, template.scaled(period - 1e-3)).feasible
+
+    def test_mismatched_reference_rejected(self, ex1):
+        bad = symmetric_clock(3, 1.0)
+        with pytest.raises(AnalysisError):
+            binary_search_minimize(ex1, reference=bad)
+
+
+class TestOrderingProperty:
+    """MLP <= every baseline, on random circuits."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(4, 9),
+        extra=st.integers(0, 5),
+        seed=st.integers(0, 9999),
+    )
+    def test_mlp_is_never_beaten(self, n, extra, seed):
+        g = random_multiloop_circuit(n, n_extra_arcs=extra, k=2, seed=seed)
+        opt = minimize_cycle_time(g).period
+        assert nrip_minimize(g).period >= opt - 1e-6
+        assert edge_triggered_minimize(g).period >= opt - 1e-6
+        assert borrowing_minimize(g, iterations=25).period >= opt - 1e-6
+        assert binary_search_minimize(g) >= opt - 1e-6

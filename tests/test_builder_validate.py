@@ -1,0 +1,162 @@
+"""Unit tests for CircuitBuilder and structural validation."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.validate import check_loop_phases, check_structure
+from repro.clocking.library import two_phase_clock
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.errors import CircuitError, PhaseOverlapError
+
+
+class TestBuilder:
+    def test_chaining(self):
+        g = (
+            CircuitBuilder(["p", "q"])
+            .latch("A", phase="p")
+            .latch("B", phase="q")
+            .path("A", "B", 1.0)
+            .build()
+        )
+        assert g.l == 2
+
+    def test_latches_bulk(self):
+        g = (
+            CircuitBuilder(["p"])
+            .latches(["A", "B", "C"], phase="p", setup=1, delay=2)
+            .build()
+        )
+        assert g.l == 3
+        assert all(s.setup == 1 for s in g.synchronizers)
+
+    def test_chain(self):
+        g = (
+            CircuitBuilder(["p", "q"])
+            .latch("A", phase="p")
+            .latch("B", phase="q")
+            .latch("C", phase="p")
+            .chain(["A", "B", "C"], delay=4.0)
+            .build()
+        )
+        assert g.arc("A", "B").delay == 4.0
+        assert g.arc("B", "C").delay == 4.0
+
+    def test_chain_too_short(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder(["p"]).latch("A", phase="p").chain(["A"], 1.0)
+
+    def test_duplicate_name_rejected(self):
+        b = CircuitBuilder(["p"]).latch("A", phase="p")
+        with pytest.raises(CircuitError):
+            b.latch("A", phase="p")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder(["p"]).latch("A", phase="zz")
+
+    def test_flipflop(self):
+        g = CircuitBuilder(["p"]).flipflop("F", phase="p", edge="fall").build()
+        assert not g["F"].is_latch
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder([])
+
+
+class TestLoopPhaseCheck:
+    def test_single_phase_latch_loop_flagged(self):
+        g = (
+            CircuitBuilder(["p", "q"])
+            .latch("A", phase="p")
+            .latch("B", phase="p")
+            .path("A", "B", 1)
+            .path("B", "A", 1)
+            .build()
+        )
+        problems = check_loop_phases(g)
+        assert len(problems) == 1
+        assert "single phase" in problems[0]
+
+    def test_two_phase_loop_ok(self):
+        g = (
+            CircuitBuilder(["p", "q"])
+            .latch("A", phase="p")
+            .latch("B", phase="q")
+            .path("A", "B", 1)
+            .path("B", "A", 1)
+            .build()
+        )
+        assert check_loop_phases(g) == []
+
+    def test_flipflop_breaks_loop(self):
+        g = (
+            CircuitBuilder(["p", "q"])
+            .latch("A", phase="p")
+            .flipflop("F", phase="p")
+            .path("A", "F", 1)
+            .path("F", "A", 1)
+            .build()
+        )
+        assert check_loop_phases(g) == []
+
+    def test_schedule_overlap_flagged(self):
+        g = (
+            CircuitBuilder(["p", "q"])
+            .latch("A", phase="p")
+            .latch("B", phase="q")
+            .path("A", "B", 1)
+            .path("B", "A", 1)
+            .build()
+        )
+        overlapping = ClockSchedule(
+            100.0, [ClockPhase("p", 0.0, 60.0), ClockPhase("q", 40.0, 30.0)]
+        )
+        problems = check_loop_phases(g, overlapping)
+        assert problems and "simultaneously active" in problems[0]
+
+    def test_schedule_nonoverlap_passes(self):
+        g = (
+            CircuitBuilder(["phi1", "phi2"])
+            .latch("A", phase="phi1")
+            .latch("B", phase="phi2")
+            .path("A", "B", 1)
+            .path("B", "A", 1)
+            .build()
+        )
+        assert check_loop_phases(g, two_phase_clock(100.0)) == []
+
+
+class TestCheckStructure:
+    def test_clean_circuit(self, ex1):
+        report = check_structure(ex1)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_delta_dq_below_setup_is_error(self):
+        g = CircuitBuilder(["p"]).latch("A", phase="p", setup=5, delay=2).build()
+        report = check_structure(g)
+        assert not report.ok
+        assert "Delta_DQ" in report.errors[0]
+
+    def test_isolated_sync_warns(self):
+        g = CircuitBuilder(["p"]).latch("A", phase="p").build()
+        report = check_structure(g)
+        assert report.ok
+        assert any("isolated" in w for w in report.warnings)
+
+    def test_unused_phase_warns(self):
+        g = CircuitBuilder(["p", "unused"]).latch("A", phase="p").build()
+        assert any("unused" in w for w in check_structure(g).warnings)
+
+    def test_raise_on_error(self):
+        g = (
+            CircuitBuilder(["p"])
+            .latch("A", phase="p")
+            .latch("B", phase="p")
+            .path("A", "B", 1)
+            .path("B", "A", 1)
+            .build()
+        )
+        with pytest.raises(PhaseOverlapError):
+            check_structure(g).raise_on_error()

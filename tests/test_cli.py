@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.designs import example1
+from repro.lang.writer import write_circuit
+from repro.core.mlp import minimize_cycle_time
+
+
+@pytest.fixture
+def ex1_file(tmp_path):
+    path = tmp_path / "ex1.lcd"
+    path.write_text(write_circuit(example1(80.0)))
+    return str(path)
+
+
+@pytest.fixture
+def ex1_with_clock(tmp_path):
+    g = example1(80.0)
+    schedule = minimize_cycle_time(g).schedule
+    path = tmp_path / "ex1_clocked.lcd"
+    path.write_text(write_circuit(g, schedule))
+    return str(path)
+
+
+class TestMinimize:
+    def test_prints_optimum(self, ex1_file, capsys):
+        assert main(["minimize", ex1_file]) == 0
+        out = capsys.readouterr().out
+        assert "optimal cycle time: 110" in out
+
+    def test_nrip_flag(self, ex1_file, capsys):
+        assert main(["minimize", ex1_file, "--nrip"]) == 0
+        out = capsys.readouterr().out
+        assert "NRIP" in out
+        assert "120" in out
+
+    def test_critical_and_strips(self, ex1_file, capsys):
+        assert main(["minimize", ex1_file, "--critical", "--strips"]) == 0
+        out = capsys.readouterr().out
+        assert "critical segments" in out
+        assert "D=" in out
+
+    def test_svg_and_write_outputs(self, ex1_file, tmp_path, capsys):
+        svg = tmp_path / "out.svg"
+        lcd = tmp_path / "solved.lcd"
+        assert main(
+            ["minimize", ex1_file, "--svg", str(svg), "--write", str(lcd)]
+        ) == 0
+        assert svg.read_text().startswith("<svg")
+        assert "period" in lcd.read_text()
+
+    def test_dot_and_lp_exports(self, ex1_file, tmp_path, capsys):
+        dot = tmp_path / "circuit.dot"
+        lp = tmp_path / "system.lp"
+        assert main(
+            ["minimize", ex1_file, "--dot", str(dot), "--lp", str(lp)]
+        ) == 0
+        assert dot.read_text().startswith("digraph")
+        assert "Subject To" in lp.read_text()
+
+    def test_infeasible_max_period_is_an_error(self, ex1_file, capsys):
+        code = main(["minimize", ex1_file, "--max-period", "50"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["minimize", "/nonexistent.lcd"]) == 2
+
+
+class TestAnalyze:
+    def test_feasible_schedule(self, ex1_with_clock, capsys):
+        assert main(["analyze", ex1_with_clock]) == 0
+        assert "feasible: True" in capsys.readouterr().out
+
+    def test_hold_flag(self, ex1_with_clock, capsys):
+        assert main(["analyze", ex1_with_clock, "--hold"]) == 0
+        assert "hold: clean" in capsys.readouterr().out
+
+    def test_structural_file_rejected(self, ex1_file, capsys):
+        assert main(["analyze", ex1_file]) == 2
+        assert "no concrete schedule" in capsys.readouterr().err
+
+    def test_infeasible_schedule_exit_code(self, tmp_path, capsys):
+        g = example1(80.0)
+        bad = minimize_cycle_time(g).schedule.scaled(0.9)
+        path = tmp_path / "bad.lcd"
+        path.write_text(write_circuit(g, bad))
+        assert main(["analyze", str(path)]) == 1
+
+
+class TestSweepTuneBaselines:
+    def test_sweep_grid(self, ex1_file, capsys):
+        assert main(
+            ["sweep", ex1_file, "L4", "L1", "--lo", "0", "--hi", "140"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slope 0.5" in out
+        assert "breakpoints" in out
+
+    def test_sweep_exact(self, ex1_file, capsys):
+        assert main(
+            ["sweep", ex1_file, "L4", "L1", "--lo", "0", "--hi", "140", "--exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[20." in out or "20.0" in out
+
+    def test_tune_feasible(self, ex1_file, capsys):
+        assert main(["tune", ex1_file, "--period", "130"]) == 0
+        assert "slack" in capsys.readouterr().out
+
+    def test_tune_setup_bound_failure(self, tmp_path, capsys):
+        path = tmp_path / "flat.lcd"
+        path.write_text(write_circuit(example1(0.0)))
+        assert main(["tune", str(path), "--period", "75"]) == 1
+
+    def test_baselines_table(self, ex1_file, capsys):
+        assert main(["baselines", ex1_file]) == 0
+        out = capsys.readouterr().out
+        assert "MLP (optimal)" in out
+        assert "edge-triggered" in out
+        assert "NRIP" in out

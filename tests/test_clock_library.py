@@ -1,0 +1,89 @@
+"""Unit tests for the standard clock factories (Fig. 3)."""
+
+import pytest
+
+from repro.clocking.library import (
+    fig3_clocks,
+    four_phase_clock,
+    single_phase_clock,
+    symmetric_clock,
+    three_phase_clock,
+    two_phase_clock,
+)
+from repro.clocking.waveform import phases_overlap
+from repro.errors import ClockError
+
+
+class TestSymmetric:
+    def test_starts_evenly_spaced(self):
+        s = symmetric_clock(4, 100.0)
+        assert s.starts == (0.0, 25.0, 50.0, 75.0)
+
+    def test_duty(self):
+        s = symmetric_clock(2, 100.0, duty=0.3)
+        assert s.widths == (15.0, 15.0)
+
+    def test_satisfies_clock_constraints(self):
+        for k in (1, 2, 3, 5):
+            assert symmetric_clock(k, 60.0).is_valid()
+
+    def test_invalid_k(self):
+        with pytest.raises(ClockError):
+            symmetric_clock(0, 100.0)
+
+    def test_invalid_duty(self):
+        with pytest.raises(ClockError):
+            symmetric_clock(2, 100.0, duty=1.5)
+
+
+class TestTwoPhase:
+    def test_default_quarters(self):
+        s = two_phase_clock(100.0)
+        assert s["phi1"].width == 25.0
+        assert s["phi2"].start == 50.0
+
+    def test_phases_nonoverlapping(self):
+        s = two_phase_clock(100.0)
+        assert not phases_overlap(s, "phi1", "phi2")
+
+    def test_custom_widths(self):
+        s = two_phase_clock(100.0, width1=30.0, width2=40.0, gap=10.0)
+        assert s["phi1"].width == 30.0
+        assert s["phi2"].start == 40.0
+        assert s["phi2"].width == 40.0
+
+    def test_overfull_period_rejected(self):
+        with pytest.raises(ClockError):
+            two_phase_clock(100.0, width1=60.0, width2=60.0, gap=10.0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ClockError):
+            two_phase_clock(100.0, gap=-1.0)
+
+
+class TestFig3:
+    def test_contains_three_schemes(self):
+        clocks = fig3_clocks(100.0)
+        assert set(clocks) == {"two-phase", "three-phase", "four-phase"}
+
+    def test_all_valid_under_full_k(self):
+        # Fig. 3's clocks must satisfy C1-C4 even when every cross-phase
+        # pair is an I/O pair (the most demanding nonoverlap requirement
+        # for the two-phase case).
+        clocks = fig3_clocks(100.0)
+        two = clocks["two-phase"]
+        assert two.is_valid([[0, 1], [1, 0]])
+
+    def test_phase_counts(self):
+        clocks = fig3_clocks()
+        assert clocks["two-phase"].k == 2
+        assert clocks["three-phase"].k == 3
+        assert clocks["four-phase"].k == 4
+
+    def test_single_phase(self):
+        s = single_phase_clock(10.0)
+        assert s.k == 1 and s["phi1"].width == 5.0
+
+    def test_three_and_four_phase_wrappers(self):
+        assert three_phase_clock(90.0).k == 3
+        assert four_phase_clock(80.0).k == 4

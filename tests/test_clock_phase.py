@@ -1,0 +1,75 @@
+"""Unit tests for repro.clocking.phase."""
+
+import pytest
+
+from repro.clocking.phase import ClockPhase
+from repro.errors import ClockError
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        p = ClockPhase("phi1", 10.0, 30.0)
+        assert p.name == "phi1"
+        assert p.start == 10.0
+        assert p.width == 30.0
+        assert p.end == 40.0
+
+    def test_zero_width_is_legal(self):
+        assert ClockPhase("p", 0.0, 0.0).end == 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ClockError):
+            ClockPhase("", 0.0, 1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            ClockPhase("p", -1.0, 1.0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ClockError):
+            ClockPhase("p", 0.0, -0.5)
+
+
+class TestIsActive:
+    def test_inside_interval(self):
+        p = ClockPhase("p", 10.0, 20.0)
+        assert p.is_active(15.0, period=100.0)
+
+    def test_half_open_boundaries(self):
+        p = ClockPhase("p", 10.0, 20.0)
+        assert p.is_active(10.0, period=100.0)
+        assert not p.is_active(30.0, period=100.0)
+
+    def test_periodicity(self):
+        p = ClockPhase("p", 10.0, 20.0)
+        assert p.is_active(115.0, period=100.0)
+        assert not p.is_active(105.0, period=100.0)
+
+    def test_wrapping_interval(self):
+        # Active [90, 110) in a 100-cycle: wraps to [90,100) + [0,10).
+        p = ClockPhase("p", 90.0, 20.0)
+        assert p.is_active(95.0, period=100.0)
+        assert p.is_active(5.0, period=100.0)
+        assert not p.is_active(50.0, period=100.0)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ClockError):
+            ClockPhase("p", 0.0, 1.0).is_active(0.0, period=0.0)
+
+
+class TestTransforms:
+    def test_shifted(self):
+        p = ClockPhase("p", 10.0, 5.0).shifted(3.0)
+        assert p.start == 13.0 and p.width == 5.0
+
+    def test_scaled(self):
+        p = ClockPhase("p", 10.0, 5.0).scaled(2.0)
+        assert p.start == 20.0 and p.width == 10.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ClockError):
+            ClockPhase("p", 1.0, 1.0).scaled(-1.0)
+
+    def test_renamed(self):
+        p = ClockPhase("p", 1.0, 2.0).renamed("q")
+        assert p.name == "q" and p.start == 1.0

@@ -1,0 +1,116 @@
+"""Property tests for the clock algebra (C matrix, S operator, waveforms)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.clocking.waveform import (
+    intervals_in_window,
+    overlap_duration,
+    sample_phase,
+)
+
+
+@st.composite
+def schedules(draw, max_k=5):
+    k = draw(st.integers(1, max_k))
+    period = draw(st.floats(10.0, 1000.0))
+    starts = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, period), min_size=k, max_size=k
+            )
+        )
+    )
+    phases = []
+    for i, s in enumerate(starts):
+        width = draw(st.floats(0.0, period))
+        phases.append(ClockPhase(f"p{i}", s, width))
+    return ClockSchedule(period, phases)
+
+
+class TestPhaseShiftAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(schedules())
+    def test_self_shift_is_minus_period(self, s):
+        for i in range(s.k):
+            assert s.phase_shift(i, i) == pytest.approx(-s.period)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedules(), st.data())
+    def test_round_trip_loses_exactly_the_crossings(self, s, data):
+        i = data.draw(st.integers(0, s.k - 1))
+        j = data.draw(st.integers(0, s.k - 1))
+        total = s.phase_shift(i, j) + s.phase_shift(j, i)
+        crossings = s.ordering_flag(i, j) + s.ordering_flag(j, i)
+        assert total == pytest.approx(-crossings * s.period)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedules(), st.data())
+    def test_composition_differs_by_whole_periods(self, s, data):
+        i = data.draw(st.integers(0, s.k - 1))
+        j = data.draw(st.integers(0, s.k - 1))
+        k = data.draw(st.integers(0, s.k - 1))
+        direct = s.phase_shift(i, k)
+        via_j = s.phase_shift(i, j) + s.phase_shift(j, k)
+        diff = via_j - direct
+        # The two routes cross the cycle boundary a possibly different
+        # whole number of times.
+        periods = diff / s.period if s.period else 0.0
+        assert periods == pytest.approx(round(periods), abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedules(), st.data())
+    def test_ordering_flag_antisymmetry(self, s, data):
+        i = data.draw(st.integers(0, s.k - 1))
+        j = data.draw(st.integers(0, s.k - 1))
+        if i == j:
+            assert s.ordering_flag(i, j) == 1
+        else:
+            assert s.ordering_flag(i, j) + s.ordering_flag(j, i) == 1
+
+
+class TestWaveformProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(schedules(max_k=3), st.data())
+    def test_overlap_symmetric(self, s, data):
+        a = data.draw(st.integers(0, s.k - 1))
+        b = data.draw(st.integers(0, s.k - 1))
+        assert overlap_duration(s, a, b) == pytest.approx(
+            overlap_duration(s, b, a), abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules(max_k=3), st.data())
+    def test_self_overlap_is_width(self, s, data):
+        i = data.draw(st.integers(0, s.k - 1))
+        width = min(s[i].width, s.period)  # a phase can't be active longer
+        assert overlap_duration(s, i, i) == pytest.approx(width, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules(max_k=3), st.data())
+    def test_intervals_total_matches_width_per_cycle(self, s, data):
+        i = data.draw(st.integers(0, s.k - 1))
+        ivs = intervals_in_window(s, i, 0.0, 2 * s.period)
+        total = sum(hi - lo for lo, hi in ivs)
+        expected = 2 * min(s[i].width, s.period)
+        assert total == pytest.approx(expected, abs=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules(max_k=3), st.data())
+    def test_sampling_agrees_with_intervals(self, s, data):
+        i = data.draw(st.integers(0, s.k - 1))
+        t = data.draw(st.floats(0.0, 2 * float(s.period)))
+        ivs = intervals_in_window(s, i, 0.0, 2 * s.period)
+        in_interval = any(lo <= t < hi for lo, hi in ivs)
+        sampled = bool(sample_phase(s[i], s.period, [t])[0])
+        if s[i].width >= s.period:
+            return  # always-on phases: boundary conventions differ benignly
+        boundary_gap = min(
+            (min(abs(t - lo), abs(t - hi)) for lo, hi in ivs),
+            default=float("inf"),
+        )
+        if boundary_gap < 1e-6 or s[i].width < 1e-6:
+            return  # float-precision edge-of-interval cases
+        assert sampled == in_interval

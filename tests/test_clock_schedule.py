@@ -1,0 +1,187 @@
+"""Unit tests for repro.clocking.schedule: C/K machinery and C1-C4 checks."""
+
+import pytest
+
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.errors import ClockError
+
+
+def make(period=100.0):
+    return ClockSchedule(
+        period,
+        [ClockPhase("phi1", 0.0, 25.0), ClockPhase("phi2", 50.0, 25.0)],
+    )
+
+
+class TestConstruction:
+    def test_accessors(self):
+        s = make()
+        assert s.period == 100.0
+        assert s.k == 2
+        assert s.names == ("phi1", "phi2")
+        assert s.starts == (0.0, 50.0)
+        assert s.widths == (25.0, 25.0)
+
+    def test_lookup_by_name_and_index(self):
+        s = make()
+        assert s["phi2"].start == 50.0
+        assert s[0].name == "phi1"
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(ClockError):
+            make().index("phi9")
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(ClockError):
+            make().index(5)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ClockError):
+            ClockSchedule(10.0, [ClockPhase("p", 0, 1), ClockPhase("p", 2, 1)])
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(ClockError):
+            ClockSchedule(10.0, [])
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ClockError):
+            ClockSchedule(-1.0, [ClockPhase("p", 0, 0)])
+
+    def test_equality_and_hash(self):
+        assert make() == make()
+        assert hash(make()) == hash(make())
+        assert make() != make(period=99.0)
+
+
+class TestOrderingFlag:
+    """Eq. (1): C_ij = 0 if i < j else 1."""
+
+    def test_forward_pair(self):
+        assert make().ordering_flag("phi1", "phi2") == 0
+
+    def test_backward_pair(self):
+        assert make().ordering_flag("phi2", "phi1") == 1
+
+    def test_same_phase(self):
+        assert make().ordering_flag("phi1", "phi1") == 1
+
+
+class TestPhaseShift:
+    """Eq. (12): S_ij = s_i - (s_j + C_ij * Tc).
+
+    Checked against the worked operators in the paper's Appendix.
+    """
+
+    def test_forward_shift(self):
+        # S_12 = s_1 - s_2 (no cycle crossing).
+        assert make().phase_shift("phi1", "phi2") == 0.0 - 50.0
+
+    def test_backward_shift_crosses_cycle(self):
+        # S_21 = s_2 - s_1 - Tc.
+        assert make().phase_shift("phi2", "phi1") == 50.0 - 0.0 - 100.0
+
+    def test_self_shift_is_minus_period(self):
+        # S_ii = -Tc: a same-phase transfer spans one full cycle.
+        assert make().phase_shift("phi1", "phi1") == -100.0
+
+    def test_appendix_four_phase_operators(self):
+        s = ClockSchedule(
+            200.0,
+            [
+                ClockPhase("phi1", 0.0, 20.0),
+                ClockPhase("phi2", 50.0, 20.0),
+                ClockPhase("phi3", 100.0, 20.0),
+                ClockPhase("phi4", 150.0, 20.0),
+            ],
+        )
+        # The Appendix lists S_13 = s1 - s3 and S_21 = s2 - s1 - Tc etc.
+        assert s.phase_shift("phi1", "phi3") == 0.0 - 100.0
+        assert s.phase_shift("phi2", "phi1") == 50.0 - 0.0 - 200.0
+        assert s.phase_shift("phi4", "phi3") == 150.0 - 100.0 - 200.0
+
+    def test_roundtrip_re_referencing(self):
+        # Moving a time from frame i to j and back loses one full period
+        # when the pair crosses the cycle boundary both ways.
+        s = make()
+        there = s.phase_shift("phi1", "phi2")
+        back = s.phase_shift("phi2", "phi1")
+        assert there + back == -s.period
+
+
+class TestViolations:
+    def test_valid_schedule_has_none(self):
+        assert make().violations() == []
+
+    def test_c1_width_exceeds_period(self):
+        s = ClockSchedule(10.0, [ClockPhase("p", 0.0, 12.0)])
+        tags = {v.constraint for v in s.violations()}
+        assert "C1" in tags
+
+    def test_c1_start_exceeds_period(self):
+        s = ClockSchedule(10.0, [ClockPhase("p", 11.0, 1.0)])
+        assert any(v.constraint == "C1" for v in s.violations())
+
+    def test_c2_out_of_order_starts(self):
+        s = ClockSchedule(
+            100.0, [ClockPhase("a", 50.0, 10.0), ClockPhase("b", 10.0, 10.0)]
+        )
+        assert any(v.constraint == "C2" for v in s.violations())
+
+    def test_c3_overlapping_io_pair(self):
+        # phi1 feeds phi2 and phi2 feeds phi1 (a two-phase loop): the
+        # canonical nonoverlap requirement.  Overlapping phases violate C3.
+        s = ClockSchedule(
+            100.0, [ClockPhase("a", 0.0, 60.0), ClockPhase("b", 50.0, 40.0)]
+        )
+        k = [[0, 1], [1, 0]]
+        assert any(v.constraint == "C3" for v in s.violations(k))
+
+    def test_c3_respects_k_matrix(self):
+        # Without the K entry the same overlap is legal.
+        s = ClockSchedule(
+            100.0, [ClockPhase("a", 0.0, 60.0), ClockPhase("b", 50.0, 40.0)]
+        )
+        assert s.violations([[0, 0], [0, 0]]) == []
+
+    def test_k_matrix_as_mapping(self):
+        s = ClockSchedule(
+            100.0, [ClockPhase("a", 0.0, 60.0), ClockPhase("b", 50.0, 40.0)]
+        )
+        assert any(
+            v.constraint == "C3" for v in s.violations({("a", "b"): True, ("b", "a"): True})
+        )
+
+    def test_malformed_k_matrix_rejected(self):
+        with pytest.raises(ClockError):
+            make().violations([[0]])
+
+    def test_validate_raises_with_details(self):
+        s = ClockSchedule(10.0, [ClockPhase("p", 0.0, 12.0)])
+        with pytest.raises(ClockError, match="C1"):
+            s.validate()
+
+    def test_is_valid(self):
+        assert make().is_valid()
+        assert not ClockSchedule(10.0, [ClockPhase("p", 0.0, 12.0)]).is_valid()
+
+
+class TestTransforms:
+    def test_scaled(self):
+        s = make().scaled(2.0)
+        assert s.period == 200.0
+        assert s["phi2"].start == 100.0
+
+    def test_with_period(self):
+        assert make().with_period(123.0).period == 123.0
+
+    def test_normalized_sorts_by_start(self):
+        s = ClockSchedule(
+            100.0, [ClockPhase("late", 50.0, 10.0), ClockPhase("early", 1.0, 10.0)]
+        )
+        assert s.normalized().names == ("early", "late")
+
+    def test_as_dict(self):
+        d = make().as_dict()
+        assert d["period"] == 100.0
+        assert d["phases"][1]["name"] == "phi2"

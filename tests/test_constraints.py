@@ -1,0 +1,235 @@
+"""Unit tests for SMO constraint generation (Section III)."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.core.constraints import (
+    TC,
+    ConstraintOptions,
+    build_maxplus_system,
+    build_program,
+    d_var,
+    s_var,
+    t_var,
+    schedule_from_values,
+)
+from repro.clocking.library import two_phase_clock
+from repro.designs import example1
+from repro.errors import CircuitError, LPError
+from repro.lp.model import Sense
+
+
+@pytest.fixture
+def smo_ex1():
+    return build_program(example1(80.0))
+
+
+class TestFamilies:
+    def test_family_sizes_example1(self, smo_ex1):
+        # k = 2, l = 4, arcs = 4, |K| = 2.
+        assert len(smo_ex1.family("C1")) == 4  # 2 per phase
+        assert len(smo_ex1.family("C2")) == 1
+        assert len(smo_ex1.family("C3")) == 2
+        assert len(smo_ex1.family("L1")) == 4
+        assert len(smo_ex1.family("L2R")) == 4
+
+    def test_explicit_count(self, smo_ex1):
+        assert smo_ex1.explicit_constraint_count == 4 + 1 + 2 + 4 + 4
+
+    def test_paper_count_adds_nonnegativity(self, smo_ex1):
+        # + C4 (2k+1 = 5) + L3 (l = 4).
+        assert smo_ex1.paper_constraint_count == 15 + 5 + 4
+
+    def test_objective_is_tc(self, smo_ex1):
+        assert smo_ex1.program.objective.terms == {TC: 1.0}
+
+    def test_arc_mapping(self, smo_ex1):
+        assert smo_ex1.arc_of_constraint["L2R[L4->L1]"] == ("L4", "L1")
+
+
+class TestPaperConstraintListing:
+    """Check the generated rows against the paper's Section V listing."""
+
+    def test_setup_rows(self, smo_ex1):
+        con = smo_ex1.program.constraint("L1[L1]")
+        # D1 + 10 <= T1  ->  D1 - T1 <= -10.
+        assert con.sense is Sense.LE
+        assert con.lhs.terms == {d_var("L1"): 1.0, t_var("phi1"): -1.0}
+        assert con.rhs == -10.0
+
+    def test_propagation_row_without_cycle_crossing(self, smo_ex1):
+        # D2 >= D1 + 10 + 20 + s1 - s2.
+        con = smo_ex1.program.constraint("L2R[L1->L2]")
+        assert con.sense is Sense.GE
+        assert con.lhs.terms == {
+            d_var("L2"): 1.0,
+            d_var("L1"): -1.0,
+            s_var("phi1"): -1.0,
+            s_var("phi2"): 1.0,
+        }
+        assert con.rhs == 30.0
+
+    def test_propagation_row_with_cycle_crossing(self, smo_ex1):
+        # D1 >= D4 + 10 + 80 + s2 - s1 - Tc.
+        con = smo_ex1.program.constraint("L2R[L4->L1]")
+        assert con.lhs.terms == {
+            d_var("L1"): 1.0,
+            d_var("L4"): -1.0,
+            s_var("phi2"): -1.0,
+            s_var("phi1"): 1.0,
+            TC: 1.0,
+        }
+        assert con.rhs == 90.0
+
+    def test_nonoverlap_rows(self, smo_ex1):
+        # s1 >= s2 + T2 - Tc and s2 >= s1 + T1.
+        c12 = smo_ex1.program.constraint("C3[phi1/phi2]")
+        assert c12.lhs.terms == {
+            s_var("phi1"): 1.0,
+            s_var("phi2"): -1.0,
+            t_var("phi2"): -1.0,
+            TC: 1.0,
+        }
+        c21 = smo_ex1.program.constraint("C3[phi2/phi1]")
+        assert c21.lhs.terms == {
+            s_var("phi2"): 1.0,
+            s_var("phi1"): -1.0,
+            t_var("phi1"): -1.0,
+        }
+
+    def test_topological_coefficients(self, smo_ex1):
+        smo_ex1.assert_topological()
+        assert smo_ex1.program.check_topological()
+
+
+class TestFlipFlopRows:
+    def build(self, edge):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("L", phase="phi1", setup=1, delay=2)
+        b.flipflop("F", phase="phi2", setup=0.5, delay=1, edge=edge)
+        b.path("L", "F", 10)
+        b.path("F", "L", 4)
+        return build_program(b.build())
+
+    def test_rise_pins_departure_to_zero(self):
+        smo = self.build("rise")
+        con = smo.program.constraint("FF[F]")
+        assert con.sense is Sense.EQ
+        assert con.lhs.terms == {d_var("F"): 1.0}
+        assert con.rhs == 0.0
+
+    def test_fall_pins_departure_to_width(self):
+        smo = self.build("fall")
+        con = smo.program.constraint("FF[F]")
+        assert con.lhs.terms == {d_var("F"): 1.0, t_var("phi2"): -1.0}
+
+    def test_rise_setup_row(self):
+        smo = self.build("rise")
+        con = smo.program.constraint("FS[L->F]")
+        # D_L + 2 + 10 + s1 - s2 + 0.5 <= 0.
+        assert con.sense is Sense.LE
+        assert con.rhs == pytest.approx(-12.5)
+
+    def test_fall_setup_row_references_width(self):
+        smo = self.build("fall")
+        con = smo.program.constraint("FS[L->F]")
+        assert t_var("phi2") in con.lhs.terms
+
+
+class TestOptions:
+    def test_min_width_rows(self):
+        smo = build_program(example1(), ConstraintOptions(min_width=5.0))
+        assert len(smo.family("XW")) == 2
+
+    def test_max_period_row(self):
+        smo = build_program(example1(), ConstraintOptions(max_period=100.0))
+        assert smo.family("XP") == ["XP[Tc]"]
+
+    def test_fixed_values(self):
+        opts = ConstraintOptions(
+            fixed_period=100.0,
+            fixed_starts={"phi1": 0.0},
+            fixed_widths={"phi2": 20.0},
+        )
+        smo = build_program(example1(), opts)
+        assert len(smo.family("FIX")) == 3
+
+    def test_fixed_unknown_phase_rejected(self):
+        with pytest.raises(CircuitError):
+            build_program(
+                example1(), ConstraintOptions(fixed_starts={"bogus": 0.0})
+            )
+
+    def test_zero_departure_rows(self):
+        smo = build_program(
+            example1(), ConstraintOptions(zero_departure_phases=("phi2",))
+        )
+        assert sorted(smo.family("NR")) == ["NR[L2]", "NR[L4]"]
+
+    def test_zero_departure_unknown_phase(self):
+        with pytest.raises(CircuitError):
+            build_program(
+                example1(), ConstraintOptions(zero_departure_phases=("zz",))
+            )
+
+    def test_setup_margin_tightens_rhs(self):
+        plain = build_program(example1())
+        tight = build_program(example1(), ConstraintOptions(setup_margin=2.0))
+        assert (
+            tight.program.constraint("L1[L1]").rhs
+            == plain.program.constraint("L1[L1]").rhs - 2.0
+        )
+
+    def test_min_separation_tightens_c3(self):
+        plain = build_program(example1())
+        spaced = build_program(example1(), ConstraintOptions(min_separation=3.0))
+        assert (
+            spaced.program.constraint("C3[phi2/phi1]").rhs
+            == plain.program.constraint("C3[phi2/phi1]").rhs + 3.0
+        )
+
+    def test_negative_options_rejected(self):
+        with pytest.raises(LPError):
+            ConstraintOptions(min_width=-1.0)
+        with pytest.raises(LPError):
+            ConstraintOptions(min_separation=-1.0)
+
+
+class TestMaxPlusBridge:
+    def test_weights_match_shift_operator(self):
+        g = example1(80.0)
+        schedule = two_phase_clock(200.0)
+        system = build_maxplus_system(g, schedule)
+        weights = {(a.src, a.dst): a.weight for a in system.arcs}
+        # w(L1->L2) = 10 + 20 + S_12.
+        assert weights[("L1", "L2")] == pytest.approx(
+            30 + schedule.phase_shift("phi1", "phi2")
+        )
+        assert weights[("L4", "L1")] == pytest.approx(
+            90 + schedule.phase_shift("phi2", "phi1")
+        )
+
+    def test_phase_mismatch_rejected(self):
+        g = example1()
+        bad = two_phase_clock(100.0).scaled(1.0)
+        renamed = bad.with_period(100.0)
+        from repro.clocking.phase import ClockPhase
+        from repro.clocking.schedule import ClockSchedule
+
+        other = ClockSchedule(
+            100.0, [ClockPhase("a", 0, 10), ClockPhase("b", 50, 10)]
+        )
+        with pytest.raises(CircuitError):
+            build_maxplus_system(g, other)
+
+    def test_schedule_from_values_snaps_dust(self):
+        g = example1()
+        values = {
+            TC: 100.0,
+            s_var("phi1"): -1e-10,
+            t_var("phi1"): 10.0,
+            s_var("phi2"): 50.0,
+            t_var("phi2"): 10.0,
+        }
+        schedule = schedule_from_values(g, values)
+        assert schedule["phi1"].start == 0.0

@@ -1,0 +1,53 @@
+"""Unit tests for synchronizer elements (latches and flip-flops)."""
+
+import pytest
+
+from repro.circuit.elements import EdgeKind, FlipFlop, Latch
+from repro.errors import CircuitError
+
+
+class TestLatch:
+    def test_fields(self):
+        l = Latch(name="L1", phase="phi1", setup=2.0, delay=3.0, hold=0.5)
+        assert l.is_latch
+        assert l.setup == 2.0 and l.delay == 3.0 and l.hold == 0.5
+
+    def test_defaults_zero(self):
+        l = Latch(name="L", phase="p")
+        assert l.setup == 0.0 and l.delay == 0.0 and l.hold == 0.0
+
+    def test_requires_name_and_phase(self):
+        with pytest.raises(CircuitError):
+            Latch(name="", phase="p")
+        with pytest.raises(CircuitError):
+            Latch(name="L", phase="")
+
+    @pytest.mark.parametrize("field", ["setup", "delay", "hold"])
+    def test_negative_parameters_rejected(self, field):
+        with pytest.raises(CircuitError):
+            Latch(name="L", phase="p", **{field: -1.0})
+
+    def test_with_phase(self):
+        l = Latch(name="L", phase="a").with_phase("b")
+        assert l.phase == "b"
+
+    def test_immutable(self):
+        l = Latch(name="L", phase="p")
+        with pytest.raises(AttributeError):
+            l.setup = 1.0  # type: ignore[misc]
+
+
+class TestFlipFlop:
+    def test_default_edge_is_rise(self):
+        assert FlipFlop(name="F", phase="p").edge is EdgeKind.RISE
+
+    def test_not_a_latch(self):
+        assert not FlipFlop(name="F", phase="p").is_latch
+
+    def test_edge_coercion_from_string(self):
+        f = FlipFlop(name="F", phase="p", edge="fall")
+        assert f.edge is EdgeKind.FALL
+
+    def test_invalid_edge_rejected(self):
+        with pytest.raises(ValueError):
+            FlipFlop(name="F", phase="p", edge="sideways")

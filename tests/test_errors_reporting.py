@@ -1,0 +1,99 @@
+"""Unit tests for the error hierarchy, LP result helpers, and reporting."""
+
+import pytest
+
+from repro import errors
+from repro.core.mlp import minimize_cycle_time
+from repro.core.reporting import format_analysis, format_comparison, format_optimal_result
+from repro.core.analysis import analyze
+from repro.lp.result import LPResult, LPStatus
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ClockError",
+            "CircuitError",
+            "PhaseOverlapError",
+            "LPError",
+            "InfeasibleError",
+            "UnboundedError",
+            "SolverError",
+            "AnalysisError",
+            "DivergentTimingError",
+            "ParseError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.PhaseOverlapError, errors.CircuitError)
+        assert issubclass(errors.InfeasibleError, errors.LPError)
+        assert issubclass(errors.UnboundedError, errors.LPError)
+        assert issubclass(errors.DivergentTimingError, errors.AnalysisError)
+
+    def test_parse_error_location_formatting(self):
+        err = errors.ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err) and "column 7" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_parse_error_without_location(self):
+        assert str(errors.ParseError("oops")) == "oops"
+
+
+class TestLPResultHelpers:
+    def test_ok_flag(self):
+        assert LPResult(status=LPStatus.OPTIMAL).ok
+        assert not LPResult(status=LPStatus.INFEASIBLE).ok
+
+    def test_value_accessor(self):
+        r = LPResult(status=LPStatus.OPTIMAL, values={"x": 2.0})
+        assert r.value("x") == 2.0
+        with pytest.raises(KeyError):
+            r.value("y")
+
+    def test_binding_constraints_tolerance(self):
+        r = LPResult(
+            status=LPStatus.OPTIMAL, slacks={"tight": 1e-9, "loose": 5.0}
+        )
+        assert r.binding_constraints() == ["tight"]
+
+
+class TestReporting:
+    def test_format_optimal_result(self, ex1):
+        result = minimize_cycle_time(ex1)
+        text = format_optimal_result(result)
+        assert "optimal cycle time: 110" in text
+        assert "D =" in text
+        assert "slide:" in text
+
+    def test_format_notes_slid_departures(self):
+        from repro.designs import example1
+
+        result = minimize_cycle_time(example1(120.0))
+        if any(
+            abs(result.lp_departures[k] - result.departures[k]) > 1e-9
+            for k in result.departures
+        ):
+            assert "slid down" in format_optimal_result(result)
+
+    def test_format_comparison_alignment(self):
+        rows = [
+            {"d41": 80.0, "mlp": 110.0, "nrip": 120.0},
+            {"d41": 120.0, "mlp": 140.0, "nrip": 160.0},
+        ]
+        text = format_comparison(rows, ["d41", "mlp", "nrip"], title="Fig. 7")
+        lines = text.splitlines()
+        assert lines[0] == "Fig. 7"
+        assert "d41" in lines[1]
+        assert "110" in text and "160" in text
+
+    def test_format_comparison_missing_cells(self):
+        text = format_comparison([{"a": 1.0}], ["a", "b"])
+        assert text  # renders without KeyError
+
+    def test_format_analysis(self, ex1):
+        from repro.clocking.library import two_phase_clock
+
+        text = format_analysis(analyze(ex1, two_phase_clock(400.0)))
+        assert "feasible" in text

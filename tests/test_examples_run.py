@@ -1,0 +1,25 @@
+"""Smoke tests: every shipped example script runs to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p
+    for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, tmp_path, monkeypatch):
+    # Examples that write artifacts should do so somewhere disposable.
+    monkeypatch.chdir(tmp_path)
+    sys_path = list(sys.path)
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.path[:] = sys_path
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

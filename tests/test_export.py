@@ -1,0 +1,99 @@
+"""Tests for the LP/MPS/DOT exporters."""
+
+import re
+
+import pytest
+
+from repro.core.constraints import build_program
+from repro.designs import example1, gaas_datapath
+from repro.export.dot import to_dot
+from repro.export.lpformat import to_cplex_lp, to_mps
+
+
+@pytest.fixture
+def program(ex1):
+    return build_program(ex1).program
+
+
+class TestCplexLp:
+    def test_sections_present(self, program):
+        text = to_cplex_lp(program)
+        for section in ("Minimize", "Subject To", "End"):
+            assert section in text
+
+    def test_objective_is_tc(self, program):
+        text = to_cplex_lp(program)
+        assert re.search(r"obj:\s+Tc", text)
+
+    def test_names_sanitized(self, program):
+        text = to_cplex_lp(program)
+        assert "D[L1]" not in text
+        assert "D_L1_" in text
+
+    def test_all_constraints_emitted(self, program):
+        text = to_cplex_lp(program)
+        assert text.count("<=") + text.count(">=") + text.count(" = ") == len(
+            program
+        )
+
+    def test_free_variables_in_bounds(self):
+        from repro.lp.expr import var
+        from repro.lp.model import LinearProgram
+
+        lp = LinearProgram()
+        lp.set_free("z")
+        lp.minimize(var("z"))
+        lp.add_ge(var("z"), -5, name="lb")
+        text = to_cplex_lp(lp)
+        assert "Bounds" in text and "z free" in text
+
+    def test_deterministic(self, program):
+        assert to_cplex_lp(program) == to_cplex_lp(program)
+
+
+class TestMps:
+    def test_sections(self, program):
+        text = to_mps(program)
+        for section in ("NAME", "ROWS", "COLUMNS", "RHS", "ENDATA"):
+            assert section in text
+
+    def test_row_kinds(self, program):
+        text = to_mps(program)
+        assert " N COST" in text
+        assert " L " in text  # <= rows
+        assert " G " in text  # >= rows
+
+    def test_rhs_values_present(self, program):
+        text = to_mps(program)
+        # Example 1's L2R rows have rhs 30, 30, 70, 90.
+        assert " 90" in text
+
+    def test_gaas_exports_cleanly(self):
+        program = build_program(gaas_datapath()).program
+        text = to_mps(program)
+        assert text.count("\n") > 100
+
+
+class TestDot:
+    def test_structure(self, ex1):
+        dot = to_dot(ex1)
+        assert dot.startswith("digraph")
+        assert '"L1" -> "L2"' in dot
+        assert "cluster_0" in dot and "cluster_1" in dot
+
+    def test_edge_labels_carry_delays(self, ex1):
+        dot = to_dot(ex1)
+        assert "La: 20" in dot
+        assert "Ld: 80" in dot
+
+    def test_flipflops_distinct_shape(self):
+        dot = to_dot(gaas_datapath())
+        assert "doubleoctagon" in dot
+        assert "rise-edge FF" in dot and "fall-edge FF" in dot
+
+    def test_min_delays_shown_when_present(self, simple_pipeline):
+        dot = to_dot(simple_pipeline)
+        assert "(4 min)" in dot
+
+    def test_deterministic(self, ex1):
+        assert to_dot(ex1) == to_dot(ex1)

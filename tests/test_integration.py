@@ -1,0 +1,174 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+import pytest
+
+from repro import (
+    CircuitBuilder,
+    ConstraintOptions,
+    analyze,
+    binary_search_minimize,
+    borrowing_minimize,
+    check_hold,
+    check_structure,
+    clock_diagram,
+    critical_segments,
+    default_library,
+    edge_triggered_minimize,
+    extract_timing_graph,
+    minimize_cycle_time,
+    nrip_minimize,
+    parse_circuit,
+    schedule_svg,
+    simulate,
+    strip_diagram,
+    sweep_delay,
+    write_circuit,
+)
+from repro.netlist import Netlist
+
+
+class TestTextToOptimumPipeline:
+    """lcd text -> graph -> MLP -> analysis -> simulation -> renderers."""
+
+    TEXT = """
+    clock { phase phi1; phase phi2; phase phi3; }
+    latch A phase phi1 setup 2 delay 3;
+    latch B phase phi2 setup 2 delay 3;
+    latch C phase phi3 setup 2 delay 3;
+    flipflop F phase phi1 edge rise setup 1 delay 2;
+    path A -> B delay 12;
+    path B -> C delay 9;
+    path C -> A delay 15;
+    path B -> F delay 4;
+    path F -> B delay 6;
+    """
+
+    def test_full_pipeline(self):
+        graph = parse_circuit(self.TEXT).to_graph()
+        assert check_structure(graph).ok
+
+        result = minimize_cycle_time(graph)
+        assert result.period > 0
+
+        report = analyze(graph, result.schedule)
+        assert report.feasible
+
+        sim = simulate(graph, result.schedule)
+        assert sim.feasible
+        for name, d in sim.steady_departures().items():
+            assert d == pytest.approx(report.timings[name].departure, abs=1e-6)
+
+        # Renderers accept the real outputs.
+        assert "phi3" in clock_diagram(result.schedule)
+        assert "F" in strip_diagram(graph, report)
+        assert "<svg" in schedule_svg(result.schedule, graph, report)
+
+        # Round-trip including the solved schedule.
+        text = write_circuit(graph, result.schedule)
+        decl = parse_circuit(text)
+        assert decl.to_schedule() == result.schedule
+
+    def test_criticality_consistent_with_sweep(self):
+        graph = parse_circuit(self.TEXT).to_graph()
+        result = minimize_cycle_time(graph)
+        report = critical_segments(result.smo, result.lp_result)
+        critical_arcs = {(a.src, a.dst) for a in report.arcs}
+        # Perturbing a critical arc's delay changes the optimum; perturbing
+        # a deeply noncritical one does not.
+        base = result.period
+        for src, dst in critical_arcs:
+            bumped = graph.with_arc_delay(src, dst, graph.arc(src, dst).delay + 5.0)
+            assert minimize_cycle_time(bumped).period >= base - 1e-9
+
+
+class TestGateLevelToOptimumPipeline:
+    """Gate netlist -> STA extraction -> MLP -> verification."""
+
+    def build_netlist(self):
+        lib = default_library()
+        nl = Netlist("pipe", lib)
+        for clk in ("c1", "c2"):
+            nl.add_input(clk)
+        nl.add("lat_a", "DLATCH", D="wrap", G="c1", Q="qa")
+        nl.add("u1", "NAND2", A="qa", B="qa", Z="n1")
+        nl.add("u2", "FA_S", A="n1", B="qa", CI="qa", Z="n2")
+        nl.add("u3", "INV", A="n2", Z="n3")
+        nl.add("lat_b", "DLATCH", D="n3", G="c2", Q="qb")
+        nl.add("u4", "MUX2", A="qb", B="qb", S="qb", Z="n4")
+        nl.add("u5", "BUF", A="n4", Z="wrap")
+        return nl
+
+    def test_extract_optimize_verify(self):
+        nl = self.build_netlist()
+        assert nl.check() == []
+        graph = extract_timing_graph(nl, {"c1": "phi1", "c2": "phi2"})
+        result = minimize_cycle_time(graph)
+        assert analyze(graph, result.schedule).feasible
+        assert simulate(graph, result.schedule).feasible
+        # Short-path side: the default library's hold demands are tiny.
+        assert check_hold(graph, result.schedule).feasible
+
+    def test_min_delays_propagate_to_hold_analysis(self):
+        nl = self.build_netlist()
+        graph = extract_timing_graph(nl, {"c1": "phi1", "c2": "phi2"})
+        arc = graph.arc("lat_a", "lat_b")
+        assert 0 < arc.min_delay < arc.delay
+
+
+class TestBaselineHierarchy:
+    """All five algorithms on one circuit, with the expected ordering."""
+
+    def test_ordering_on_example2(self, ex2):
+        opt = minimize_cycle_time(ex2).period
+        nrip = nrip_minimize(ex2).period
+        borrowed = borrowing_minimize(ex2, iterations=30).period
+        bsearch = binary_search_minimize(ex2)
+        edge = edge_triggered_minimize(ex2).period
+        assert opt <= nrip + 1e-9
+        assert opt <= borrowed + 1e-9
+        assert opt <= bsearch + 1e-9
+        assert opt <= edge + 1e-9
+        # Borrowing converges to the symmetric-shape boundary found by the
+        # binary search (they share the oracle and the shape).
+        assert borrowed == pytest.approx(bsearch, rel=1e-3)
+
+
+class TestOptionsInteroperate:
+    def test_margin_flows_through_analysis_and_mlp(self, ex1):
+        options = ConstraintOptions(setup_margin=5.0)
+        result = minimize_cycle_time(ex1, options)
+        assert result.period >= minimize_cycle_time(ex1).period
+        assert analyze(ex1, result.schedule, options).feasible
+
+    def test_sweep_respects_options(self):
+        from repro.designs import example1
+
+        plain = sweep_delay(example1(), "L4", "L1", grid=[0.0, 120.0])
+        margined = sweep_delay(
+            example1(),
+            "L4",
+            "L1",
+            grid=[0.0, 120.0],
+            options=ConstraintOptions(setup_margin=5.0),
+        )
+        assert all(
+            m >= p for m, p in zip(margined.periods, plain.periods)
+        )
+
+
+class TestVectorLumpingEndToEnd:
+    def test_32bit_bus_costs_one_latch(self):
+        from repro.circuit.lump import lump_parallel_latches
+
+        b = CircuitBuilder(["phi1", "phi2"])
+        for i in range(32):
+            b.latch(f"a{i}", phase="phi1", setup=1, delay=2)
+            b.latch(f"b{i}", phase="phi2", setup=1, delay=2)
+            b.path(f"a{i}", f"b{i}", 7)
+            b.path(f"b{i}", f"a{i}", 9)
+        wide = b.build()
+        reduced, _ = lump_parallel_latches(wide)
+        assert reduced.l == 2
+        assert minimize_cycle_time(reduced).period == pytest.approx(
+            minimize_cycle_time(wide).period
+        )

@@ -1,0 +1,107 @@
+"""Global invariant property tests across the whole optimization stack.
+
+These encode facts that must hold for *any* circuit, independent of the
+paper's examples: homogeneity of the optimum in the delays, monotonicity
+in delays and structure, agreement between the LP view and the analytical
+view, and the topological-coefficient property of Section VI.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.generate import random_multiloop_circuit
+from repro.core.analysis import analyze
+from repro.core.constraints import build_program
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.designs import example1
+
+FAST = MLPOptions(verify=False)
+
+
+def circuits():
+    return st.builds(
+        random_multiloop_circuit,
+        n_latches=st.integers(3, 9),
+        n_extra_arcs=st.integers(0, 5),
+        k=st.integers(2, 4),
+        seed=st.integers(0, 99999),
+    )
+
+
+class TestHomogeneity:
+    """Tc*(c * all delays) = c * Tc*: the LP is homogeneous of degree 1."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=circuits(), factor=st.floats(0.25, 4.0))
+    def test_scaling(self, g, factor):
+        base = minimize_cycle_time(g, mlp=FAST).period
+        scaled = minimize_cycle_time(g.scaled_delays(factor), mlp=FAST).period
+        assert scaled == pytest.approx(base * factor, rel=1e-7, abs=1e-9)
+
+    def test_example1_scaling(self):
+        g = example1(80.0)
+        assert minimize_cycle_time(g.scaled_delays(0.001)).period == (
+            pytest.approx(0.110)
+        )
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(g=circuits(), bump=st.floats(0.0, 50.0))
+    def test_increasing_any_delay_never_helps(self, g, bump):
+        arc = g.arcs[0]
+        base = minimize_cycle_time(g, mlp=FAST).period
+        slower = g.with_arc_delay(arc.src, arc.dst, arc.delay + bump)
+        assert minimize_cycle_time(slower, mlp=FAST).period >= base - 1e-7
+
+    @settings(max_examples=15, deadline=None)
+    @given(g=circuits())
+    def test_removing_an_arc_never_hurts(self, g):
+        # Dropping a constraint (an arc) can only relax the problem.
+        base = minimize_cycle_time(g, mlp=FAST).period
+        arc = max(g.arcs, key=lambda a: a.delay)
+        from repro.circuit.graph import TimingGraph
+
+        reduced = TimingGraph(
+            g.phase_names,
+            g.synchronizers,
+            [a for a in g.arcs if (a.src, a.dst) != (arc.src, arc.dst)],
+        )
+        assert minimize_cycle_time(reduced, mlp=FAST).period <= base + 1e-7
+
+    @settings(max_examples=15, deadline=None)
+    @given(g=circuits(), extra=st.floats(0.1, 20.0))
+    def test_setup_margin_monotone(self, g, extra):
+        from repro.core.constraints import ConstraintOptions
+
+        base = minimize_cycle_time(g, mlp=FAST).period
+        tighter = minimize_cycle_time(
+            g, ConstraintOptions(setup_margin=extra), mlp=FAST
+        ).period
+        assert tighter >= base - 1e-7
+
+
+class TestConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(g=circuits())
+    def test_topological_coefficients_always(self, g):
+        build_program(g).assert_topological()
+
+    @settings(max_examples=15, deadline=None)
+    @given(g=circuits(), stretch=st.floats(1.0, 3.0))
+    def test_analysis_feasible_anywhere_at_or_above_optimum(self, g, stretch):
+        result = minimize_cycle_time(g, mlp=FAST)
+        # Scaling the whole optimal schedule up keeps it feasible: the
+        # schedule stretches proportionally while delays stay fixed.
+        assert analyze(g, result.schedule.scaled(stretch)).feasible
+
+    @settings(max_examples=15, deadline=None)
+    @given(g=circuits())
+    def test_paper_constraint_count_formula(self, g):
+        smo = build_program(g)
+        k, l = g.k, g.l
+        arcs = len(g.arcs)
+        n_k = len(g.io_phase_pairs())
+        expected = (2 * k) + (k - 1) + n_k + l + arcs  # all-latch circuits
+        assert smo.explicit_constraint_count == expected
+        assert smo.paper_constraint_count == expected + (2 * k + 1) + l

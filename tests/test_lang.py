@@ -1,0 +1,180 @@
+"""Unit and property tests for the circuit-description language."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.generate import random_multiloop_circuit
+from repro.errors import ParseError
+from repro.lang.lexer import TokenKind, tokenize
+from repro.lang.parser import parse_circuit
+from repro.lang.writer import write_circuit
+
+EXAMPLE1_TEXT = """
+# Example 1 of the paper (Fig. 5)
+clock { phase phi1; phase phi2; }
+latch L1 phase phi1 setup 10 delay 10;
+latch L2 phase phi2 setup 10 delay 10;
+latch L3 phase phi1 setup 10 delay 10;
+latch L4 phase phi2 setup 10 delay 10;
+path L1 -> L2 delay 20 label "La";
+path L2 -> L3 delay 20 label "Lb";
+path L3 -> L4 delay 60 label "Lc";
+path L4 -> L1 delay 80 label "Ld";
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = tokenize('latch L1 { } ; -> 3.5 "hi"')
+        kinds = [t.kind for t in toks]
+        assert kinds == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.SEMI,
+            TokenKind.ARROW,
+            TokenKind.NUMBER,
+            TokenKind.STRING,
+            TokenKind.EOF,
+        ]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a # comment\nb // another\nc")
+        assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].line == 1
+        assert toks[1].line == 2 and toks[1].column == 3
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 -3 +4.0 1e3 2.5e-2")
+        values = [t.number for t in toks[:-1]]
+        assert values == [1.0, 2.5, -3.0, 4.0, 1000.0, 0.025]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_number_accessor_type_check(self):
+        tok = tokenize("abc")[0]
+        with pytest.raises(ParseError):
+            tok.number
+
+
+class TestParser:
+    def test_example1_parses(self):
+        decl = parse_circuit(EXAMPLE1_TEXT)
+        g = decl.to_graph()
+        assert g.l == 4
+        assert g.arc("L4", "L1").delay == 80.0
+        assert g.arc("L1", "L2").label == "La"
+
+    def test_clock_with_period_and_geometry(self):
+        decl = parse_circuit(
+            """
+            clock {
+              period 100;
+              phase phi1 start 0 width 25;
+              phase phi2 start 50 width 25;
+            }
+            latch L phase phi1;
+            """
+        )
+        schedule = decl.to_schedule()
+        assert schedule is not None
+        assert schedule.period == 100.0
+        assert schedule["phi2"].start == 50.0
+
+    def test_structural_clock_has_no_schedule(self):
+        decl = parse_circuit("clock { phase a; } latch L phase a;")
+        assert decl.to_schedule() is None
+
+    def test_flipflop_with_edge(self):
+        decl = parse_circuit(
+            "clock { phase a; } flipflop F phase a edge fall setup 1;"
+        )
+        g = decl.to_graph()
+        assert not g["F"].is_latch
+        assert g["F"].edge.value == "fall"
+
+    def test_min_delay(self):
+        decl = parse_circuit(
+            """
+            clock { phase a; phase b; }
+            latch X phase a; latch Y phase b;
+            path X -> Y delay 10 min 3;
+            """
+        )
+        assert decl.to_graph().arc("X", "Y").min_delay == 3.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "latch L phase a;",  # no clock block
+            "clock { } latch L phase a;",  # no phases
+            "clock { phase a; } latch phase a;",  # missing name
+            "clock { phase a; } latch L phase a setup;",  # missing value
+            "clock { phase a; } path X -> Y;",  # missing delay
+            "clock { phase a; } latch L phase a edge rise;",  # edge on latch
+            "clock { phase a; } gadget G phase a;",  # unknown decl
+            "clock { phase a; } flipflop F phase a edge diagonal;",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_circuit(bad)
+
+    def test_error_carries_location(self):
+        try:
+            parse_circuit("clock { phase a; }\nlatch L phase ;")
+        except ParseError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_semantic_error_unknown_phase(self):
+        from repro.errors import CircuitError
+
+        decl = parse_circuit("clock { phase a; } latch L phase qq;")
+        with pytest.raises(CircuitError):
+            decl.to_graph()
+
+
+class TestRoundTrip:
+    def test_example1_roundtrip(self):
+        g = parse_circuit(EXAMPLE1_TEXT).to_graph()
+        text = write_circuit(g)
+        g2 = parse_circuit(text).to_graph()
+        assert g2.phase_names == g.phase_names
+        assert set(g2.names) == set(g.names)
+        assert set(g2.arcs) == set(g.arcs)
+
+    def test_schedule_roundtrip(self):
+        from repro.clocking.library import two_phase_clock
+        g = parse_circuit(EXAMPLE1_TEXT).to_graph()
+        schedule = two_phase_clock(100.0)
+        text = write_circuit(g, schedule)
+        decl = parse_circuit(text)
+        assert decl.to_schedule() == schedule
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 8),
+        extra=st.integers(0, 5),
+        k=st.integers(2, 4),
+        seed=st.integers(0, 99999),
+    )
+    def test_random_circuits_roundtrip(self, n, extra, k, seed):
+        g = random_multiloop_circuit(n, n_extra_arcs=extra, k=k, seed=seed)
+        g2 = parse_circuit(write_circuit(g)).to_graph()
+        assert g2.phase_names == g.phase_names
+        assert {s.name: s for s in g2.synchronizers} == {
+            s.name: s for s in g.synchronizers
+        }
+        assert set(g2.arcs) == set(g.arcs)

@@ -1,0 +1,111 @@
+"""Unit tests for linear expressions."""
+
+import pytest
+
+from repro.lp.expr import LinExpr, as_expr, linear_sum, var
+
+
+class TestConstruction:
+    def test_var(self):
+        x = var("x")
+        assert x.terms == {"x": 1.0}
+        assert x.constant == 0.0
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(ValueError):
+            var("")
+
+    def test_zero_coefficients_dropped(self):
+        e = LinExpr({"x": 0.0, "y": 2.0})
+        assert e.terms == {"y": 2.0}
+
+    def test_as_expr_passthrough(self):
+        x = var("x")
+        assert as_expr(x) is x
+        assert as_expr(3).constant == 3.0
+
+
+class TestArithmetic:
+    def test_add_vars(self):
+        e = var("x") + var("y")
+        assert e.terms == {"x": 1.0, "y": 1.0}
+
+    def test_add_constant(self):
+        e = var("x") + 5
+        assert e.constant == 5.0
+
+    def test_radd(self):
+        e = 5 + var("x")
+        assert e.constant == 5.0
+
+    def test_sub_cancels(self):
+        e = var("x") - var("x")
+        assert e.terms == {}
+
+    def test_rsub(self):
+        e = 10 - var("x")
+        assert e.terms == {"x": -1.0} and e.constant == 10.0
+
+    def test_scalar_multiply(self):
+        e = 3 * var("x") + 1
+        assert e.terms == {"x": 3.0}
+        assert e.constant == 1.0
+
+    def test_multiply_distributes(self):
+        e = (var("x") + 2) * 3
+        assert e.terms == {"x": 3.0} and e.constant == 6.0
+
+    def test_divide(self):
+        e = (var("x") * 4) / 2
+        assert e.terms == {"x": 2.0}
+
+    def test_negate(self):
+        e = -(var("x") + 1)
+        assert e.terms == {"x": -1.0} and e.constant == -1.0
+
+    def test_expr_times_expr_rejected(self):
+        with pytest.raises(TypeError):
+            var("x") * var("y")  # type: ignore[operator]
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = 2 * var("x") - var("y") + 3
+        assert e.evaluate({"x": 5.0, "y": 1.0}) == 12.0
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            var("x").evaluate({})
+
+    def test_variables(self):
+        assert (var("a") + var("b")).variables == {"a", "b"}
+
+    def test_is_constant(self):
+        assert as_expr(5).is_constant()
+        assert not var("x").is_constant()
+
+    def test_coefficient(self):
+        e = 2 * var("x")
+        assert e.coefficient("x") == 2.0
+        assert e.coefficient("missing") == 0.0
+
+
+class TestDisplay:
+    def test_str_simple(self):
+        assert str(var("x") + var("y")) == "x + y"
+
+    def test_str_negative(self):
+        assert str(var("x") - 2 * var("y")) == "x - 2*y"
+
+    def test_str_constant_only(self):
+        assert str(as_expr(0)) == "0"
+
+    def test_linear_sum(self):
+        e = linear_sum([var("a"), var("b"), 3])
+        assert e.terms == {"a": 1.0, "b": 1.0}
+        assert e.constant == 3.0
+
+    def test_equality_and_hash(self):
+        assert var("x") + 1 == var("x") + 1
+        assert hash(var("x")) == hash(var("x"))
+        assert var("x") != var("y")

@@ -1,0 +1,116 @@
+"""Unit tests for the LP model builder and its matrix form."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LPError
+from repro.lp.expr import var
+from repro.lp.model import Constraint, LinearProgram, Sense
+
+
+class TestBuilding:
+    def test_add_le(self):
+        lp = LinearProgram()
+        c = lp.add_le(var("x") + var("y"), 4, name="cap")
+        assert c.sense is Sense.LE and c.rhs == 4.0
+
+    def test_constants_normalized_to_rhs(self):
+        lp = LinearProgram()
+        c = lp.add_le(var("x") + 3, 10)
+        assert c.lhs.constant == 0.0
+        assert c.rhs == 7.0
+
+    def test_expression_on_both_sides(self):
+        lp = LinearProgram()
+        c = lp.add_ge(var("x"), var("y") + 2)
+        assert c.lhs.terms == {"x": 1.0, "y": -1.0}
+        assert c.rhs == 2.0
+
+    def test_duplicate_constraint_name_rejected(self):
+        lp = LinearProgram()
+        lp.add_le(var("x"), 1, name="c")
+        with pytest.raises(LPError):
+            lp.add_le(var("x"), 2, name="c")
+
+    def test_auto_names_unique(self):
+        lp = LinearProgram()
+        a = lp.add_le(var("x"), 1)
+        b = lp.add_le(var("x"), 2)
+        assert a.name != b.name
+
+    def test_variables_in_first_use_order(self):
+        lp = LinearProgram()
+        lp.minimize(var("z"))
+        lp.add_le(var("a") + var("z"), 1)
+        assert lp.variables == ("z", "a")
+
+    def test_declare_and_free(self):
+        lp = LinearProgram()
+        lp.set_free("u")
+        assert "u" in lp.variables
+        assert "u" in lp.free_variables
+
+    def test_constraint_lookup(self):
+        lp = LinearProgram()
+        lp.add_eq(var("x"), 1, name="pin")
+        assert lp.constraint("pin").rhs == 1.0
+        with pytest.raises(LPError):
+            lp.constraint("nope")
+
+    def test_str_rendering(self):
+        lp = LinearProgram()
+        lp.minimize(var("x"))
+        lp.add_ge(var("x"), 2, name="lb")
+        text = str(lp)
+        assert "minimize x" in text and "lb:" in text
+
+
+class TestConstraintHelpers:
+    def test_violation_le(self):
+        c = Constraint("c", var("x"), Sense.LE, 5.0)
+        assert c.violation({"x": 7.0}) == 2.0
+        assert c.violation({"x": 3.0}) == 0.0
+
+    def test_violation_ge(self):
+        c = Constraint("c", var("x"), Sense.GE, 5.0)
+        assert c.violation({"x": 3.0}) == 2.0
+
+    def test_violation_eq(self):
+        c = Constraint("c", var("x"), Sense.EQ, 5.0)
+        assert c.violation({"x": 3.0}) == 2.0
+        assert c.violation({"x": 7.0}) == 2.0
+
+    def test_normalized(self):
+        c = Constraint("c", var("x") + 2, Sense.LE, 5.0).normalized()
+        assert c.lhs.constant == 0.0 and c.rhs == 3.0
+
+
+class TestArrays:
+    def test_blocks(self):
+        lp = LinearProgram()
+        lp.minimize(var("x") + 2 * var("y"))
+        lp.add_le(var("x"), 3, name="a")
+        lp.add_ge(var("y"), 1, name="b")
+        lp.add_eq(var("x") + var("y"), 2, name="c")
+        arrays = lp.to_arrays()
+        assert arrays.n_variables == 2
+        assert arrays.n_constraints == 3
+        np.testing.assert_allclose(arrays.c, [1.0, 2.0])
+        assert arrays.names_le == ["a"]
+        assert arrays.names_ge == ["b"]
+        assert arrays.names_eq == ["c"]
+        np.testing.assert_allclose(arrays.a_eq, [[1.0, 1.0]])
+
+    def test_free_mask(self):
+        lp = LinearProgram()
+        lp.set_free("x")
+        lp.add_le(var("x") + var("y"), 1)
+        arrays = lp.to_arrays()
+        assert arrays.free == [True, False]
+
+    def test_check_topological(self):
+        lp = LinearProgram()
+        lp.add_le(var("x") - var("y"), 1)
+        assert lp.check_topological()
+        lp.add_le(2 * var("x"), 1)
+        assert not lp.check_topological()

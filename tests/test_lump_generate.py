@@ -1,0 +1,127 @@
+"""Unit tests for vector-signal lumping and random circuit generators."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.generate import random_multiloop_circuit, random_pipeline
+from repro.circuit.lump import lump_parallel_latches
+from repro.circuit.validate import check_loop_phases
+from repro.core.mlp import minimize_cycle_time
+from repro.errors import CircuitError
+
+
+def bus_circuit(width=8):
+    """A 2-stage loop where each stage is a `width`-bit bus of latches."""
+    b = CircuitBuilder(["phi1", "phi2"])
+    for i in range(width):
+        b.latch(f"A{i}", phase="phi1", setup=2, delay=3)
+        b.latch(f"B{i}", phase="phi2", setup=2, delay=3)
+    for i in range(width):
+        b.path(f"A{i}", f"B{i}", 10)
+        b.path(f"B{i}", f"A{i}", 20)
+    return b.build()
+
+
+class TestLumping:
+    def test_bus_collapses_to_two_latches(self):
+        reduced, mapping = lump_parallel_latches(bus_circuit(8))
+        assert reduced.l == 2
+        assert len(reduced.arcs) == 2
+        # All A-bits map to one representative, all B-bits to another.
+        assert len({mapping[f"A{i}"] for i in range(8)}) == 1
+        assert len({mapping[f"B{i}"] for i in range(8)}) == 1
+
+    def test_lumping_preserves_optimal_period(self):
+        full = bus_circuit(4)
+        reduced, _ = lump_parallel_latches(full)
+        assert minimize_cycle_time(full).period == pytest.approx(
+            minimize_cycle_time(reduced).period
+        )
+
+    def test_different_delays_not_merged(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("A0", phase="phi1", setup=2, delay=3)
+        b.latch("A1", phase="phi1", setup=2, delay=4)  # different delay
+        b.latch("B", phase="phi2", setup=2, delay=3)
+        b.path("A0", "B", 10)
+        b.path("A1", "B", 10)
+        reduced, _ = lump_parallel_latches(b.build())
+        assert reduced.l == 3
+
+    def test_different_fanout_not_merged(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("A0", phase="phi1")
+        b.latch("A1", phase="phi1")
+        b.latch("B0", phase="phi2")
+        b.latch("B1", phase="phi2")
+        b.path("A0", "B0", 10)
+        b.path("A1", "B1", 99)  # different arc delay
+        reduced, _ = lump_parallel_latches(b.build())
+        assert reduced.l == 4
+
+    def test_parallel_arcs_merge_to_worst_case(self):
+        # Two source bits with identical signatures feeding one destination:
+        # the merged arc keeps max delay and min min_delay.
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("A0", phase="phi1")
+        b.latch("A1", phase="phi1")
+        b.latch("B", phase="phi2")
+        b.path("A0", "B", 10, min_delay=2)
+        b.path("A1", "B", 10, min_delay=2)
+        reduced, mapping = lump_parallel_latches(b.build())
+        assert reduced.l == 2
+        arc = reduced.arc(mapping["A0"], "B")
+        assert arc.delay == 10 and arc.min_delay == 2
+
+    def test_paper_complexity_claim(self):
+        # Section IV: lumping keeps l small even for wide datapaths.  A
+        # 32-bit bus costs the same as a 1-bit one.
+        wide, _ = lump_parallel_latches(bus_circuit(32))
+        narrow, _ = lump_parallel_latches(bus_circuit(1))
+        assert wide.l == narrow.l
+
+
+class TestGenerators:
+    def test_pipeline_structure(self):
+        g = random_pipeline(6, k=2, seed=1)
+        assert g.l == 6
+        assert len(g.arcs) == 6  # 5 forward + 1 closing
+
+    def test_pipeline_deterministic(self):
+        a = random_pipeline(5, seed=42)
+        b = random_pipeline(5, seed=42)
+        assert [arc.delay for arc in a.arcs] == [arc.delay for arc in b.arcs]
+
+    def test_pipeline_open(self):
+        g = random_pipeline(4, k=2, seed=0, close_loop=False)
+        assert len(g.arcs) == 3
+        assert g.feedback_loops() == []
+
+    def test_pipeline_loops_are_legal(self):
+        for seed in range(5):
+            g = random_pipeline(7, k=3, seed=seed)
+            assert check_loop_phases(g) == []
+
+    def test_single_phase_loop_rejected(self):
+        with pytest.raises(CircuitError):
+            random_pipeline(4, k=1)
+
+    def test_multiloop_structure(self):
+        g = random_multiloop_circuit(8, n_extra_arcs=4, k=2, seed=3)
+        assert g.l == 8
+        assert len(g.arcs) >= 8
+
+    def test_multiloop_loops_are_legal(self):
+        for seed in range(5):
+            g = random_multiloop_circuit(10, n_extra_arcs=6, k=2, seed=seed)
+            assert check_loop_phases(g) == []
+
+    def test_multiloop_solvable(self):
+        g = random_multiloop_circuit(8, n_extra_arcs=4, k=2, seed=7)
+        result = minimize_cycle_time(g)
+        assert result.period > 0
+        assert result.feasible
+
+    def test_multiloop_needs_two_latches(self):
+        with pytest.raises(CircuitError):
+            random_multiloop_circuit(1)

@@ -1,0 +1,109 @@
+"""Edge-case tests for branches not covered elsewhere."""
+
+import pytest
+
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.clocking.waveform import phase_edges
+from repro.core.analysis import analyze
+from repro.core.mlp import minimize_cycle_time
+from repro.designs import gaas_datapath
+from repro.export.lpformat import _clean, to_cplex_lp
+from repro.lp.expr import var
+from repro.lp.model import LinearProgram
+from repro.render.ascii_art import strip_diagram
+from repro.render.svg import schedule_svg
+
+
+class TestWaveformEdges:
+    def test_wrapping_phase_edges(self):
+        s = ClockSchedule(10.0, [ClockPhase("p", 8.0, 4.0)])  # wraps past Tc
+        edges = phase_edges(s, "p", 0.0, 20.0)
+        times = [t for t, _ in edges]
+        assert 8.0 in times and 12.0 in times and 18.0 in times
+
+    def test_custom_window(self):
+        s = ClockSchedule(10.0, [ClockPhase("p", 2.0, 3.0)])
+        edges = phase_edges(s, "p", t_start=10.0, t_end=20.0)
+        assert all(10.0 <= t <= 20.0 for t, _ in edges)
+
+
+class TestRenderWithFlipFlops:
+    def test_strip_diagram_covers_ffs(self):
+        g = gaas_datapath()
+        result = minimize_cycle_time(g)
+        text = strip_diagram(g, analyze(g, result.schedule))
+        assert "RES" in text and "PC" in text
+
+    def test_svg_width_parameter(self):
+        g = gaas_datapath()
+        result = minimize_cycle_time(g)
+        svg = schedule_svg(result.schedule, width=1000)
+        assert 'width="1000"' in svg
+
+
+class TestLpFormatSanitizer:
+    def test_digit_leading_name(self):
+        assert _clean("3state")[0] == "v"
+
+    def test_bracket_replacement(self):
+        assert _clean("D[L1]") == "D_L1_"
+
+    def test_non_unit_coefficients_rendered(self):
+        lp = LinearProgram()
+        lp.minimize(2.5 * var("x") - 0.5 * var("y"))
+        lp.add_le(2.5 * var("x") - 0.5 * var("y"), 10, name="c")
+        text = to_cplex_lp(lp)
+        assert "2.5 x" in text
+        assert "- 0.5 y" in text
+
+
+class TestSimCleanAfter:
+    def test_warmup_excludes_startup_transients(self, ex1):
+        from repro.sim import simulate
+
+        schedule = minimize_cycle_time(ex1).schedule
+        sim = simulate(ex1, schedule, cycles=16)
+        assert sim.clean_after(0) == sim.feasible
+        assert sim.clean_after(sim.cycles)  # empty tail is trivially clean
+
+
+class TestCliExtras:
+    def test_sweep_points_option(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.designs import example1
+        from repro.lang.writer import write_circuit
+
+        path = tmp_path / "c.lcd"
+        path.write_text(write_circuit(example1(80.0)))
+        assert main(
+            [
+                "sweep", str(path), "L4", "L1",
+                "--lo", "0", "--hi", "140", "--points", "8",
+            ]
+        ) == 0
+        assert "segments" in capsys.readouterr().out
+
+    def test_minimize_with_margin_options(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.designs import example1
+        from repro.lang.writer import write_circuit
+
+        path = tmp_path / "c.lcd"
+        path.write_text(write_circuit(example1(80.0)))
+        assert main(
+            ["minimize", str(path), "--margin", "2", "--min-width", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimal cycle time" in out
+
+    def test_analyze_with_min_width_failure(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.mlp import minimize_cycle_time as mct
+        from repro.designs import example1
+        from repro.lang.writer import write_circuit
+
+        g = example1(80.0)
+        path = tmp_path / "c.lcd"
+        path.write_text(write_circuit(g, mct(g).schedule))
+        assert main(["analyze", str(path), "--min-width", "99"]) == 1

@@ -1,0 +1,147 @@
+"""Unit and property tests for Algorithm MLP (Section IV)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.generate import random_multiloop_circuit
+from repro.core.analysis import analyze
+from repro.core.constraints import ConstraintOptions, build_maxplus_system
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.designs import example1
+from repro.errors import AnalysisError, InfeasibleError
+from repro.lp.backends import available_backends
+from repro.sim import simulate
+
+
+class TestBasics:
+    def test_optimal_period(self, ex1):
+        assert minimize_cycle_time(ex1).period == pytest.approx(110.0)
+
+    def test_result_is_verified_by_default(self, ex1):
+        result = minimize_cycle_time(ex1)
+        assert result.report is not None
+        assert result.feasible
+
+    def test_verify_can_be_disabled(self, ex1):
+        result = minimize_cycle_time(ex1, mlp=MLPOptions(verify=False))
+        assert result.report is None
+        assert result.feasible  # vacuously true
+
+    def test_schedule_satisfies_clock_constraints(self, ex1):
+        result = minimize_cycle_time(ex1)
+        result.schedule.validate(k_matrix=ex1.k_matrix(), tol=1e-6)
+
+    def test_infeasible_options_raise(self, ex1):
+        # Demanding Tc = 50 when the optimum is 110 is contradictory.
+        with pytest.raises(InfeasibleError):
+            minimize_cycle_time(ex1, ConstraintOptions(fixed_period=50.0))
+
+    def test_max_period_feasible(self, ex1):
+        result = minimize_cycle_time(ex1, ConstraintOptions(max_period=120.0))
+        assert result.period == pytest.approx(110.0)
+
+    def test_min_width_increases_period_when_binding(self, ex1):
+        base = minimize_cycle_time(ex1).period
+        wide = minimize_cycle_time(ex1, ConstraintOptions(min_width=60.0)).period
+        assert wide >= base
+
+    def test_unknown_iteration_method(self, ex1):
+        with pytest.raises(AnalysisError):
+            minimize_cycle_time(ex1, mlp=MLPOptions(iteration="bogus"))
+
+
+class TestTheorem1:
+    """The slide step never changes the optimal cycle time, and the slid
+    departures satisfy the original nonlinear constraints L2 exactly."""
+
+    @pytest.mark.parametrize("d41", [0.0, 40.0, 80.0, 120.0])
+    def test_slid_departures_are_a_fixpoint(self, d41):
+        g = example1(d41)
+        result = minimize_cycle_time(g)
+        system = build_maxplus_system(g, result.schedule)
+        assert system.residual(result.departures) <= 1e-6
+
+    @pytest.mark.parametrize("d41", [0.0, 40.0, 80.0, 120.0])
+    def test_slide_never_increases_departures(self, d41):
+        result = minimize_cycle_time(example1(d41))
+        for name, after in result.departures.items():
+            assert after <= result.lp_departures[name] + 1e-9
+
+    def test_lp_point_is_pre_fixed(self, ex1):
+        result = minimize_cycle_time(ex1)
+        system = build_maxplus_system(ex1, result.schedule)
+        assert system.is_prefixed_point(result.lp_departures, tol=1e-6)
+
+    def test_setup_still_met_after_slide(self, ex1):
+        result = minimize_cycle_time(ex1)
+        for sync in ex1.latches:
+            width = result.schedule[sync.phase].width
+            assert result.departures[sync.name] + sync.setup <= width + 1e-6
+
+
+class TestIterationVariants:
+    @pytest.mark.parametrize("method", ["jacobi", "gauss-seidel", "event"])
+    def test_all_methods_agree(self, ex1, method):
+        ref = minimize_cycle_time(ex1, mlp=MLPOptions(iteration="jacobi"))
+        out = minimize_cycle_time(ex1, mlp=MLPOptions(iteration=method))
+        assert out.period == pytest.approx(ref.period)
+        assert out.departures == pytest.approx(ref.departures)
+
+    def test_slide_terminates_quickly(self, ex1):
+        # The paper: "the update process usually terminated in two to three
+        # iterations".
+        result = minimize_cycle_time(ex1, mlp=MLPOptions(iteration="jacobi"))
+        assert result.slide_sweeps <= 5
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_backends_agree_on_period(self, ex1, backend):
+        result = minimize_cycle_time(ex1, mlp=MLPOptions(backend=backend))
+        assert result.period == pytest.approx(110.0)
+
+
+class TestCompactPass:
+    def test_compact_keeps_optimum(self, ex1):
+        a = minimize_cycle_time(ex1, mlp=MLPOptions(compact=True))
+        b = minimize_cycle_time(ex1, mlp=MLPOptions(compact=False))
+        assert a.period == pytest.approx(b.period)
+
+    def test_compact_starts_first_phase_at_zero(self, ex1):
+        result = minimize_cycle_time(ex1)
+        assert result.schedule["phi1"].start == pytest.approx(0.0)
+
+    def test_compact_schedule_verifies(self, ex2):
+        result = minimize_cycle_time(ex2)
+        assert analyze(ex2, result.schedule).feasible
+
+
+class TestRandomCircuits:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(3, 10),
+        extra=st.integers(0, 6),
+        k=st.integers(2, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_mlp_result_verifies_everywhere(self, n, extra, k, seed):
+        g = random_multiloop_circuit(n, n_extra_arcs=extra, k=k, seed=seed)
+        result = minimize_cycle_time(g)
+        report = analyze(g, result.schedule)
+        assert report.feasible
+        sim = simulate(g, result.schedule)
+        assert sim.feasible
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(3, 8),
+        seed=st.integers(0, 10_000),
+        shrink=st.floats(0.5, 0.99),
+    )
+    def test_below_optimum_is_infeasible(self, n, seed, shrink):
+        g = random_multiloop_circuit(n, n_extra_arcs=2, k=2, seed=seed)
+        result = minimize_cycle_time(g)
+        with pytest.raises(InfeasibleError):
+            minimize_cycle_time(
+                g, ConstraintOptions(max_period=result.period * shrink - 1e-6)
+            )

@@ -1,0 +1,241 @@
+"""Unit tests for the gate-level substrate: cells, netlist, STA, extraction."""
+
+import pytest
+
+from repro.core.mlp import minimize_cycle_time
+from repro.errors import CircuitError, ParseError
+from repro.netlist.cells import Cell, CellKind, comb_cell, default_library, parse_library
+from repro.netlist.extract import extract_timing_graph
+from repro.netlist.netlist import Netlist
+from repro.netlist.sta import PRIMARY, combinational_delays
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+class TestCells:
+    def test_default_library_contents(self, lib):
+        assert "NAND2" in lib and "DLATCH" in lib and "DFF" in lib
+        assert len(lib) >= 15
+
+    def test_comb_cell_arcs(self):
+        c = comb_cell("G", ("A", "B"), ("Z",), (0.1, 0.2))
+        assert c.arcs[("A", "Z")] == (0.1, 0.2)
+        assert c.pins == ("A", "B", "Z")
+
+    def test_bad_arc_pins_rejected(self):
+        with pytest.raises(CircuitError):
+            Cell("G", CellKind.COMB, inputs=("A",), outputs=("Z",), arcs={("X", "Z"): (0, 1)})
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(CircuitError):
+            Cell("G", CellKind.COMB, inputs=("A",), outputs=("Z",), arcs={("A", "Z"): (2, 1)})
+
+    def test_sequential_validation(self):
+        with pytest.raises(CircuitError):
+            Cell("L", CellKind.LATCH, dq_delay=(0.2, 0.1))
+        with pytest.raises(CircuitError):
+            Cell("L", CellKind.LATCH, setup=-1.0)
+
+    def test_duplicate_cell_rejected(self, lib):
+        with pytest.raises(CircuitError):
+            lib.add(comb_cell("INV", ("A",), ("Z",), (0, 0)))
+
+    def test_unknown_cell_lookup(self, lib):
+        with pytest.raises(CircuitError):
+            lib["MISSING"]
+
+
+class TestLibraryParser:
+    TEXT = """
+    library fast {
+      cell NAND2x { input A B; output Z; delay A -> Z 0.03 0.06; delay B -> Z 0.04 0.07; }
+      latch DLAT { delay 0.04 0.08; setup 0.06; hold 0.02; }
+      ff DFFX { delay 0.05 0.1; setup 0.08; hold 0.02; edge fall; }
+    }
+    """
+
+    def test_parses(self):
+        lib = parse_library(self.TEXT)
+        assert lib.name == "fast"
+        nand = lib["NAND2x"]
+        assert nand.arcs[("B", "Z")] == (0.04, 0.07)
+        assert lib["DLAT"].kind is CellKind.LATCH
+        assert lib["DFFX"].edge == "fall"
+
+    def test_rejects_bad_edge(self):
+        with pytest.raises(ParseError):
+            parse_library("library l { ff F { delay 0 0; edge up; } }")
+
+    def test_rejects_unknown_attr(self):
+        with pytest.raises(ParseError):
+            parse_library("library l { cell C { wobble 3; } }")
+
+
+class TestNetlist:
+    def test_single_driver_enforced(self, lib):
+        nl = Netlist("t", lib)
+        nl.add("u1", "INV", A="a", Z="y")
+        with pytest.raises(CircuitError):
+            nl.add("u2", "INV", A="b", Z="y")
+
+    def test_input_cannot_shadow_driver(self, lib):
+        nl = Netlist("t", lib)
+        nl.add("u1", "INV", A="a", Z="y")
+        with pytest.raises(CircuitError):
+            nl.add_input("y")
+
+    def test_unconnected_pin_rejected(self, lib):
+        nl = Netlist("t", lib)
+        with pytest.raises(CircuitError):
+            nl.add("u1", "NAND2", A="a", Z="y")  # B missing
+
+    def test_unknown_pin_rejected(self, lib):
+        nl = Netlist("t", lib)
+        with pytest.raises(CircuitError):
+            nl.add("u1", "INV", A="a", Q="y", Z="z")
+
+    def test_duplicate_instance_rejected(self, lib):
+        nl = Netlist("t", lib)
+        nl.add("u1", "INV", A="a", Z="y")
+        with pytest.raises(CircuitError):
+            nl.add("u1", "INV", A="y", Z="w")
+
+    def test_lint_reports_undriven(self, lib):
+        nl = Netlist("t", lib)
+        nl.add("u1", "INV", A="floating", Z="y")
+        assert any("floating" in p for p in nl.check())
+
+    def test_loads_and_driver(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("a")
+        nl.add("u1", "INV", A="a", Z="y")
+        nl.add("u2", "BUF", A="y", Z="z")
+        assert nl.driver_of("y") == ("u1", "Z")
+        assert nl.driver_of("a") == ("", "")
+        assert [i.name for i, _ in nl.loads_of("y")] == ["u2"]
+
+
+class TestSTA:
+    def build_two_latch(self, lib, extra_stage=False):
+        nl = Netlist("t", lib)
+        nl.add_input("clk1")
+        nl.add_input("clk2")
+        nl.add("l1", "DLATCH", D="back", G="clk1", Q="q1")
+        nl.add("g1", "NAND2", A="q1", B="q1", Z="n1")
+        if extra_stage:
+            nl.add("g1b", "INV", A="n1", Z="n1b")
+            nl.add("g2", "XOR2", A="n1b", B="q1", Z="n2")
+        else:
+            nl.add("g2", "XOR2", A="n1", B="q1", Z="n2")
+        nl.add("l2", "DLATCH", D="n2", G="clk2", Q="q2")
+        nl.add("g3", "INV", A="q2", Z="back")
+        return nl
+
+    def test_min_max_paths(self, lib):
+        nl = self.build_two_latch(lib)
+        delays = {(p.start, p.end): p for p in combinational_delays(nl)}
+        forward = delays[("l1", "l2")]
+        # max: NAND2 (0.06) + XOR2 (0.11); min: direct XOR2 (0.05).
+        assert forward.max_delay == pytest.approx(0.17)
+        assert forward.min_delay == pytest.approx(0.05)
+        back = delays[("l2", "l1")]
+        assert back.max_delay == pytest.approx(0.04)
+
+    def test_primary_input_paths_labeled(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("clk")
+        nl.add_input("din")
+        nl.add("g", "BUF", A="din", Z="d1")
+        nl.add("l", "DLATCH", D="d1", G="clk", Q="q")
+        nl.add_output("q")
+        starts = {p.start for p in combinational_delays(nl)}
+        assert PRIMARY in starts
+
+    def test_combinational_loop_detected(self, lib):
+        nl = Netlist("t", lib)
+        nl.add("g1", "INV", A="b", Z="a")
+        nl.add("g2", "INV", A="a", Z="b")
+        with pytest.raises(CircuitError, match="combinational loop"):
+            combinational_delays(nl)
+
+    def test_parallel_paths_merge(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("clk")
+        nl.add("l1", "DLATCH", D="x", G="clk", Q="q")
+        nl.add("fast", "INV", A="q", Z="m")
+        nl.add("slow", "XOR2", A="q", B="q", Z="s")
+        nl.add("join", "NAND2", A="m", B="s", Z="x")
+        (path,) = [
+            p for p in combinational_delays(nl) if p.start == "l1" and p.end == "l1"
+        ]
+        assert path.max_delay == pytest.approx(0.11 + 0.06)
+        assert path.min_delay == pytest.approx(0.02 + 0.03)
+
+
+class TestExtraction:
+    def test_extracted_graph_structure(self, lib):
+        sta = TestSTA()
+        nl = sta.build_two_latch(lib, extra_stage=True)
+        g = extract_timing_graph(nl, {"clk1": "phi1", "clk2": "phi2"})
+        assert g.l == 2
+        assert g.arc("l1", "l2").delay == pytest.approx(0.06 + 0.04 + 0.11)
+        assert g["l1"].setup == lib["DLATCH"].setup
+
+    def test_extraction_pipeline_to_mlp(self, lib):
+        sta = TestSTA()
+        nl = sta.build_two_latch(lib)
+        g = extract_timing_graph(nl, {"clk1": "phi1", "clk2": "phi2"})
+        result = minimize_cycle_time(g)
+        assert result.period > 0
+        assert result.feasible
+
+    def test_missing_clock_mapping_rejected(self, lib):
+        sta = TestSTA()
+        nl = sta.build_two_latch(lib)
+        with pytest.raises(CircuitError, match="no phase mapping"):
+            extract_timing_graph(nl, {"clk1": "phi1"})
+
+    def test_declared_phase_order_respected(self, lib):
+        sta = TestSTA()
+        nl = sta.build_two_latch(lib)
+        g = extract_timing_graph(
+            nl, {"clk1": "phi1", "clk2": "phi2"}, phases=["phi1", "phi2"]
+        )
+        assert g.phase_names == ("phi1", "phi2")
+
+    def test_phase_not_in_declared_list_rejected(self, lib):
+        sta = TestSTA()
+        nl = sta.build_two_latch(lib)
+        with pytest.raises(CircuitError):
+            extract_timing_graph(
+                nl, {"clk1": "phi1", "clk2": "phi9"}, phases=["phi1", "phi2"]
+            )
+
+    def test_no_sequential_cells_rejected(self, lib):
+        nl = Netlist("t", lib)
+        nl.add("g", "INV", A="a", Z="b")
+        with pytest.raises(CircuitError):
+            extract_timing_graph(nl, {})
+
+    def test_primary_io_strictness(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("clk")
+        nl.add_input("din")
+        nl.add("l", "DLATCH", D="din", G="clk", Q="q")
+        nl.add_output("q")
+        extract_timing_graph(nl, {"clk": "phi1"})  # lenient: ok
+        with pytest.raises(CircuitError):
+            extract_timing_graph(nl, {"clk": "phi1"}, ignore_primary_io=False)
+
+    def test_flipflop_extraction(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("ck")
+        nl.add_input("gk")
+        nl.add("f", "DFFN", D="q2", CK="ck", Q="q1")
+        nl.add("l", "DLATCH", D="q1", G="gk", Q="q2")
+        g = extract_timing_graph(nl, {"ck": "phi1", "gk": "phi2"})
+        assert not g["f"].is_latch
+        assert g["f"].edge.value == "fall"

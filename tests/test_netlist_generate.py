@@ -1,0 +1,77 @@
+"""Tests for the random gate-netlist generator and the pipeline at scale."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.errors import CircuitError
+from repro.netlist.extract import extract_timing_graph
+from repro.netlist.generate import random_gate_pipeline
+from repro.netlist.sta import combinational_delays
+from repro.sim import simulate
+
+
+class TestGenerator:
+    def test_structurally_clean(self):
+        nl, _ = random_gate_pipeline(n_stages=4, gates_per_stage=6, seed=1)
+        assert nl.check() == []
+
+    def test_deterministic(self):
+        a, _ = random_gate_pipeline(seed=7)
+        b, _ = random_gate_pipeline(seed=7)
+        assert [i.name for i in a.instances] == [i.name for i in b.instances]
+        assert [i.cell.name for i in a.instances] == [
+            i.cell.name for i in b.instances
+        ]
+
+    def test_latch_count(self):
+        nl, _ = random_gate_pipeline(n_stages=5, seed=0)
+        assert len(nl.sequential_instances()) == 5
+
+    def test_open_pipeline(self):
+        nl, phases = random_gate_pipeline(n_stages=3, seed=2, close_loop=False)
+        assert nl.check() == []
+        g = extract_timing_graph(nl, phases)
+        assert g.feedback_loops() == []
+
+    def test_too_few_stages_rejected(self):
+        with pytest.raises(CircuitError):
+            random_gate_pipeline(n_stages=1)
+
+    def test_too_few_gates_rejected(self):
+        with pytest.raises(CircuitError):
+            random_gate_pipeline(gates_per_stage=0)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        stages=st.integers(2, 6),
+        gates=st.integers(1, 12),
+        seed=st.integers(0, 9999),
+    )
+    def test_full_flow_on_random_netlists(self, stages, gates, seed):
+        nl, phases = random_gate_pipeline(stages, gates, seed=seed)
+        assert nl.check() == []
+        delays = combinational_delays(nl)
+        for p in delays:
+            assert 0 <= p.min_delay <= p.max_delay
+        graph = extract_timing_graph(nl, phases)
+        assert graph.l == stages
+        result = minimize_cycle_time(graph, mlp=MLPOptions(verify=True))
+        assert result.period > 0
+        assert simulate(graph, result.schedule).feasible
+
+    @settings(max_examples=10, deadline=None)
+    @given(stages=st.integers(2, 5), seed=st.integers(0, 999))
+    def test_more_gates_never_speed_up(self, stages, seed):
+        small_nl, phases = random_gate_pipeline(stages, 2, seed=seed)
+        small = extract_timing_graph(small_nl, phases)
+        # Same seed, more gates per stage: every path gets longer or equal.
+        big_nl, _ = random_gate_pipeline(stages, 10, seed=seed)
+        big = extract_timing_graph(big_nl, phases)
+        fast = MLPOptions(verify=False)
+        assert (
+            minimize_cycle_time(big, mlp=fast).period
+            >= minimize_cycle_time(small, mlp=fast).period - 1e-9
+        )

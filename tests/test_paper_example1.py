@@ -1,0 +1,133 @@
+"""Regression tests for every number the paper reports about example 1.
+
+Example 1 (Fig. 5) is a two-stage, two-phase loop; the paper's Section V
+quotes its constraint set verbatim, shows optimal schedules at
+Delta_41 in {80, 100, 120} (Fig. 6) and sweeps Delta_41 (Fig. 7).
+"""
+
+import pytest
+
+from repro.baselines.nrip import nrip_minimize
+from repro.core.analysis import analyze
+from repro.core.mlp import minimize_cycle_time
+from repro.core.parametric import sweep_delay
+from repro.designs.example1 import (
+    example1,
+    example1_nrip_period,
+    example1_optimal_period,
+)
+
+
+class TestFig6OperatingPoints:
+    """Fig. 6: optimal cycle times at the three published Delta_41 values."""
+
+    @pytest.mark.parametrize(
+        "d41,expected",
+        [(80.0, 110.0), (100.0, 120.0), (120.0, 140.0)],
+    )
+    def test_optimal_cycle_times(self, d41, expected):
+        assert minimize_cycle_time(example1(d41)).period == pytest.approx(expected)
+
+    def test_fig6c_latch3_waits_20ns(self):
+        # "the input to latch 3 becomes valid at 120 ns, 20 ns earlier than
+        # the rising edge of phi1; thus departure from latch 3 must wait".
+        result = minimize_cycle_time(example1(120.0))
+        timing = analyze(example1(120.0), result.schedule).timings["L3"]
+        assert timing.waiting == pytest.approx(20.0)
+
+    def test_fig6a_two_distinct_optimal_schedules(self):
+        # "the optimal solution will not be unique ... two such solutions
+        # for the Delta_41 = 80 ns case", both with Tc = 110 ns.
+        from repro.core.constraints import ConstraintOptions
+
+        g = example1(80.0)
+        a = minimize_cycle_time(g)
+        # Force a different (wider-phase) optimum by fixing phi1's width.
+        b = minimize_cycle_time(
+            g, ConstraintOptions(fixed_widths={"phi1": 70.0})
+        )
+        assert a.period == pytest.approx(110.0)
+        assert b.period == pytest.approx(110.0)
+        assert a.schedule != b.schedule
+        assert analyze(g, a.schedule).feasible
+        assert analyze(g, b.schedule).feasible
+
+
+class TestFig7Sweep:
+    """Fig. 7: Tc versus Delta_41 for MLP and NRIP."""
+
+    def test_closed_form_everywhere(self):
+        for d41 in range(0, 150, 10):
+            got = minimize_cycle_time(example1(float(d41))).period
+            assert got == pytest.approx(example1_optimal_period(d41)), d41
+
+    def test_three_linear_segments(self):
+        sweep = sweep_delay(
+            example1(), "L4", "L1", grid=[float(x) for x in range(0, 145, 5)]
+        )
+        assert sweep.slopes == pytest.approx([0.0, 0.5, 1.0])
+        assert sweep.breakpoints == pytest.approx([20.0, 100.0])
+
+    def test_flat_region_value(self):
+        # For Delta_41 <= 20, Tc is pinned at 80 ns by block Lc's cycle.
+        assert minimize_cycle_time(example1(0.0)).period == pytest.approx(80.0)
+        assert minimize_cycle_time(example1(20.0)).period == pytest.approx(80.0)
+
+    def test_borrowing_region_slope_half(self):
+        # "Tc increases by 1 ns for every 2-ns increase in Delta_41".
+        t60 = minimize_cycle_time(example1(60.0)).period
+        t62 = minimize_cycle_time(example1(62.0)).period
+        assert t62 - t60 == pytest.approx(1.0)
+
+    def test_saturated_region_slope_one(self):
+        t120 = minimize_cycle_time(example1(120.0)).period
+        t122 = minimize_cycle_time(example1(122.0)).period
+        assert t122 - t120 == pytest.approx(2.0)
+
+    def test_loop_average_and_difference_formula(self):
+        # "the optimal cycle time is the maximum of the average delay around
+        # the loop and the difference between the delays for each of the
+        # cycles making up the loop."
+        for d41 in (40.0, 60.0, 80.0, 100.0, 120.0):
+            cycle_a = 10 + 20 + 10 + 20  # L1 -> L2 -> L3 including latches
+            cycle_b = 10 + 60 + 10 + d41  # L3 -> L4 -> L1
+            average = (cycle_a + cycle_b) / 2
+            difference = abs(cycle_b - cycle_a)
+            expected = max(80.0, average, difference)
+            assert minimize_cycle_time(example1(d41)).period == pytest.approx(
+                expected
+            )
+
+
+class TestNRIPComparison:
+    """Fig. 7's NRIP curve: optimal only at Delta_41 = 60 ns."""
+
+    def test_nrip_closed_form(self):
+        for d41 in range(0, 150, 10):
+            got = nrip_minimize(example1(float(d41))).period
+            assert got == pytest.approx(example1_nrip_period(d41)), d41
+
+    def test_nrip_optimal_exactly_at_60(self):
+        matches = [
+            d41
+            for d41 in range(0, 145, 5)
+            if nrip_minimize(example1(float(d41))).period
+            == pytest.approx(minimize_cycle_time(example1(float(d41))).period)
+        ]
+        assert matches == [60]
+
+    def test_nrip_never_below_optimal(self):
+        for d41 in range(0, 150, 15):
+            nrip = nrip_minimize(example1(float(d41))).period
+            opt = minimize_cycle_time(example1(float(d41))).period
+            assert nrip >= opt - 1e-9
+
+    def test_nrip_schedule_is_actually_feasible(self):
+        result = nrip_minimize(example1(80.0))
+        assert analyze(example1(80.0), result.schedule).feasible
+
+    def test_nrip_departures_zero_on_initial_phase(self):
+        result = nrip_minimize(example1(80.0))
+        assert result.extra["initial_phase"] == "phi2"
+        assert result.lp_departures["L2"] == pytest.approx(0.0)
+        assert result.lp_departures["L4"] == pytest.approx(0.0)

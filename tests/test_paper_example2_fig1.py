@@ -1,0 +1,109 @@
+"""Regression tests for example 2 (Figs. 8/9) and the Appendix circuit (Fig. 1)."""
+
+import pytest
+
+from repro.baselines.nrip import nrip_minimize
+from repro.core.analysis import analyze
+from repro.core.constraints import build_program
+from repro.core.mlp import minimize_cycle_time
+from repro.designs.example2 import (
+    EXAMPLE2_NRIP_PERIOD,
+    EXAMPLE2_OPTIMAL_PERIOD,
+    example2,
+)
+from repro.designs.fig1 import ARCS, LATCH_PHASES, fig1_circuit, fig1_k_matrix
+
+
+class TestExample2:
+    """Fig. 9: NRIP is 35% above the MLP optimum."""
+
+    def test_optimal_period(self, ex2):
+        assert minimize_cycle_time(ex2).period == pytest.approx(
+            EXAMPLE2_OPTIMAL_PERIOD
+        )
+
+    def test_nrip_period(self, ex2):
+        assert nrip_minimize(ex2).period == pytest.approx(EXAMPLE2_NRIP_PERIOD)
+
+    def test_published_35_percent_gap(self, ex2):
+        mlp = minimize_cycle_time(ex2).period
+        nrip = nrip_minimize(ex2).period
+        assert nrip / mlp == pytest.approx(1.35)
+
+    def test_more_complicated_than_example1(self, ex2):
+        # "more complicated": multiple coupled loops, four phases.
+        assert ex2.k == 4
+        assert len(ex2.feedback_loops()) > 2
+
+    def test_both_schedules_verify(self, ex2):
+        assert analyze(ex2, minimize_cycle_time(ex2).schedule).feasible
+        assert analyze(ex2, nrip_minimize(ex2).schedule).feasible
+
+
+class TestFig1Appendix:
+    """The Appendix lists the complete constraint set of the Fig. 1 circuit."""
+
+    def test_eleven_latches_four_phases(self, fig1):
+        assert fig1.l == 11
+        assert fig1.k == 4
+
+    def test_phase_assignment(self, fig1):
+        groups = {"phi1": {1, 2, 8}, "phi2": {6, 7, 11}, "phi3": {4, 5, 10}, "phi4": {3, 9}}
+        for phase, members in groups.items():
+            for idx in members:
+                assert fig1[f"L{idx}"].phase == phase
+
+    def test_k_matrix_matches_paper(self, fig1):
+        assert fig1.k_matrix() == fig1_k_matrix()
+
+    def test_nine_io_phase_pairs(self, fig1):
+        # The Appendix derives nine phase-shift operators, one per pair.
+        assert len(fig1.io_phase_pairs()) == 9
+
+    def test_nine_distinct_shift_operators_used(self, fig1):
+        pairs = {
+            (fig1[a.src].phase, fig1[a.dst].phase) for a in fig1.arcs
+        }
+        assert len(pairs) == 9
+
+    def test_latch1_has_no_fanin(self, fig1):
+        assert fig1.fanin("L1") == ()
+
+    def test_setup_constraint_grouping(self, fig1):
+        # Appendix setup listing: D_i + DC_i <= T1 for i in {1,2,8}, etc.
+        smo = build_program(fig1)
+        t_of = {
+            "L1[L1]": "T[phi1]", "L1[L2]": "T[phi1]", "L1[L8]": "T[phi1]",
+            "L1[L6]": "T[phi2]", "L1[L7]": "T[phi2]", "L1[L11]": "T[phi2]",
+            "L1[L4]": "T[phi3]", "L1[L5]": "T[phi3]", "L1[L10]": "T[phi3]",
+            "L1[L3]": "T[phi4]", "L1[L9]": "T[phi4]",
+        }
+        for name, t_var_name in t_of.items():
+            con = smo.program.constraint(name)
+            assert con.lhs.terms.get(t_var_name) == -1.0
+
+    def test_propagation_fanins_match_listing(self, fig1):
+        fanins = {
+            2: {4, 5}, 3: {8}, 4: {1, 2}, 5: {6, 7}, 6: {4, 5},
+            7: {9, 10}, 8: {6, 7}, 9: {6, 7}, 10: {3, 11}, 11: {9, 10},
+        }
+        for dst, srcs in fanins.items():
+            got = {int(a.src[1:]) for a in fig1.fanin(f"L{dst}")}
+            assert got == srcs, dst
+
+    def test_solvable_and_verified(self, fig1):
+        result = minimize_cycle_time(fig1)
+        assert result.period > 0
+        assert analyze(fig1, result.schedule).feasible
+
+    def test_delay_overrides(self):
+        g = fig1_circuit(delays={(4, 2): 99.0})
+        assert g.arc("L4", "L2").delay == 99.0
+
+    def test_unknown_delay_override_rejected(self):
+        with pytest.raises(ValueError):
+            fig1_circuit(delays={(1, 2): 5.0})
+
+    def test_arc_count(self):
+        assert len(ARCS) == 19
+        assert len(LATCH_PHASES) == 11

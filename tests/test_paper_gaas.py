@@ -1,0 +1,98 @@
+"""Regression tests for the GaAs MIPS case study (Figs. 10-11, Table I)."""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.constraints import build_program
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.designs.gaas import (
+    GAAS_OPTIMAL_PERIOD,
+    GAAS_TARGET_PERIOD,
+    TRANSISTOR_COUNTS,
+    TRANSISTOR_TOTAL,
+    gaas_datapath,
+)
+from repro.lp.backends import available_backends
+from repro.sim import simulate
+
+
+class TestStructure:
+    def test_18_synchronizers(self, gaas):
+        # "consists of 18 synchronizing elements, 15 of which are
+        # level-sensitive latches."
+        assert gaas.l == 18
+        assert len(gaas.latches) == 15
+        assert len(gaas.flipflops) == 3
+
+    def test_three_phase_clock(self, gaas):
+        assert gaas.k == 3
+
+    def test_91_constraints(self, gaas):
+        # "The number of constraints for this example was 91."
+        smo = build_program(gaas)
+        assert smo.paper_constraint_count == 91
+
+    def test_no_direct_paths_between_phi1_and_phi3(self, gaas):
+        # "there are no direct paths in the circuit between these two
+        # phases (i.e., K13 = K31 = 0)."
+        k = gaas.k_matrix()
+        assert k[0][2] == 0
+        assert k[2][0] == 0
+
+    def test_topological_coefficients(self, gaas):
+        build_program(gaas).assert_topological()
+
+
+class TestOptimalSchedule:
+    def test_cycle_time_is_4_4ns(self, gaas):
+        # "The optimal cycle time found by MLP (4.4 ns) is 10% higher than
+        # the target cycle time of 4 ns."
+        result = minimize_cycle_time(gaas)
+        assert result.period == pytest.approx(GAAS_OPTIMAL_PERIOD)
+        assert result.period / GAAS_TARGET_PERIOD == pytest.approx(1.10)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_phi3_totally_overlapped_by_phi1(self, gaas, backend):
+        # "Phase phi3 in the optimal clock schedule is completely
+        # overlapped by phi1."
+        schedule = minimize_cycle_time(gaas, mlp=MLPOptions(backend=backend)).schedule
+        p1, p3 = schedule["phi1"], schedule["phi3"]
+        assert p3.start >= p1.start - 1e-9
+        assert p3.end <= p1.end + 1e-9
+
+    def test_schedule_verifies_and_simulates(self, gaas):
+        result = minimize_cycle_time(gaas)
+        assert analyze(gaas, result.schedule).feasible
+        sim = simulate(gaas, result.schedule)
+        assert sim.feasible
+
+    def test_target_period_is_infeasible(self, gaas):
+        # 4.0 ns cannot be met: the model is 10% away from target.
+        from repro.core.constraints import ConstraintOptions
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            minimize_cycle_time(
+                gaas, ConstraintOptions(max_period=GAAS_TARGET_PERIOD)
+            )
+
+    def test_precharge_latch_on_phi3(self, gaas):
+        assert gaas["PRE"].phase == "phi3"
+
+
+class TestTableI:
+    def test_block_counts(self):
+        assert TRANSISTOR_COUNTS["Register File (RF)"] == 16085
+        assert TRANSISTOR_COUNTS["Arithmetic/Logic Unit (ALU)"] == 3419
+        assert TRANSISTOR_COUNTS["Shifter"] == 1848
+        assert TRANSISTOR_COUNTS["Integer Multiply/Divide (IMD)"] == 6874
+        assert TRANSISTOR_COUNTS["Load Aligner"] == 1922
+
+    def test_total_matches_published_sum(self):
+        assert sum(TRANSISTOR_COUNTS.values()) == TRANSISTOR_TOTAL == 30148
+
+    def test_register_file_is_majority(self):
+        # "The data path contains roughly 30 000 transistors, the majority
+        # of which are in the register file."
+        rf = TRANSISTOR_COUNTS["Register File (RF)"]
+        assert rf > TRANSISTOR_TOTAL / 2

@@ -1,0 +1,106 @@
+"""Unit tests for the ASCII and SVG renderers."""
+
+import pytest
+
+from repro.clocking.library import two_phase_clock, three_phase_clock
+from repro.core.analysis import analyze
+from repro.core.mlp import minimize_cycle_time
+from repro.errors import ReproError
+from repro.render.ascii_art import clock_diagram, schedule_table, strip_diagram
+from repro.render.svg import schedule_svg
+
+
+class TestClockDiagram:
+    def test_row_per_phase(self):
+        text = clock_diagram(three_phase_clock(90.0))
+        lines = text.splitlines()
+        assert lines[0].startswith("phi1")
+        assert lines[2].startswith("phi3")
+
+    def test_active_and_passive_glyphs(self):
+        text = clock_diagram(two_phase_clock(100.0), width=40)
+        phi1 = text.splitlines()[0]
+        assert "#" in phi1 and "." in phi1
+
+    def test_active_fraction_roughly_matches_duty(self):
+        text = clock_diagram(two_phase_clock(100.0), n_cycles=1, width=80)
+        phi1 = text.splitlines()[0]
+        active = phi1.count("#")
+        total = phi1.count("#") + phi1.count(".")
+        assert active / total == pytest.approx(0.25, abs=0.05)
+
+    def test_ruler_has_time_labels(self):
+        text = clock_diagram(two_phase_clock(100.0), n_cycles=2)
+        assert "200" in text
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ReproError):
+            clock_diagram(two_phase_clock(100.0), width=5)
+
+    def test_zero_period_rejected(self):
+        from repro.clocking.phase import ClockPhase
+        from repro.clocking.schedule import ClockSchedule
+
+        with pytest.raises(ReproError):
+            clock_diagram(ClockSchedule(0.0, [ClockPhase("p", 0, 0)]))
+
+
+class TestStripDiagram:
+    def test_fig6_style_strip(self, ex1):
+        result = minimize_cycle_time(ex1)
+        report = analyze(ex1, result.schedule)
+        text = strip_diagram(ex1, report)
+        assert "L1" in text and "L4" in text
+        assert "X" in text  # shaded latch-delay region
+        assert "D=" in text
+
+    def test_departure_annotation_matches_analysis(self, ex1):
+        result = minimize_cycle_time(ex1)
+        report = analyze(ex1, result.schedule)
+        text = strip_diagram(ex1, report)
+        for name, timing in report.timings.items():
+            assert f"D={timing.departure:g}" in text
+
+
+class TestScheduleTable:
+    def test_contains_all_values(self):
+        s = two_phase_clock(100.0)
+        text = schedule_table(s)
+        assert "Tc = 100" in text
+        assert "phi2" in text
+        assert "50" in text
+
+
+class TestSVG:
+    def test_well_formed_document(self):
+        svg = schedule_svg(two_phase_clock(100.0))
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= 4  # 2 phases x 2 cycles
+
+    def test_includes_strips_when_report_given(self, ex1):
+        result = minimize_cycle_time(ex1)
+        report = analyze(ex1, result.schedule)
+        svg = schedule_svg(result.schedule, ex1, report)
+        assert "L3" in svg
+        # strips add one dark rect per synchronizer
+        assert svg.count("#cc6677") == ex1.l
+
+    def test_cycle_guides(self):
+        svg = schedule_svg(two_phase_clock(100.0), n_cycles=2)
+        assert svg.count("stroke-dasharray") == 3  # t = 0, 100, 200
+
+    def test_escaping(self):
+        from repro.clocking.phase import ClockPhase
+        from repro.clocking.schedule import ClockSchedule
+
+        s = ClockSchedule(10.0, [ClockPhase("a<b", 0.0, 5.0)])
+        svg = schedule_svg(s)
+        assert "a&lt;b" in svg
+
+    def test_zero_period_rejected(self):
+        from repro.clocking.phase import ClockPhase
+        from repro.clocking.schedule import ClockSchedule
+
+        with pytest.raises(ReproError):
+            schedule_svg(ClockSchedule(0.0, [ClockPhase("p", 0, 0)]))

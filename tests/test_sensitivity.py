@@ -1,0 +1,65 @@
+"""Unit tests for LP sensitivity reporting."""
+
+import pytest
+
+from repro.errors import LPError
+from repro.lp.expr import var
+from repro.lp.model import LinearProgram
+from repro.lp.sensitivity import perturbed, rhs_ranging, sensitivity
+from repro.lp.simplex import solve_simplex
+
+
+def knapsack_lp(cap=18.0):
+    lp = LinearProgram()
+    x, y = var("x"), var("y")
+    lp.minimize(-3 * x - 5 * y)
+    lp.add_le(x, 4, name="c1")
+    lp.add_le(2 * y, 12, name="c2")
+    lp.add_le(3 * x + 2 * y, cap, name="c3")
+    return lp
+
+
+class TestSensitivityReport:
+    def test_binding_partition(self):
+        lp = knapsack_lp()
+        r = solve_simplex(lp)
+        rep = sensitivity(lp, r)
+        assert set(rep.binding) | set(rep.nonbinding) == {"c1", "c2", "c3"}
+        assert "c2" in rep.binding
+        assert "c3" in rep.binding
+        assert "c1" in rep.nonbinding
+
+    def test_critical_requires_nonzero_dual(self):
+        lp = LinearProgram()
+        lp.minimize(var("x"))
+        lp.add_ge(var("x"), 2, name="lb")
+        lp.add_le(var("x"), 2, name="ub")  # binding but zero shadow price
+        r = solve_simplex(lp)
+        rep = sensitivity(lp, r)
+        assert "lb" in rep.critical()
+
+    def test_str_render(self):
+        lp = knapsack_lp()
+        rep = sensitivity(lp, solve_simplex(lp))
+        text = str(rep)
+        assert "c3" in text and "binding" in text
+
+    def test_rejects_failed_result(self):
+        lp = LinearProgram()
+        lp.add_le(var("x"), -1, name="bad")
+        r = solve_simplex(lp)
+        with pytest.raises(LPError):
+            sensitivity(lp, r)
+
+
+class TestRanging:
+    def test_measured_slope_matches_dual(self):
+        lp = knapsack_lp()
+        r = solve_simplex(lp)
+        slope = rhs_ranging(knapsack_lp, solve_simplex, at=18.0, step=1e-5)
+        assert slope == pytest.approx(r.duals["c3"], abs=1e-4)
+
+    def test_perturbed(self):
+        lp = knapsack_lp()
+        c = lp.constraint("c3")
+        assert perturbed(c, 2.0).rhs == pytest.approx(20.0)

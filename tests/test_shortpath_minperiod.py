@@ -1,0 +1,110 @@
+"""Unit tests for the hold-time extension and the binary-search helpers."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.clocking.library import two_phase_clock
+from repro.core.minperiod import (
+    feasible_period,
+    min_period_search,
+    proportional_template,
+)
+from repro.core.mlp import minimize_cycle_time
+from repro.core.shortpath import check_hold
+from repro.errors import AnalysisError
+
+
+def hold_circuit(min_delay=5.0, hold=1.0):
+    b = CircuitBuilder(["phi1", "phi2"])
+    b.latch("A", phase="phi1", setup=2, delay=3, hold=hold)
+    b.latch("B", phase="phi2", setup=2, delay=3, hold=hold)
+    b.path("A", "B", 30, min_delay=min_delay)
+    b.path("B", "A", 30, min_delay=min_delay)
+    return b.build()
+
+
+class TestCheckHold:
+    def test_comfortable_margins_pass(self):
+        g = hold_circuit(min_delay=5.0, hold=1.0)
+        report = check_hold(g, two_phase_clock(100.0))
+        assert report.feasible
+        assert report.worst_slack > 0
+
+    def test_fast_path_with_huge_hold_fails(self):
+        # Hold demanded far beyond the cycle: the next cycle's earliest
+        # arrival cannot satisfy it.
+        g = hold_circuit(min_delay=0.0, hold=95.0)
+        report = check_hold(g, two_phase_clock(100.0))
+        assert not report.feasible
+        assert report.violations
+
+    def test_hold_slack_formula(self):
+        g = hold_circuit(min_delay=5.0, hold=1.0)
+        schedule = two_phase_clock(100.0)
+        report = check_hold(g, schedule)
+        t = report.timings["B"]
+        # Earliest departure from A = phase open (0 rel);
+        # earliest arrival at B = 0 + 3 + 5 + S_12 = 8 - 50 = -42.
+        assert t.early_arrival == pytest.approx(-42.0)
+        # Slack = (a + Tc) - (T_q + hold) = 58 - 26.
+        assert t.slack == pytest.approx((-42.0 + 100.0) - (25.0 + 1.0))
+
+    def test_no_fanin_is_infinitely_safe(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("A", phase="phi1", hold=5)
+        b.latch("B", phase="phi2")
+        b.path("A", "B", 10)
+        report = check_hold(b.build(), two_phase_clock(100.0))
+        assert report.timings["A"].slack == float("inf")
+
+    def test_rise_ff_hold_checked_at_edge(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("L", phase="phi1", delay=3)
+        b.flipflop("F", phase="phi2", hold=2.0, edge="rise")
+        b.path("L", "F", 10, min_delay=1)
+        b.path("F", "L", 10, min_delay=1)
+        report = check_hold(b.build(), two_phase_clock(100.0))
+        f = report.timings["F"]
+        # Close for a rising FF is the sampling edge (0 relative).
+        assert f.slack == pytest.approx(f.early_arrival + 100.0 - 2.0)
+
+    def test_longer_period_increases_hold_slack(self):
+        g = hold_circuit(min_delay=2.0, hold=10.0)
+        s100 = check_hold(g, two_phase_clock(100.0)).worst_slack
+        s200 = check_hold(g, two_phase_clock(200.0)).worst_slack
+        assert s200 > s100
+
+
+class TestMinPeriodSearch:
+    def test_finds_boundary(self, ex1):
+        template = proportional_template(two_phase_clock(1.0))
+        period = min_period_search(ex1, template, hi=1000.0, tol=1e-6)
+        assert feasible_period(ex1, template, period)
+        assert not feasible_period(ex1, template, period - 1e-3)
+
+    def test_search_upper_bounds_mlp(self, ex1):
+        template = proportional_template(two_phase_clock(1.0))
+        period = min_period_search(ex1, template, hi=1000.0)
+        assert period >= minimize_cycle_time(ex1).period - 1e-6
+
+    def test_infeasible_hi_rejected(self, ex1):
+        template = proportional_template(two_phase_clock(1.0))
+        with pytest.raises(AnalysisError):
+            min_period_search(ex1, template, hi=50.0)
+
+    def test_bad_bounds_rejected(self, ex1):
+        template = proportional_template(two_phase_clock(1.0))
+        with pytest.raises(AnalysisError):
+            min_period_search(ex1, template, lo=10.0, hi=5.0)
+
+    def test_feasible_lo_short_circuits(self, ex1):
+        template = proportional_template(two_phase_clock(1.0))
+        assert min_period_search(ex1, template, lo=500.0, hi=1000.0) == 500.0
+
+    def test_zero_period_reference_rejected(self):
+        from repro.clocking.phase import ClockPhase
+        from repro.clocking.schedule import ClockSchedule
+
+        zero = ClockSchedule(0.0, [ClockPhase("phi1", 0.0, 0.0)])
+        with pytest.raises(AnalysisError):
+            proportional_template(zero)

@@ -1,0 +1,125 @@
+"""Unit and cross-validation tests for the cycle-accurate simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.generate import random_multiloop_circuit
+from repro.clocking.library import two_phase_clock
+from repro.core.analysis import analyze
+from repro.core.mlp import minimize_cycle_time
+from repro.designs import example1
+from repro.errors import AnalysisError
+from repro.sim.simulator import simulate
+
+
+class TestBasics:
+    def test_settles_quickly_on_example1(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        sim = simulate(ex1, schedule)
+        assert sim.converged
+        assert sim.settled_at is not None and sim.settled_at <= 6
+
+    def test_records_have_absolute_times(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        sim = simulate(ex1, schedule)
+        rec = sim.records[("L1", 1)]
+        assert rec.open_time == schedule["phi1"].start + schedule.period
+        assert rec.departure >= rec.open_time
+
+    def test_steady_departures_match_analyze(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        sim = simulate(ex1, schedule)
+        report = analyze(ex1, schedule)
+        for name, d in sim.steady_departures().items():
+            assert d == pytest.approx(report.timings[name].departure, abs=1e-9)
+
+    def test_feasible_schedule_simulates_clean(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        assert simulate(ex1, schedule).feasible
+
+    def test_violations_on_shrunk_schedule(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule.scaled(0.9)
+        sim = simulate(ex1, schedule, cycles=32)
+        assert not sim.feasible
+
+    def test_divergent_circuit_never_settles(self, ex1):
+        # At a far-too-small period departures drift later every cycle.
+        sim = simulate(ex1, two_phase_clock(10.0), cycles=24)
+        assert not sim.converged
+        with pytest.raises(AnalysisError):
+            sim.steady_departures()
+
+    def test_waiting_signal_departs_at_opening(self):
+        g = example1(120.0)
+        schedule = minimize_cycle_time(g).schedule
+        sim = simulate(g, schedule)
+        last = sim.cycles - 1
+        rec = sim.records[("L3", last)]
+        # Fig. 6(c): arrival 20 ns before the phi1 edge; departure at edge.
+        assert rec.departure == pytest.approx(rec.open_time)
+        assert rec.open_time - rec.arrival == pytest.approx(20.0)
+
+
+class TestFlipFlops:
+    def test_rise_ff_departs_at_edge(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("L", phase="phi2", setup=1, delay=1)
+        b.flipflop("F", phase="phi1", edge="rise", setup=1, delay=1)
+        b.path("F", "L", 5)
+        b.path("L", "F", 5)
+        g = b.build()
+        sim = simulate(g, two_phase_clock(100.0))
+        rec = sim.records[("F", 1)]
+        assert rec.departure == rec.open_time
+
+    def test_fall_ff_departs_at_close(self):
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.latch("L", phase="phi2", setup=1, delay=1)
+        b.flipflop("F", phase="phi1", edge="fall", setup=1, delay=1)
+        b.path("F", "L", 5)
+        b.path("L", "F", 5)
+        sim = simulate(b.build(), two_phase_clock(100.0))
+        rec = sim.records[("F", 1)]
+        assert rec.departure == rec.close_time
+
+
+class TestArguments:
+    def test_zero_cycles_rejected(self, ex1):
+        with pytest.raises(AnalysisError):
+            simulate(ex1, two_phase_clock(100.0), cycles=0)
+
+    def test_zero_period_rejected(self, ex1):
+        from repro.clocking.phase import ClockPhase
+        from repro.clocking.schedule import ClockSchedule
+
+        s = ClockSchedule(0.0, [ClockPhase("phi1", 0, 0), ClockPhase("phi2", 0, 0)])
+        with pytest.raises(AnalysisError):
+            simulate(ex1, s)
+
+    def test_phase_mismatch_rejected(self, ex1):
+        from repro.clocking.library import three_phase_clock
+
+        with pytest.raises(AnalysisError):
+            simulate(ex1, three_phase_clock(100.0))
+
+
+class TestCrossValidation:
+    """The simulator and the analyzer implement the same physics twice."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(3, 8),
+        extra=st.integers(0, 4),
+        seed=st.integers(0, 9999),
+        slack_factor=st.floats(1.0, 2.0),
+    )
+    def test_agreement_at_and_above_optimum(self, n, extra, seed, slack_factor):
+        g = random_multiloop_circuit(n, n_extra_arcs=extra, k=2, seed=seed)
+        schedule = minimize_cycle_time(g).schedule.scaled(slack_factor)
+        report = analyze(g, schedule)
+        sim = simulate(g, schedule)
+        assert sim.converged
+        assert sim.feasible == report.feasible
+        for name, d in sim.steady_departures().items():
+            assert d == pytest.approx(report.timings[name].departure, abs=1e-6)

@@ -1,0 +1,81 @@
+"""Stochastic cross-check of the worst-case skew model via jittered simulation."""
+
+import pytest
+
+from repro.clocking.skew import SkewBound
+from repro.core.constraints import ConstraintOptions
+from repro.core.mlp import minimize_cycle_time
+from repro.designs import example1
+from repro.errors import AnalysisError
+from repro.sim.simulator import simulate
+
+BOUNDS = {"phi1": SkewBound(1.5, 1.5), "phi2": SkewBound(1.5, 1.5)}
+
+
+class TestJitterMechanics:
+    def test_deterministic_given_seed(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        a = simulate(ex1, schedule, cycles=12, jitter=BOUNDS, seed=5)
+        b = simulate(ex1, schedule, cycles=12, jitter=BOUNDS, seed=5)
+        assert {
+            k: r.departure for k, r in a.records.items()
+        } == {k: r.departure for k, r in b.records.items()}
+
+    def test_different_seeds_differ(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        a = simulate(ex1, schedule, cycles=12, jitter=BOUNDS, seed=1)
+        b = simulate(ex1, schedule, cycles=12, jitter=BOUNDS, seed=2)
+        assert any(
+            a.records[k].departure != b.records[k].departure for k in a.records
+        )
+
+    def test_zero_jitter_equals_nominal(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        zero = {p: SkewBound(0.0, 0.0) for p in ex1.phase_names}
+        jittered = simulate(ex1, schedule, cycles=12, jitter=zero)
+        plain = simulate(ex1, schedule, cycles=12)
+        common = set(jittered.records) & set(plain.records)
+        for key in common:
+            assert jittered.records[key].departure == pytest.approx(
+                plain.records[key].departure
+            )
+
+    def test_unknown_phase_rejected(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        with pytest.raises(AnalysisError):
+            simulate(ex1, schedule, jitter={"zz": SkewBound(1, 1)})
+
+    def test_edges_move_within_bounds(self, ex1):
+        schedule = minimize_cycle_time(ex1).schedule
+        sim = simulate(ex1, schedule, cycles=8, jitter=BOUNDS, seed=3)
+        tc = schedule.period
+        for (name, cycle), rec in sim.records.items():
+            nominal = schedule[ex1[name].phase].start + cycle * tc
+            assert abs(rec.open_time - nominal) <= 1.5 + 1e-9
+
+
+class TestSkewModelCrossCheck:
+    """The worst-case optimizer's promise, checked stochastically."""
+
+    def test_protected_schedule_survives_random_jitter(self):
+        g = example1(80.0)
+        protected = minimize_cycle_time(g, ConstraintOptions(skew=BOUNDS))
+        for seed in range(10):
+            sim = simulate(
+                g, protected.schedule, cycles=24, jitter=BOUNDS, seed=seed
+            )
+            assert sim.clean_after(4), seed
+
+    def test_nominal_schedule_fails_some_jitter(self):
+        g = example1(80.0)
+        nominal = minimize_cycle_time(g)
+        failures = 0
+        for seed in range(10):
+            sim = simulate(
+                g, nominal.schedule, cycles=24, jitter=BOUNDS, seed=seed
+            )
+            if not sim.clean_after(4):
+                failures += 1
+        # The unprotected optimum has zero margin; random +/-1.5 ns edge
+        # movement must break it essentially always.
+        assert failures >= 8

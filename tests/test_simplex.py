@@ -1,0 +1,184 @@
+"""Unit and property tests for the from-scratch simplex solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InfeasibleError, UnboundedError
+from repro.lp.backends import available_backends, solve
+from repro.lp.expr import var
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import SimplexOptions, solve_simplex
+
+needs_scipy = pytest.mark.skipif(
+    "scipy" not in available_backends(), reason="scipy backend unavailable"
+)
+
+
+class TestBasics:
+    def test_bounded_optimum(self):
+        lp = LinearProgram()
+        x, y = var("x"), var("y")
+        lp.minimize(-x - 2 * y)
+        lp.add_le(x + y, 4, name="sum")
+        lp.add_le(x, 3)
+        lp.add_le(y, 2)
+        r = solve_simplex(lp)
+        assert r.status is LPStatus.OPTIMAL
+        assert r.objective == pytest.approx(-6.0)
+        assert r.values == pytest.approx({"x": 2.0, "y": 2.0})
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        lp.add_le(var("x"), -1)
+        assert solve_simplex(lp).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        lp.minimize(-var("x"))
+        lp.add_ge(var("x"), 1)
+        assert solve_simplex(lp).status is LPStatus.UNBOUNDED
+
+    def test_equality_constraints(self):
+        lp = LinearProgram()
+        lp.minimize(var("x") + var("y"))
+        lp.add_eq(var("x") + var("y"), 5)
+        lp.add_ge(var("x"), 2)
+        r = solve_simplex(lp)
+        assert r.objective == pytest.approx(5.0)
+
+    def test_free_variable(self):
+        lp = LinearProgram()
+        lp.set_free("z")
+        lp.minimize(var("z"))
+        lp.add_ge(var("z"), -7)
+        r = solve_simplex(lp)
+        assert r.objective == pytest.approx(-7.0)
+        assert r.values["z"] == pytest.approx(-7.0)
+
+    def test_no_constraints_bounded(self):
+        lp = LinearProgram()
+        lp.minimize(var("x"))
+        lp.declare("x")
+        r = solve_simplex(lp)
+        assert r.status is LPStatus.OPTIMAL
+        assert r.objective == 0.0
+
+    def test_no_constraints_unbounded(self):
+        lp = LinearProgram()
+        lp.minimize(-var("x"))
+        lp.declare("x")
+        assert solve_simplex(lp).status is LPStatus.UNBOUNDED
+
+    def test_objective_constant_carried(self):
+        lp = LinearProgram()
+        lp.minimize(var("x") + 10)
+        lp.add_ge(var("x"), 1)
+        assert solve_simplex(lp).objective == pytest.approx(11.0)
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degeneracy: many constraints active at the origin.
+        lp = LinearProgram()
+        x, y, z = var("x"), var("y"), var("z")
+        lp.minimize(-0.75 * x + 150 * y - 0.02 * z)
+        lp.add_le(0.25 * x - 60 * y - 0.04 * z, 0)
+        lp.add_le(0.5 * x - 90 * y - 0.02 * z, 0)
+        lp.add_le(z, 1)
+        r = solve_simplex(lp, SimplexOptions(bland_after=0))
+        assert r.status is LPStatus.OPTIMAL
+        assert r.objective == pytest.approx(-0.05, abs=1e-6)
+
+    def test_raise_for_status(self):
+        lp = LinearProgram()
+        lp.add_le(var("x"), -1)
+        with pytest.raises(InfeasibleError):
+            solve_simplex(lp).raise_for_status()
+        lp2 = LinearProgram()
+        lp2.minimize(-var("x"))
+        lp2.add_ge(var("x"), 0)
+        with pytest.raises(UnboundedError):
+            solve_simplex(lp2).raise_for_status()
+
+
+class TestDuals:
+    def test_shadow_prices_match_finite_difference(self):
+        def build(cap):
+            lp = LinearProgram()
+            x, y = var("x"), var("y")
+            lp.minimize(-3 * x - 5 * y)
+            lp.add_le(x, 4, name="c1")
+            lp.add_le(2 * y, 12, name="c2")
+            lp.add_le(3 * x + 2 * y, cap, name="c3")
+            return lp
+
+        r = solve_simplex(build(18))
+        eps = 1e-6
+        lo = solve_simplex(build(18 - eps)).objective
+        hi = solve_simplex(build(18 + eps)).objective
+        measured = (hi - lo) / (2 * eps)
+        assert r.duals["c3"] == pytest.approx(measured, abs=1e-4)
+
+    def test_nonbinding_constraint_has_zero_dual(self):
+        lp = LinearProgram()
+        lp.minimize(var("x"))
+        lp.add_ge(var("x"), 2, name="active")
+        lp.add_le(var("x"), 100, name="loose")
+        r = solve_simplex(lp)
+        assert r.duals["loose"] == pytest.approx(0.0, abs=1e-9)
+        assert r.duals["active"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_slacks(self):
+        lp = LinearProgram()
+        lp.minimize(var("x"))
+        lp.add_ge(var("x"), 2, name="lb")
+        lp.add_le(var("x"), 5, name="ub")
+        r = solve_simplex(lp)
+        assert r.slacks["lb"] == pytest.approx(0.0)
+        assert r.slacks["ub"] == pytest.approx(3.0)
+        assert r.binding_constraints() == ["lb"]
+
+
+@st.composite
+def random_lp(draw):
+    """Small random LPs with bounded feasible regions."""
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(1, 5))
+    coeff = st.integers(-3, 3)
+    names = [f"x{i}" for i in range(n)]
+    lp = LinearProgram()
+    obj = sum((draw(coeff) * var(v) for v in names), var(names[0]) * 0)
+    lp.minimize(obj)
+    for v in names:
+        lp.declare(v)
+        lp.add_le(var(v), draw(st.integers(1, 10)), name=f"ub_{v}")
+    for j in range(m):
+        row = sum((draw(coeff) * var(v) for v in names), var(names[0]) * 0)
+        sense = draw(st.sampled_from(["<=", ">="]))
+        rhs = draw(st.integers(-5, 15))
+        lp.add(row, sense, rhs, name=f"c{j}")
+    return lp
+
+
+@needs_scipy
+class TestAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_status_and_objective_agree(self, lp):
+        ours = solve_simplex(lp)
+        theirs = solve(lp, "scipy")
+        assert ours.status == theirs.status
+        if ours.status is LPStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(theirs.objective, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_lp())
+    def test_solution_is_feasible(self, lp):
+        r = solve_simplex(lp)
+        if r.status is not LPStatus.OPTIMAL:
+            return
+        for con in lp.constraints:
+            assert con.violation(r.values) <= 1e-6
+        for v in lp.variables:
+            if v not in lp.free_variables:
+                assert r.values[v] >= -1e-9

@@ -1,0 +1,109 @@
+"""Edge-case tests for the simplex solver's less-traveled paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.lp.expr import var
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPStatus
+from repro.lp.simplex import SimplexOptions, solve_simplex
+
+
+class TestRedundancy:
+    def test_duplicate_equality_rows(self):
+        # A redundant copy of an equality leaves an artificial basic at
+        # zero on a dependent row; the solver must still answer correctly.
+        lp = LinearProgram()
+        x, y = var("x"), var("y")
+        lp.minimize(x + y)
+        lp.add_eq(x + y, 4, name="e1")
+        lp.add_eq(x + y, 4, name="e2")
+        lp.add_ge(x, 1)
+        r = solve_simplex(lp)
+        assert r.status is LPStatus.OPTIMAL
+        assert r.objective == pytest.approx(4.0)
+
+    def test_implied_equality_from_inequalities(self):
+        lp = LinearProgram()
+        x = var("x")
+        lp.minimize(x)
+        lp.add_le(x, 3, name="ub")
+        lp.add_ge(x, 3, name="lb")
+        r = solve_simplex(lp)
+        assert r.values["x"] == pytest.approx(3.0)
+        assert set(r.binding_constraints()) == {"ub", "lb"}
+
+    def test_contradictory_equalities(self):
+        lp = LinearProgram()
+        x = var("x")
+        lp.add_eq(x, 1)
+        lp.add_eq(x, 2)
+        assert solve_simplex(lp).status is LPStatus.INFEASIBLE
+
+
+class TestNumerics:
+    def test_negative_rhs_normalization(self):
+        # b < 0 rows are sign-flipped internally; duals must flip back.
+        lp = LinearProgram()
+        x = var("x")
+        lp.minimize(x)
+        lp.add_ge(-x, -10, name="c")  # i.e. x <= 10
+        lp.add_ge(x, 2, name="lb")
+        r = solve_simplex(lp)
+        assert r.objective == pytest.approx(2.0)
+        assert r.duals["lb"] == pytest.approx(1.0)
+        assert r.duals["c"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_wide_coefficient_range(self):
+        lp = LinearProgram()
+        x, y = var("x"), var("y")
+        lp.minimize(1e-4 * x + 1e4 * y)
+        lp.add_ge(x + y, 1)
+        lp.add_le(x, 1e6)
+        r = solve_simplex(lp)
+        assert r.status is LPStatus.OPTIMAL
+        assert r.values["y"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_iteration_cap_raises(self):
+        lp = LinearProgram()
+        x, y = var("x"), var("y")
+        lp.minimize(-x - y)
+        lp.add_le(x + y, 10)
+        with pytest.raises(SolverError):
+            solve_simplex(lp, SimplexOptions(max_iterations=0))
+
+    def test_many_variables_small_basis(self):
+        lp = LinearProgram()
+        total = var("x0") * 0
+        for i in range(40):
+            total = total + var(f"x{i}")
+            lp.add_le(var(f"x{i}"), 1, name=f"ub{i}")
+        lp.minimize(-total)
+        r = solve_simplex(lp)
+        assert r.objective == pytest.approx(-40.0)
+
+    def test_fractional_solution_exact(self):
+        lp = LinearProgram()
+        x, y = var("x"), var("y")
+        lp.minimize(-2 * x - 3 * y)
+        lp.add_le(3 * x + 2 * y, 12, name="a")
+        lp.add_le(x + 2 * y, 6, name="b")
+        r = solve_simplex(lp)
+        # Optimum at intersection: x=3, y=1.5 -> -10.5.
+        assert r.values["x"] == pytest.approx(3.0)
+        assert r.values["y"] == pytest.approx(1.5)
+        assert r.objective == pytest.approx(-10.5)
+
+
+class TestBlandFallback:
+    def test_forced_bland_still_optimal(self):
+        lp = LinearProgram()
+        x, y, z = var("x"), var("y"), var("z")
+        lp.minimize(-x - y - z)
+        lp.add_le(x + y, 2)
+        lp.add_le(y + z, 2)
+        lp.add_le(x + z, 2)
+        for opts in (SimplexOptions(bland_after=0), SimplexOptions(bland_after=10**6)):
+            r = solve_simplex(lp, opts)
+            assert r.objective == pytest.approx(-3.0)

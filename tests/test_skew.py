@@ -1,0 +1,70 @@
+"""Unit tests for clock-skew modeling."""
+
+import pytest
+
+from repro.clocking.library import two_phase_clock
+from repro.clocking.skew import SkewBound, apply_skew, worst_case_schedules
+from repro.errors import ClockError
+
+
+class TestSkewBound:
+    def test_span(self):
+        assert SkewBound(0.1, 0.2).span == pytest.approx(0.3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SkewBound(-0.1, 0.0)
+
+
+class TestApplySkew:
+    def test_mapping_offsets(self):
+        s = two_phase_clock(100.0)
+        skewed = apply_skew(s, {"phi2": 5.0})
+        assert skewed["phi1"].start == s["phi1"].start
+        assert skewed["phi2"].start == s["phi2"].start + 5.0
+
+    def test_sequence_offsets(self):
+        s = two_phase_clock(100.0)
+        skewed = apply_skew(s, [1.0, -2.0])
+        assert skewed["phi1"].start == 1.0
+        assert skewed["phi2"].start == s["phi2"].start - 2.0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ClockError):
+            apply_skew(two_phase_clock(100.0), [1.0])
+
+    def test_clamps_at_zero(self):
+        s = two_phase_clock(100.0)
+        skewed = apply_skew(s, {"phi1": -5.0})
+        assert skewed["phi1"].start == 0.0
+
+    def test_widths_preserved(self):
+        s = two_phase_clock(100.0)
+        skewed = apply_skew(s, {"phi1": 3.0, "phi2": -3.0})
+        assert skewed.widths == s.widths
+
+
+class TestWorstCase:
+    def test_corner_count(self):
+        s = two_phase_clock(100.0)
+        bounds = {"phi1": SkewBound(1.0, 1.0), "phi2": SkewBound(0.5, 0.5)}
+        corners = worst_case_schedules(s, bounds)
+        assert len(corners) == 4
+        starts = {(c["phi1"].start, c["phi2"].start) for c in corners}
+        assert len(starts) == 4
+
+    def test_no_skew_returns_nominal(self):
+        s = two_phase_clock(100.0)
+        corners = worst_case_schedules(s, {})
+        assert corners == [s]
+
+    def test_zero_span_bounds_ignored(self):
+        s = two_phase_clock(100.0)
+        corners = worst_case_schedules(s, {"phi1": SkewBound(0.0, 0.0)})
+        assert corners == [s]
+
+    def test_explosion_guard(self):
+        s = two_phase_clock(100.0)
+        bounds = {"phi1": SkewBound(1, 1), "phi2": SkewBound(1, 1)}
+        with pytest.raises(ClockError):
+            worst_case_schedules(s, bounds, max_phases=1)

@@ -1,0 +1,135 @@
+"""Tests for worst-case skew-aware constraint generation and analysis.
+
+The soundness property: a schedule produced by skew-aware optimization
+must meet every setup requirement at *every* corner of the skew box --
+each phase independently early or late by its bound -- as judged by the
+plain (skew-oblivious) analyzer.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.generate import random_multiloop_circuit
+from repro.clocking.skew import SkewBound, worst_case_schedules
+from repro.core.analysis import analyze
+from repro.core.constraints import ConstraintOptions, build_program
+from repro.core.mlp import minimize_cycle_time
+from repro.designs import example1
+
+
+def skew_options(graph, early=1.0, late=1.0):
+    return ConstraintOptions(
+        skew={name: SkewBound(early, late) for name in graph.phase_names}
+    )
+
+
+class TestConstraintShape:
+    def test_xs_family_generated(self, ex1):
+        smo = build_program(ex1, skew_options(ex1))
+        assert len(smo.family("XS")) == 4  # one floor per latch
+
+    def test_no_xs_without_skew(self, ex1):
+        assert build_program(ex1).family("XS") == []
+
+    def test_setup_rows_tightened(self, ex1):
+        plain = build_program(ex1)
+        skewed = build_program(ex1, skew_options(ex1, early=2.0, late=0.0))
+        assert (
+            skewed.program.constraint("L1[L1]").rhs
+            == plain.program.constraint("L1[L1]").rhs - 2.0
+        )
+
+    def test_c3_rows_padded(self, ex1):
+        plain = build_program(ex1)
+        skewed = build_program(ex1, skew_options(ex1, early=1.0, late=2.0))
+        assert (
+            skewed.program.constraint("C3[phi2/phi1]").rhs
+            == plain.program.constraint("C3[phi2/phi1]").rhs + 3.0
+        )
+
+    def test_ff_pins_move_to_late_edge(self):
+        from repro.circuit.builder import CircuitBuilder
+
+        b = CircuitBuilder(["phi1", "phi2"])
+        b.flipflop("F", phase="phi1", edge="rise")
+        b.latch("L", phase="phi2")
+        b.path("F", "L", 5)
+        g = b.build()
+        smo = build_program(g, skew_options(g, late=0.7))
+        assert smo.program.constraint("FF[F]").rhs == pytest.approx(0.7)
+
+    def test_still_topological(self, ex1):
+        build_program(ex1, skew_options(ex1)).assert_topological()
+
+
+class TestOptimization:
+    def test_skew_never_helps_and_eventually_costs(self, ex1):
+        # Small skews can be absorbed by slack in the phase placement
+        # (2 ns skew at Delta_41 = 80 is free); large ones must cost.
+        base = minimize_cycle_time(ex1).period
+        small = minimize_cycle_time(ex1, skew_options(ex1, 2.0, 2.0)).period
+        large = minimize_cycle_time(ex1, skew_options(ex1, 5.0, 5.0)).period
+        assert small >= base - 1e-9
+        assert large > base
+        assert large == pytest.approx(120.0)
+
+    def test_skew_binds_on_the_flat_segment(self):
+        # At Delta_41 = 0 the 80 ns floor is a single-stage bound with no
+        # slack to hide skew in: every nanosecond of skew box costs.
+        g = example1(0.0)
+        assert minimize_cycle_time(g, skew_options(g, 2.0, 2.0)).period == (
+            pytest.approx(88.0)
+        )
+
+    def test_zero_skew_is_identity(self, ex1):
+        base = minimize_cycle_time(ex1).period
+        zero = minimize_cycle_time(ex1, skew_options(ex1, 0.0, 0.0)).period
+        assert zero == pytest.approx(base)
+
+    def test_result_verifies_under_skew_aware_analysis(self, ex1):
+        options = skew_options(ex1, 1.5, 1.5)
+        result = minimize_cycle_time(ex1, options)
+        assert analyze(ex1, result.schedule, options).feasible
+
+    def test_nominal_optimum_fails_skew_aware_analysis(self, ex1):
+        # The unprotected optimal schedule has zero margin: demanding skew
+        # robustness on top of it must expose violations.
+        result = minimize_cycle_time(ex1)
+        report = analyze(ex1, result.schedule, skew_options(ex1, 2.0, 2.0))
+        assert not report.feasible
+
+
+class TestCornerSoundness:
+    def _setup_ok_at_corners(self, graph, schedule, bounds):
+        for corner in worst_case_schedules(schedule, bounds):
+            report = analyze(graph, corner)
+            # Corner schedules may break the C2 labeling convention; the
+            # physical requirements are the setup slacks and convergence.
+            if report.divergent_cycle is not None or report.setup_violations:
+                return False
+        return True
+
+    def test_example1_corners_protected(self):
+        g = example1(80.0)
+        bounds = {name: SkewBound(1.0, 1.0) for name in g.phase_names}
+        protected = minimize_cycle_time(g, ConstraintOptions(skew=bounds))
+        assert self._setup_ok_at_corners(g, protected.schedule, bounds)
+
+    def test_example1_nominal_not_protected(self):
+        g = example1(80.0)
+        bounds = {name: SkewBound(1.0, 1.0) for name in g.phase_names}
+        nominal = minimize_cycle_time(g)
+        assert not self._setup_ok_at_corners(g, nominal.schedule, bounds)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(3, 7),
+        seed=st.integers(0, 9999),
+        early=st.floats(0.0, 2.0),
+        late=st.floats(0.0, 2.0),
+    )
+    def test_random_circuits_protected(self, n, seed, early, late):
+        g = random_multiloop_circuit(n, n_extra_arcs=2, k=2, seed=seed)
+        bounds = {name: SkewBound(early, late) for name in g.phase_names}
+        result = minimize_cycle_time(g, ConstraintOptions(skew=bounds))
+        assert self._setup_ok_at_corners(g, result.schedule, bounds)

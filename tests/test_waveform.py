@@ -1,0 +1,133 @@
+"""Unit tests for waveform sampling, edges, and overlap computations."""
+
+import numpy as np
+import pytest
+
+from repro.clocking.library import symmetric_clock, two_phase_clock
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.clocking.waveform import (
+    intervals_in_window,
+    overlap_duration,
+    phase_edges,
+    phases_overlap,
+    sample_phase,
+    sample_schedule,
+    simultaneous_and_is_zero,
+)
+from repro.errors import ClockError
+
+
+class TestSampling:
+    def test_sample_phase_levels(self):
+        s = two_phase_clock(100.0)
+        t = np.array([0.0, 10.0, 30.0, 60.0, 99.0, 110.0])
+        out = sample_phase(s["phi1"], 100.0, t)
+        assert out.tolist() == [True, True, False, False, False, True]
+
+    def test_sample_schedule_shape(self):
+        s = symmetric_clock(3, 90.0)
+        out = sample_schedule(s, np.linspace(0, 90, 10))
+        assert out.shape == (3, 10)
+
+    def test_wrapping_phase(self):
+        p = ClockPhase("p", 90.0, 20.0)
+        out = sample_phase(p, 100.0, [95.0, 5.0, 50.0])
+        assert out.tolist() == [True, True, False]
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ClockError):
+            sample_phase(ClockPhase("p", 0, 1), 0.0, [0.0])
+
+
+class TestEdges:
+    def test_two_cycles_of_edges(self):
+        s = two_phase_clock(100.0)
+        edges = phase_edges(s, "phi1", 0.0, 200.0)
+        times = [t for t, _ in edges]
+        kinds = [k for _, k in edges]
+        assert times == [0.0, 25.0, 100.0, 125.0, 200.0]
+        assert kinds == ["rise", "fall", "rise", "fall", "rise"]
+
+    def test_zero_width_phase_has_no_falls(self):
+        s = ClockSchedule(10.0, [ClockPhase("p", 2.0, 0.0)])
+        edges = phase_edges(s, "p", 0.0, 20.0)
+        assert all(kind == "rise" for _, kind in edges)
+
+    def test_empty_window_rejected(self):
+        s = two_phase_clock(100.0)
+        with pytest.raises(ClockError):
+            phase_edges(s, "phi1", 10.0, 5.0)
+
+
+class TestIntervals:
+    def test_clipping(self):
+        s = two_phase_clock(100.0)
+        ivs = intervals_in_window(s, "phi1", 10.0, 110.0)
+        assert ivs == [(10.0, 25.0), (100.0, 110.0)]
+
+    def test_zero_width(self):
+        s = ClockSchedule(10.0, [ClockPhase("p", 2.0, 0.0)])
+        assert intervals_in_window(s, "p", 0.0, 100.0) == []
+
+
+class TestOverlap:
+    def test_disjoint_phases(self):
+        s = two_phase_clock(100.0)
+        assert overlap_duration(s, "phi1", "phi2") == 0.0
+        assert not phases_overlap(s, "phi1", "phi2")
+
+    def test_overlapping_phases(self):
+        s = ClockSchedule(
+            100.0, [ClockPhase("a", 0.0, 60.0), ClockPhase("b", 40.0, 30.0)]
+        )
+        assert overlap_duration(s, "a", "b") == pytest.approx(20.0)
+        assert phases_overlap(s, "a", "b")
+
+    def test_self_overlap_is_width(self):
+        s = two_phase_clock(100.0)
+        assert overlap_duration(s, "phi1", "phi1") == pytest.approx(25.0)
+
+    def test_containment(self):
+        s = ClockSchedule(
+            100.0, [ClockPhase("wide", 0.0, 80.0), ClockPhase("narrow", 20.0, 10.0)]
+        )
+        assert overlap_duration(s, "wide", "narrow") == pytest.approx(10.0)
+
+
+class TestLoopPhaseRequirement:
+    """The Section III feedback-loop requirement: AND of phases == 0."""
+
+    def test_nonoverlapping_pair_passes(self):
+        s = two_phase_clock(100.0)
+        assert simultaneous_and_is_zero(s, ["phi1", "phi2"])
+
+    def test_overlapping_pair_fails(self):
+        s = ClockSchedule(
+            100.0, [ClockPhase("a", 0.0, 60.0), ClockPhase("b", 40.0, 30.0)]
+        )
+        assert not simultaneous_and_is_zero(s, ["a", "b"])
+
+    def test_three_phases_pairwise_overlap_but_no_triple(self):
+        # a&b overlap, b&c overlap, but never all three at once: AND == 0.
+        s = ClockSchedule(
+            100.0,
+            [
+                ClockPhase("a", 0.0, 40.0),
+                ClockPhase("b", 30.0, 40.0),
+                ClockPhase("c", 60.0, 40.0),
+            ],
+        )
+        assert simultaneous_and_is_zero(s, ["a", "b", "c"])
+        assert not simultaneous_and_is_zero(s, ["a", "b"])
+
+    def test_single_phase_loop(self):
+        s = two_phase_clock(100.0)
+        # A loop controlled by one phase can only satisfy the requirement
+        # if that phase never goes active.
+        assert not simultaneous_and_is_zero(s, ["phi1"])
+        zero = ClockSchedule(100.0, [ClockPhase("z", 0.0, 0.0)])
+        assert simultaneous_and_is_zero(zero, ["z"])
+
+    def test_empty_set_trivially_true(self):
+        assert simultaneous_and_is_zero(two_phase_clock(100.0), [])
