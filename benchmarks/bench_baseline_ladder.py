@@ -5,41 +5,49 @@ argument: exact level-sensitive optimization (MLP) beats the edge-
 triggered approximation, bounded binary search, borrowing, and NRIP on
 circuits that benefit from slack borrowing.  Emits the ladder for the
 paper's example circuits.
+
+The rungs run as :class:`repro.engine` baseline jobs sharing one engine,
+so the emitted report includes the engine's per-stage metrics block.
 """
 
 import pytest
 
-from repro.baselines.binary_search import binary_search_minimize
-from repro.baselines.borrowing import borrowing_minimize
-from repro.baselines.edge_triggered import edge_triggered_minimize
-from repro.baselines.nrip import nrip_minimize
-from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.baselines.ladder import run_ladder as ladder_rows
+from repro.core.mlp import MLPOptions
 from repro.core.reporting import format_comparison
 from repro.designs import example1, example2
+from repro.engine import Engine
 
 FAST = MLPOptions(verify=False)
 
+COLUMNS = {
+    "mlp": "MLP",
+    "nrip": "NRIP",
+    "borrowing-1": "borrow(1)",
+    "borrowing": "borrow(inf)",
+    "binary-search": "binary",
+    "edge-triggered": "edge",
+}
 
-def run_ladder():
+
+def run_ladder(engine=None):
+    engine = engine or Engine(jobs=1)
     rows = []
     for name, circuit in [("example1 @80", example1(80.0)), ("example2", example2())]:
-        opt = minimize_cycle_time(circuit, mlp=FAST).period
-        rows.append(
-            {
-                "circuit": name,
-                "MLP": opt,
-                "NRIP": nrip_minimize(circuit, mlp=FAST).period,
-                "borrow(1)": borrowing_minimize(circuit, 1).period,
-                "borrow(inf)": borrowing_minimize(circuit, 40).period,
-                "binary": round(binary_search_minimize(circuit), 3),
-                "edge": edge_triggered_minimize(circuit, mlp=FAST).period,
-            }
-        )
+        ladder = ladder_rows(circuit, mlp=FAST, engine=engine)
+        row = {"circuit": name}
+        for rung in ladder:
+            row[COLUMNS[rung.algorithm]] = (
+                round(rung.period, 3) if rung.algorithm == "binary-search"
+                else rung.period
+            )
+        rows.append(row)
     return rows
 
 
 def test_baseline_ladder(benchmark, emit):
-    rows = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+    engine = Engine(jobs=1)
+    rows = benchmark.pedantic(run_ladder, args=(engine,), rounds=1, iterations=1)
 
     for row in rows:
         opt = row["MLP"]
@@ -57,5 +65,7 @@ def test_baseline_ladder(benchmark, emit):
             rows,
             ["circuit", "MLP", "NRIP", "borrow(1)", "borrow(inf)", "binary", "edge"],
             "Minimum cycle time by algorithm (smaller is better)",
-        ),
+        )
+        + "\n\nengine metrics:\n"
+        + engine.report.format(),
     )

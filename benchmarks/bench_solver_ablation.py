@@ -2,10 +2,11 @@
 
 The paper's initial implementation used "a dense-matrix LP solver which
 implements the standard simplex algorithm"; this ablation checks that the
-choice of LP backend changes runtimes but never results.
+choice of LP backend changes runtimes but never results.  Timing and
+iteration counts come from the solver instrumentation itself
+(``LPResult.solve_seconds`` / ``LPResult.pivots``, surfaced through
+``OptimalClockResult.extra``) rather than external stopwatches.
 """
-
-import time
 
 import pytest
 
@@ -31,14 +32,14 @@ def run_ablation():
     for name, circuit in CIRCUITS:
         row = {"circuit": name}
         for backend in ("simplex", "scipy"):
-            start = time.perf_counter()
             result = minimize_cycle_time(
                 circuit, mlp=MLPOptions(backend=backend, verify=False)
             )
             row[f"Tc ({backend})"] = result.period
-            row[f"ms ({backend})"] = round(
-                (time.perf_counter() - start) * 1000, 2
+            row[f"lp ms ({backend})"] = round(
+                result.extra["stages"]["lp_solve"] * 1000, 2
             )
+            row[f"iters ({backend})"] = result.extra["lp_iterations"]
         rows.append(row)
     return rows
 
@@ -48,12 +49,21 @@ def test_backends_agree(benchmark, emit):
 
     for row in rows:
         assert row["Tc (simplex)"] == pytest.approx(row["Tc (scipy)"], abs=1e-6)
+        assert row["iters (simplex)"] > 0
 
     emit(
         "solver_ablation",
         format_comparison(
             rows,
-            ["circuit", "Tc (simplex)", "Tc (scipy)", "ms (simplex)", "ms (scipy)"],
+            [
+                "circuit",
+                "Tc (simplex)",
+                "Tc (scipy)",
+                "lp ms (simplex)",
+                "lp ms (scipy)",
+                "iters (simplex)",
+                "iters (scipy)",
+            ],
             "LP backend ablation: identical optima, different speed",
         ),
     )

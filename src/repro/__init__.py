@@ -73,6 +73,18 @@ from repro.baselines import (
     borrowing_minimize,
     binary_search_minimize,
 )
+from repro.engine import (
+    AnalyzeJob,
+    BaselineJob,
+    Engine,
+    EngineReport,
+    JobResult,
+    MinimizeJob,
+    ResultCache,
+    SweepJob,
+    job_key,
+    run_jobs,
+)
 from repro.lang import parse_circuit, parse_file, write_circuit
 from repro.netlist import (
     Netlist,
@@ -132,6 +144,17 @@ __all__ = [
     "edge_triggered_minimize",
     "borrowing_minimize",
     "binary_search_minimize",
+    # engine
+    "AnalyzeJob",
+    "BaselineJob",
+    "Engine",
+    "EngineReport",
+    "JobResult",
+    "MinimizeJob",
+    "ResultCache",
+    "SweepJob",
+    "job_key",
+    "run_jobs",
     # language
     "parse_circuit",
     "parse_file",

@@ -24,4 +24,18 @@ __all__ = [
     "borrowing_minimize",
     "BorrowingResult",
     "binary_search_minimize",
+    "LADDER",
+    "LadderRow",
+    "run_ladder",
 ]
+
+
+def __getattr__(name):
+    # The ladder pulls in repro.engine (and with it the whole solver
+    # stack), so it is imported lazily to keep `import repro.baselines`
+    # light for callers that only want one baseline algorithm.
+    if name in ("LADDER", "LadderRow", "run_ladder"):
+        from repro.baselines import ladder
+
+        return getattr(ladder, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

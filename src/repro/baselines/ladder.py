@@ -1,0 +1,81 @@
+"""The baseline comparison ladder, run as engine jobs.
+
+The ladder pits Algorithm MLP against every reconstructed baseline on one
+circuit (the comparison behind the paper's Table and Fig. 9 discussion).
+Running it through :class:`repro.engine.runner.Engine` gives the rungs
+result caching, optional parallel execution and per-stage metrics for
+free; the CLI ``baselines`` subcommand and the ladder benchmark both call
+:func:`run_ladder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.graph import TimingGraph
+from repro.core.constraints import ConstraintOptions
+from repro.core.mlp import MLPOptions
+from repro.engine.jobspec import BaselineJob
+from repro.engine.runner import Engine
+from repro.errors import ReproError
+
+#: (algorithm registry name, human label) -- MLP first so every other rung
+#: can be expressed as a ratio to the optimum.
+LADDER = (
+    ("mlp", "MLP (optimal)"),
+    ("nrip", "NRIP"),
+    ("borrowing-1", "borrowing (1 pass)"),
+    ("borrowing", "borrowing (converged)"),
+    ("binary-search", "binary search"),
+    ("edge-triggered", "edge-triggered"),
+)
+
+
+@dataclass(frozen=True)
+class LadderRow:
+    """One rung of the comparison: a baseline's period vs. the optimum."""
+
+    algorithm: str
+    label: str
+    period: float
+    ratio: float
+
+
+def run_ladder(
+    graph: TimingGraph,
+    options: ConstraintOptions | None = None,
+    mlp: MLPOptions | None = None,
+    engine: Engine | None = None,
+    jobs: int = 1,
+) -> list[LadderRow]:
+    """Run every ladder algorithm on ``graph`` and return ordered rows.
+
+    ``engine`` shares a cache/metrics across calls (e.g. several designs in
+    one batch); otherwise a throwaway engine with ``jobs`` workers is used.
+    """
+    if engine is None:
+        engine = Engine(jobs=jobs)
+    batch = [
+        BaselineJob(
+            graph=graph,
+            algorithm=algorithm,
+            options=options,
+            mlp=mlp,
+            label=label,
+        )
+        for algorithm, label in LADDER
+    ]
+    results = engine.run_jobs(batch)
+    for (algorithm, _), result in zip(LADDER, results):
+        if not result.ok:
+            raise ReproError(f"baseline {algorithm!r} failed: {result.error}")
+    optimum = float(results[0].value)
+    return [
+        LadderRow(
+            algorithm=algorithm,
+            label=label,
+            period=float(result.value),
+            ratio=float(result.value) / optimum,
+        )
+        for (algorithm, label), result in zip(LADDER, results)
+    ]

@@ -7,7 +7,8 @@ Operates on ``.lcd`` circuit description files (see :mod:`repro.lang`)::
     python -m repro analyze  circuit_with_clock.lcd --hold
     python -m repro sweep    circuit.lcd L4 L1 --lo 0 --hi 140
     python -m repro tune     circuit.lcd --period 120
-    python -m repro baselines circuit.lcd
+    python -m repro baselines circuit.lcd --jobs 4
+    python -m repro batch    designs.txt --jobs 4 --cache results.json
 """
 
 from __future__ import annotations
@@ -16,9 +17,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.baselines.binary_search import binary_search_minimize
-from repro.baselines.borrowing import borrowing_minimize
-from repro.baselines.edge_triggered import edge_triggered_minimize
+from repro.baselines.ladder import run_ladder
 from repro.baselines.nrip import nrip_minimize
 from repro.core.analysis import analyze
 from repro.core.constraints import ConstraintOptions
@@ -126,15 +125,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     graph, _ = _load(args.file)
     options = _constraint_options(args)
     if args.exact:
+        # Bisection is sequential, but the engine cache still dedupes
+        # the repeated endpoint evaluations inside refine_breakpoint.
+        engine = None
+        if args.jobs > 1:
+            from repro.engine import Engine
+
+            engine = Engine(jobs=1)
         result = exact_sweep_delay(
-            graph, args.src, args.dst, args.lo, args.hi, options=options
+            graph, args.src, args.dst, args.lo, args.hi, options=options,
+            engine=engine,
         )
     else:
         steps = max(2, args.points)
         grid = [
             args.lo + (args.hi - args.lo) * i / (steps - 1) for i in range(steps)
         ]
-        result = sweep_delay(graph, args.src, args.dst, grid, options=options)
+        result = sweep_delay(
+            graph, args.src, args.dst, grid, options=options, jobs=args.jobs
+        )
     print(f"segments of Tc(delay {args.src}->{args.dst}):")
     for seg in result.segments:
         print(
@@ -160,21 +169,79 @@ def cmd_tune(args: argparse.Namespace) -> int:
 def cmd_baselines(args: argparse.Namespace) -> int:
     graph, _ = _load(args.file)
     options = _constraint_options(args)
-    fast = MLPOptions(verify=False)
-    opt = minimize_cycle_time(graph, options, fast).period
+    ladder = run_ladder(
+        graph, options=options, mlp=MLPOptions(verify=False), jobs=args.jobs
+    )
     rows = [
-        {"algorithm": "MLP (optimal)", "Tc": opt, "ratio": 1.0},
+        {"algorithm": row.label, "Tc": row.period, "ratio": row.ratio}
+        for row in ladder
     ]
-    for label, period in [
-        ("NRIP", nrip_minimize(graph, options=options, mlp=fast).period),
-        ("borrowing (1 pass)", borrowing_minimize(graph, 1, options).period),
-        ("borrowing (converged)", borrowing_minimize(graph, 40, options).period),
-        ("binary search", binary_search_minimize(graph, options=options)),
-        ("edge-triggered", edge_triggered_minimize(graph, options, fast).period),
-    ]:
-        rows.append({"algorithm": label, "Tc": period, "ratio": period / opt})
     print(format_comparison(rows, ["algorithm", "Tc", "ratio"]))
     return 0
+
+
+def _batch_files(entries: Sequence[str]) -> list[str]:
+    """Expand ``batch`` arguments: ``.lcd`` files directly, manifests by line."""
+    files: list[str] = []
+    for entry in entries:
+        if entry.endswith(".lcd"):
+            files.append(entry)
+            continue
+        with open(entry, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    files.append(line)
+    return files
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import Engine, MinimizeJob
+
+    files = _batch_files(args.files)
+    if not files:
+        print("error: no .lcd files to run", file=sys.stderr)
+        return 2
+    options = _constraint_options(args)
+    mlp = MLPOptions(backend=args.backend, verify=False)
+    batch = []
+    load_errors: dict[str, str] = {}
+    for path in files:
+        # A malformed design must not abort the rest of the batch.
+        try:
+            graph, _ = _load(path)
+        except (ReproError, OSError) as exc:
+            load_errors[path] = str(exc)
+            continue
+        batch.append(
+            MinimizeJob(graph=graph, options=options, mlp=mlp, label=path)
+        )
+    engine = Engine(
+        jobs=args.jobs,
+        cache_path=args.cache,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    results = engine.run_jobs(batch)
+    engine.save_cache()
+
+    by_label = {result.label: result for result in results}
+    width = max(len(path) for path in files)
+    failures = 0
+    for path in files:
+        result = by_label.get(path)
+        if result is None:
+            failures += 1
+            print(f"{path:<{width}}  FAILED: {load_errors[path]}")
+        elif result.ok:
+            note = " (cached)" if result.cached else ""
+            print(f"{path:<{width}}  Tc = {result.value:g}{note}")
+        else:
+            failures += 1
+            print(f"{path:<{width}}  FAILED: {result.error}")
+    print()
+    print(engine.report.format())
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=29, help="grid size")
     p.add_argument("--exact", action="store_true",
                    help="adaptive exact breakpoints instead of a grid")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for grid evaluation (default 1)")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -232,8 +301,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("baselines", help="compare MLP with every baseline")
     p.add_argument("file")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the ladder (default 1)")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_baselines)
+
+    p = sub.add_parser(
+        "batch",
+        help="run many designs through the cached, parallel engine",
+        description="Arguments are .lcd files and/or manifest files "
+        "(one .lcd path per line, '#' comments).  Every design is "
+        "minimized through the engine; a per-stage metrics report is "
+        "printed at the end.",
+    )
+    p.add_argument("files", nargs="+",
+                   help=".lcd files or manifests listing them")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1: in-process serial)")
+    p.add_argument("--cache", default=None,
+                   help="JSON result-cache file (read if present, updated)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-job wall-clock limit in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts after a worker crash/timeout")
+    p.add_argument("--backend", default=None, help="LP backend (simplex|scipy)")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_batch)
     return parser
 
 

@@ -12,6 +12,7 @@ constraints L1-L3) is solved in two steps, following Theorem 1:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.circuit.graph import TimingGraph
@@ -97,6 +98,7 @@ def _compact_pass(
     mlp: "MLPOptions",
     optimal_period: float,
     fallback: LPResult,
+    stages: dict[str, float] | None = None,
 ) -> LPResult:
     """Re-optimize with Tc pinned at the optimum for a canonical schedule.
 
@@ -106,7 +108,12 @@ def _compact_pass(
     P2, so Theorem 1 still applies.
     """
     pinned = replace(options, fixed_period=optimal_period)
+    build_start = time.perf_counter()
     smo2 = build_program(graph, pinned, name="P2-compact")
+    if stages is not None:
+        stages["constraint_gen"] = (
+            stages.get("constraint_gen", 0.0) + time.perf_counter() - build_start
+        )
     tie_break = LinExpr()
     for phase in graph.phase_names:
         tie_break = tie_break + var(s_var(phase)) + var(t_var(phase))
@@ -135,14 +142,27 @@ def minimize_cycle_time(
     """
     options = options or ConstraintOptions()
     mlp = mlp or MLPOptions()
+    stages: dict[str, float] = {}
 
     # Step 1: solve the LP relaxation P2.
+    build_start = time.perf_counter()
     smo = build_program(graph, options)
+    stages["constraint_gen"] = time.perf_counter() - build_start
     tc_result = solve(smo.program, backend=mlp.backend).raise_for_status()
+    lp_solves = 1
+    lp_iterations = tc_result.iterations
+    lp_seconds = tc_result.solve_seconds
 
     lp_result = tc_result
     if mlp.compact:
-        lp_result = _compact_pass(graph, options, mlp, tc_result.objective, tc_result)
+        lp_result = _compact_pass(
+            graph, options, mlp, tc_result.objective, tc_result, stages
+        )
+        if lp_result is not tc_result:
+            lp_solves += 1
+            lp_iterations += lp_result.iterations
+            lp_seconds += lp_result.solve_seconds
+    stages["lp_solve"] = lp_seconds
 
     schedule = schedule_from_values(graph, lp_result.values)
     lp_departures = {
@@ -152,8 +172,12 @@ def minimize_cycle_time(
 
     # Steps 2-5: slide the departures to a fixpoint of the max constraints,
     # holding the clock variables at their LP-optimal values.
+    build_start = time.perf_counter()
     system = build_maxplus_system(graph, schedule, options)
+    stages["constraint_gen"] += time.perf_counter() - build_start
+    slide_start = time.perf_counter()
     fix = slide(system, lp_departures, method=mlp.iteration, tol=mlp.tol)
+    stages["slide"] = time.perf_counter() - slide_start
 
     result = OptimalClockResult(
         period=schedule.period,
@@ -166,9 +190,14 @@ def minimize_cycle_time(
         slide_sweeps=fix.iterations,
         slide_method=fix.method,
     )
+    result.extra["stages"] = stages
+    result.extra["lp_solves"] = lp_solves
+    result.extra["lp_iterations"] = lp_iterations
 
     if mlp.verify:
+        verify_start = time.perf_counter()
         report = analyze(graph, schedule, options)
+        stages["analysis"] = time.perf_counter() - verify_start
         result.report = report
         if not report.feasible:
             raise ReproError(

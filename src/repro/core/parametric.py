@@ -123,20 +123,40 @@ def sweep_delay(
     options: ConstraintOptions | None = None,
     mlp: MLPOptions | None = None,
     slope_tol: float = 1e-6,
+    jobs: int = 1,
+    engine=None,
 ) -> SweepResult:
     """Optimal Tc as a function of one combinational arc delay.
 
-    Re-solves Algorithm MLP at every grid value of ``Delta_{src,dst}``.
     This is exactly the experiment of the paper's Fig. 7 (sweeping
     Delta_41 of example 1).
+
+    Evaluation goes through :class:`repro.engine.runner.Engine`: grid
+    points are deduplicated by content hash and evaluated adaptively
+    (convexity lets proven-linear spans be interpolated instead of
+    solved), so the sweep performs fewer LP solves than it has grid
+    points.  ``jobs`` sets the worker count for a throwaway engine;
+    passing ``engine`` instead shares its cache and metrics across
+    sweeps.  The result is independent of the worker count -- a
+    ``jobs=4`` run returns bit-identical segments to a serial run.
     """
-    mlp = mlp or MLPOptions(verify=False)
+    # Imported here because repro.engine.runner imports this module.
+    from repro.engine.jobspec import SweepJob
+    from repro.engine.runner import Engine
 
-    def evaluate(value: float) -> float:
-        modified = graph.with_arc_delay(src, dst, value)
-        return minimize_cycle_time(modified, options, mlp).period
-
-    return sweep(evaluate, grid, slope_tol=slope_tol)
+    if engine is None:
+        engine = Engine(jobs=jobs)
+    job = SweepJob(
+        graph=graph,
+        src=src,
+        dst=dst,
+        grid=tuple(float(x) for x in grid),
+        options=options,
+        mlp=mlp,
+        slope_tol=slope_tol,
+        label=f"sweep {src}->{dst}",
+    )
+    return engine.map_sweep(job)
 
 
 def _reconstruct_pieces(
@@ -226,22 +246,72 @@ def exact_sweep_delay(
     mlp: MLPOptions | None = None,
     value_tol: float = 1e-7,
     slope_tol: float = 1e-6,
+    engine=None,
 ) -> SweepResult:
     """Exact piecewise-linear Tc(Delta_{src,dst}) over [lo, hi].
 
     Returns segments whose breakpoints are located by line intersection
     rather than grid resolution; for example 1 this recovers the Fig. 7
     breakpoints at 20 and 100 ns to solver precision.
+
+    Every evaluation is routed through an engine cache, so the duplicate
+    ``evaluate(x)`` calls the recursive chord test makes at shared piece
+    endpoints are served from the cache instead of re-solved.
     """
-    mlp = mlp or MLPOptions(verify=False)
+    from repro.engine.runner import Engine
 
-    def evaluate(value: float) -> float:
-        modified = graph.with_arc_delay(src, dst, value)
-        return minimize_cycle_time(modified, options, mlp).period
-
+    if engine is None:
+        engine = Engine(jobs=1)
+    evaluate = delay_evaluator(
+        graph, src, dst, options=options, mlp=mlp, engine=engine
+    )
     return exact_sweep(
         evaluate, lo, hi, value_tol=value_tol, slope_tol=slope_tol
     )
+
+
+def delay_evaluator(
+    graph: TimingGraph,
+    src: str,
+    dst: str,
+    options: ConstraintOptions | None = None,
+    mlp: MLPOptions | None = None,
+    engine=None,
+) -> Callable[[float], float]:
+    """A cached ``x -> optimal Tc`` evaluator for one arc delay.
+
+    Without an engine this is the direct (uncached) Algorithm-MLP call;
+    with one, repeated evaluations at the same ``x`` hit the result cache.
+    The sweep consumes only the period, so the default options skip the
+    verify and compact passes (one LP solve per distinct ``x``).
+    """
+    mlp = mlp or MLPOptions(verify=False, compact=False)
+    if engine is None:
+
+        def evaluate(value: float) -> float:
+            modified = graph.with_arc_delay(src, dst, value)
+            return minimize_cycle_time(modified, options, mlp).period
+
+        return evaluate
+
+    from repro.engine.jobspec import MinimizeJob
+
+    def evaluate_cached(value: float) -> float:
+        job = MinimizeJob(
+            graph=graph,
+            options=options,
+            mlp=mlp,
+            arc_override=(src, dst, float(value)),
+            label=f"{src}->{dst}={value:g}",
+        )
+        result = engine.run_jobs([job])[0]
+        if not result.ok:
+            raise ReproError(
+                f"evaluation failed at {value:g}: {result.error}"
+            )
+        return float(result.value)
+
+    return evaluate_cached
 
 
 def refine_breakpoint(
@@ -264,6 +334,11 @@ def refine_breakpoint(
         # Convexity: curve <= chord; the kink is on the side of the larger gap.
         left_gap = (f_lo + f_mid) / 2 - evaluate((lo + mid) / 2)
         right_gap = (f_mid + f_hi) / 2 - evaluate((mid + hi) / 2)
+        tiny = 1e-12 * max(1.0, abs(f_lo), abs(f_hi))
+        if chord - f_mid > tiny and left_gap <= tiny and right_gap <= tiny:
+            # Both halves are linear yet the midpoint sits below the full
+            # chord: the midpoint is exactly the kink.
+            return mid
         if left_gap >= right_gap:
             hi, f_hi = mid, f_mid
         else:

@@ -1,0 +1,50 @@
+"""repro.engine -- cached, parallel batch analysis with per-stage metrics.
+
+The engine executes declarative timing jobs (minimize / analyze / sweep /
+baseline) through a content-hash result cache and an optional process
+pool, collecting per-stage wall-clock metrics along the way.  See
+``docs/ENGINE.md`` for the full tour.
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.jobspec import (
+    BASELINE_ALGORITHMS,
+    AnalyzeJob,
+    BaselineJob,
+    FaultJob,
+    Job,
+    JobResult,
+    MinimizeJob,
+    SweepJob,
+    job_key,
+    jobs_from_grid,
+)
+from repro.engine.metrics import STAGES, EngineReport, MetricsAggregator, StageTimer
+from repro.engine.pool import PoolStats, SerialPool, WorkerPool, make_pool
+from repro.engine.runner import Engine, map_sweep, run_jobs
+
+__all__ = [
+    "AnalyzeJob",
+    "BASELINE_ALGORITHMS",
+    "BaselineJob",
+    "CacheStats",
+    "Engine",
+    "EngineReport",
+    "FaultJob",
+    "Job",
+    "JobResult",
+    "MetricsAggregator",
+    "MinimizeJob",
+    "PoolStats",
+    "ResultCache",
+    "STAGES",
+    "SerialPool",
+    "StageTimer",
+    "SweepJob",
+    "WorkerPool",
+    "job_key",
+    "jobs_from_grid",
+    "make_pool",
+    "map_sweep",
+    "run_jobs",
+]

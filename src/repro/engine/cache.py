@@ -1,0 +1,167 @@
+"""Result caching for the batch engine: in-memory LRU plus disk store.
+
+The cache is keyed by the canonical content hash of a job (see
+:func:`repro.engine.jobspec.job_key`), so any two jobs describing the same
+(circuit, clock, options) instance share one entry regardless of how their
+inputs were constructed.  Sweeps and benchmark ladders re-solve the same
+instance many times -- at segment breakpoints, at repeated grid values, and
+across refinement passes -- and the cache turns every repeat into a hit.
+
+``path`` enables a JSON disk store: results load lazily at construction and
+:meth:`save` persists the current in-memory contents atomically (write to a
+temp file, then rename).  Only the JSON-safe :class:`JobResult` payload is
+stored, never live model objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.jobspec import JobResult
+
+#: Disk-format version; mismatching stores are ignored rather than misread.
+STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    evictions: int = 0
+    loaded_from_disk: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({100.0 * self.hit_rate:.1f}% of {self.lookups} lookups), "
+            f"{self.entries} entries, {self.evictions} evicted"
+        )
+
+
+class ResultCache:
+    """An LRU mapping from canonical job keys to :class:`JobResult`.
+
+    ``max_entries`` bounds the in-memory map (least-recently-used entries
+    are evicted first); ``path`` optionally names a JSON file used as a
+    persistent store.  Cached results are returned as *copies* flagged
+    ``cached=True`` so callers can mutate bookkeeping fields freely.
+    """
+
+    def __init__(self, max_entries: int = 4096, path: str | None = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.path = path
+        self._entries: OrderedDict[str, JobResult] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._loaded = 0
+        if path and os.path.exists(path):
+            self._load(path)
+
+    # ------------------------------------------------------------------
+    # Core mapping operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> JobResult | None:
+        """Look up a key, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._entries.move_to_end(key)
+        hit = JobResult.from_dict(entry.to_dict())
+        hit.cached = True
+        return hit
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries beyond the cap.
+
+        Failed results are not cached: a crash or timeout is a property of
+        the run, not of the problem instance.
+        """
+        if not result.ok:
+            return
+        self._entries[key] = JobResult.from_dict(result.to_dict())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._entries),
+            evictions=self._evictions,
+            loaded_from_disk=self._loaded,
+        )
+
+    def reset_stats(self) -> None:
+        self._hits = self._misses = self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Disk store
+    # ------------------------------------------------------------------
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return  # a corrupt store is treated as empty, never fatal
+        if not isinstance(data, dict) or data.get("version") != STORE_VERSION:
+            return
+        for key, entry in data.get("entries", {}).items():
+            try:
+                self._entries[key] = JobResult.from_dict(entry)
+            except (KeyError, TypeError):
+                continue
+        self._loaded = len(self._entries)
+
+    def save(self, path: str | None = None) -> str:
+        """Persist the current entries as JSON (atomic replace); returns the path."""
+        target = path or self.path
+        if not target:
+            raise ValueError("no disk path configured for this cache")
+        payload = {
+            "version": STORE_VERSION,
+            "entries": {k: r.to_dict() for k, r in self._entries.items()},
+        }
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return target

@@ -1,0 +1,155 @@
+"""Per-stage instrumentation for the batch engine.
+
+Every executed job reports a flat metrics dict (wall time, per-stage
+seconds, LP solve/pivot counts, slide sweeps); :class:`MetricsAggregator`
+folds those into an :class:`EngineReport` -- the structured summary the
+CLI prints after a batch run and that benchmarks consume directly.
+
+Stage names used by the executors:
+
+* ``constraint_gen`` -- building the SMO constraint system (LP rows or the
+  max-plus system);
+* ``lp_solve``       -- time inside the LP backend (both the Tc pass and
+  the compact tie-break pass);
+* ``slide``          -- the Algorithm-MLP departure slide / fixpoint
+  iteration;
+* ``analysis``       -- fixed-schedule verification (analyze jobs, and the
+  verify pass of minimize jobs when enabled).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: Canonical stage ordering for reports.
+STAGES = ("constraint_gen", "lp_solve", "slide", "analysis")
+
+
+class StageTimer:
+    """Accumulate named wall-clock stages; used by the job executors."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + max(0.0, seconds)
+
+    class _Span:
+        def __init__(self, timer: "StageTimer", stage: str) -> None:
+            self.timer = timer
+            self.stage = stage
+
+        def __enter__(self) -> "StageTimer._Span":
+            self.start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self.timer.add(self.stage, time.perf_counter() - self.start)
+
+    def span(self, stage: str) -> "StageTimer._Span":
+        """Context manager timing one stage: ``with timer.span("lp_solve"):``."""
+        return self._Span(self, stage)
+
+
+def job_metrics(
+    wall_seconds: float,
+    stages: dict[str, float] | None = None,
+    lp_solves: int = 0,
+    lp_iterations: int = 0,
+    slide_sweeps: int = 0,
+) -> dict:
+    """The flat metrics dict attached to a :class:`~repro.engine.jobspec.JobResult`."""
+    return {
+        "wall_seconds": wall_seconds,
+        "stages": dict(stages or {}),
+        "lp_solves": lp_solves,
+        "lp_iterations": lp_iterations,
+        "slide_sweeps": slide_sweeps,
+    }
+
+
+@dataclass
+class EngineReport:
+    """Aggregated metrics for one engine run (or an engine's lifetime)."""
+
+    jobs: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    from_cache: int = 0
+    executed: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    lp_solves: int = 0
+    lp_iterations: int = 0
+    slide_sweeps: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def format(self) -> str:
+        """A printable multi-line summary (the CLI's metrics block)."""
+        lines = [
+            f"jobs: {self.jobs} total, {self.succeeded} ok, "
+            f"{self.failed} failed, {self.from_cache} from cache, "
+            f"{self.executed} executed ({self.retries} retries, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''})",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({100.0 * self.cache_hit_rate:.1f}%)",
+            f"lp: {self.lp_solves} solves, {self.lp_iterations} simplex "
+            f"pivots; slide: {self.slide_sweeps} sweeps",
+        ]
+        known = [s for s in STAGES if s in self.stage_seconds]
+        extra = sorted(set(self.stage_seconds) - set(known))
+        parts = [
+            f"{name} {1000.0 * self.stage_seconds[name]:.2f} ms"
+            for name in known + extra
+        ]
+        if parts:
+            lines.append("stage time: " + ", ".join(parts))
+        lines.append(f"wall time in jobs: {1000.0 * self.wall_seconds:.2f} ms")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+class MetricsAggregator:
+    """Fold per-job metrics dicts into a running :class:`EngineReport`."""
+
+    def __init__(self) -> None:
+        self._report = EngineReport()
+
+    def add_result(self, ok: bool, cached: bool, attempts: int, metrics: dict) -> None:
+        r = self._report
+        r.jobs += 1
+        r.succeeded += 1 if ok else 0
+        r.failed += 0 if ok else 1
+        if cached:
+            r.from_cache += 1
+        else:
+            r.executed += 1
+            r.retries += max(0, attempts - 1)
+            r.wall_seconds += float(metrics.get("wall_seconds", 0.0))
+            for stage, seconds in (metrics.get("stages") or {}).items():
+                r.stage_seconds[stage] = r.stage_seconds.get(stage, 0.0) + seconds
+            r.lp_solves += int(metrics.get("lp_solves", 0))
+            r.lp_iterations += int(metrics.get("lp_iterations", 0))
+            r.slide_sweeps += int(metrics.get("slide_sweeps", 0))
+
+    def set_cache_stats(self, hits: int, misses: int) -> None:
+        self._report.cache_hits = hits
+        self._report.cache_misses = misses
+
+    def set_workers(self, workers: int) -> None:
+        self._report.workers = workers
+
+    @property
+    def report(self) -> EngineReport:
+        return self._report

@@ -1,0 +1,285 @@
+"""Process pool for the batch engine: timeouts, crash retry, ordered results.
+
+Design goals, in priority order:
+
+1. **Deterministic output.**  Results are returned in submission order, and
+   each job is executed by the same pure function
+   (:func:`repro.engine.execute.execute_job`) regardless of worker count,
+   so a parallel run is bit-identical to a serial run.
+2. **Fault isolation.**  Each worker owns a private task queue and result
+   pipe; a worker that dies mid-job (segfault, ``os._exit``, OOM kill)
+   corrupts nothing shared.  The master detects the death via the process
+   sentinel, respawns a fresh worker in the slot, and retries the job up to
+   ``retries`` extra attempts before reporting a failed result.
+3. **Bounded latency.**  An optional per-job ``timeout`` (seconds) applies
+   to every attempt; a worker that exceeds it is terminated and treated
+   like a crash.
+
+Soft failures -- exceptions raised *inside* a job, which the worker
+survives -- are returned as failed results immediately, without retry:
+they are deterministic properties of the job, not of the run.
+
+The serial fallback (:class:`SerialPool`) executes jobs in-process with
+the same interface; it cannot enforce timeouts or survive hard crashes,
+which is why fault-injection tests always use the process pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+
+from repro.engine.execute import execute_job
+from repro.engine.jobspec import Job, JobResult
+
+#: How long (seconds) the master sleeps between health checks when no
+#: result arrives and no deadline is pending.
+_POLL_INTERVAL = 0.1
+
+
+@dataclass
+class PoolStats:
+    """Execution accounting for one pool instance."""
+
+    workers: int = 1
+    executed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    soft_failures: int = 0
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(task_queue, conn) -> None:
+    """Worker loop: execute jobs from the queue until the ``None`` sentinel."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        idx, job, key = item
+        try:
+            result = execute_job(job, key)
+        except BaseException as err:  # noqa: BLE001 - keep the worker alive
+            result = JobResult(
+                key=key,
+                kind=getattr(job, "kind", "?"),
+                ok=False,
+                error=f"unhandled {type(err).__name__}: {err}",
+                label=getattr(job, "label", ""),
+            )
+        conn.send((idx, result))
+
+
+@dataclass
+class _Assignment:
+    index: int
+    job: Job
+    key: str
+    attempts: int
+    deadline: float | None
+
+
+class _Worker:
+    """One slot of the pool: process + private task queue + result pipe."""
+
+    def __init__(self, ctx) -> None:
+        self.task_queue = ctx.Queue()
+        self.conn, child_conn = ctx.Pipe(duplex=False)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(self.task_queue, child_conn),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.assignment: _Assignment | None = None
+
+    def assign(self, item: _Assignment) -> None:
+        self.assignment = item
+        self.task_queue.put((item.index, item.job, item.key))
+
+    def shutdown(self, graceful: bool = True) -> None:
+        try:
+            if graceful and self.proc.is_alive():
+                self.task_queue.put(None)
+                self.proc.join(timeout=1.0)
+            if self.proc.is_alive():
+                self.proc.terminate()
+                self.proc.join(timeout=1.0)
+            if self.proc.is_alive():  # pragma: no cover - stubborn process
+                self.proc.kill()
+                self.proc.join(timeout=1.0)
+        finally:
+            self.conn.close()
+            self.task_queue.close()
+
+
+class SerialPool:
+    """In-process fallback with the same ``run`` interface as WorkerPool."""
+
+    def __init__(self) -> None:
+        self.stats = PoolStats(workers=1)
+
+    def run(self, tasks: list[tuple[Job, str]]) -> list[JobResult]:
+        results = []
+        for job, key in tasks:
+            result = execute_job(job, key)
+            self.stats.executed += 1
+            if not result.ok:
+                self.stats.soft_failures += 1
+            results.append(result)
+        return results
+
+    def close(self) -> None:
+        pass
+
+
+class WorkerPool:
+    """A fixed-size pool of worker processes with crash retry.
+
+    ``retries`` is the number of *extra* attempts granted to a job whose
+    worker crashed or timed out (``retries=1`` means at most two attempts).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        timeout: float | None = None,
+        retries: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.stats = PoolStats(workers=self.workers)
+        self._ctx = _preferred_context()
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[tuple[Job, str]]) -> list[JobResult]:
+        """Execute ``tasks`` (job, canonical key) and return ordered results."""
+        if not tasks:
+            return []
+        total = len(tasks)
+        pending: deque[_Assignment] = deque(
+            _Assignment(index=i, job=job, key=key, attempts=0, deadline=None)
+            for i, (job, key) in enumerate(tasks)
+        )
+        results: dict[int, JobResult] = {}
+        pool = [_Worker(self._ctx) for _ in range(min(self.workers, total))]
+        try:
+            while len(results) < total:
+                self._dispatch(pool, pending)
+                self._collect(pool, pending, results)
+        finally:
+            for worker in pool:
+                worker.shutdown()
+        return [results[i] for i in range(total)]
+
+    def close(self) -> None:
+        pass  # workers live only inside run()
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, pool: list[_Worker], pending: deque[_Assignment]) -> None:
+        for worker in pool:
+            if not pending:
+                return
+            if worker.assignment is None:
+                item = pending.popleft()
+                item.attempts += 1
+                item.deadline = (
+                    time.monotonic() + self.timeout if self.timeout else None
+                )
+                worker.assign(item)
+
+    def _collect(
+        self,
+        pool: list[_Worker],
+        pending: deque[_Assignment],
+        results: dict[int, JobResult],
+    ) -> None:
+        busy = [w for w in pool if w.assignment is not None]
+        if not busy:  # pragma: no cover - dispatch always precedes collect
+            return
+        now = time.monotonic()
+        deadlines = [w.assignment.deadline for w in busy if w.assignment.deadline]
+        wait_for = _POLL_INTERVAL
+        if deadlines:
+            wait_for = max(0.0, min(min(deadlines) - now, _POLL_INTERVAL))
+        waitables = [w.conn for w in busy] + [w.proc.sentinel for w in busy]
+        ready = set(_wait_connections(waitables, timeout=wait_for))
+
+        now = time.monotonic()
+        for i, worker in enumerate(pool):
+            item = worker.assignment
+            if item is None:
+                continue
+            # A finished result beats a sentinel: a worker that sent its
+            # result and was then killed still did the work.
+            if worker.conn in ready:
+                try:
+                    index, result = worker.conn.recv()
+                except (EOFError, OSError):
+                    pool[i] = self._fail_over(worker, pending, results, "crashed")
+                    continue
+                result.attempts = item.attempts
+                self.stats.executed += 1
+                if not result.ok:
+                    self.stats.soft_failures += 1
+                results[index] = result
+                worker.assignment = None
+            elif worker.proc.sentinel in ready or not worker.proc.is_alive():
+                pool[i] = self._fail_over(worker, pending, results, "crashed")
+            elif item.deadline is not None and now > item.deadline:
+                pool[i] = self._fail_over(worker, pending, results, "timed out")
+
+    def _fail_over(
+        self,
+        worker: _Worker,
+        pending: deque[_Assignment],
+        results: dict[int, JobResult],
+        reason: str,
+    ) -> _Worker:
+        """Replace a dead/stuck worker; requeue or fail its assignment."""
+        item = worker.assignment
+        assert item is not None
+        if reason == "timed out":
+            self.stats.timeouts += 1
+        else:
+            self.stats.crashes += 1
+        worker.shutdown(graceful=False)
+        if item.attempts <= self.retries:
+            self.stats.retries += 1
+            # Retry first so ordering pressure stays on the failed job.
+            pending.appendleft(item)
+        else:
+            results[item.index] = JobResult(
+                key=item.key,
+                kind=getattr(item.job, "kind", "?"),
+                ok=False,
+                error=(
+                    f"worker {reason} (attempt {item.attempts} of "
+                    f"{self.retries + 1})"
+                ),
+                label=getattr(item.job, "label", ""),
+                attempts=item.attempts,
+            )
+        return _Worker(self._ctx)
+
+
+def make_pool(
+    jobs: int,
+    timeout: float | None = None,
+    retries: int = 1,
+) -> SerialPool | WorkerPool:
+    """A pool sized to ``jobs``: serial for 1, processes otherwise."""
+    if jobs <= 1:
+        return SerialPool()
+    return WorkerPool(workers=jobs, timeout=timeout, retries=retries)

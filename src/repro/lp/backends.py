@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.errors import SolverError
@@ -41,4 +42,9 @@ def solve(program: LinearProgram, backend: str | None = None) -> LPResult:
         raise SolverError(
             f"unknown LP backend {name!r}; available: {available_backends()}"
         ) from None
-    return solver(program)
+    start = time.perf_counter()
+    result = solver(program)
+    elapsed = time.perf_counter() - start
+    if not result.solve_seconds:
+        result.solve_seconds = elapsed
+    return result

@@ -24,6 +24,12 @@ class LPResult:
     maps constraint names to shadow prices (the derivative of the optimal
     objective with respect to that constraint's right-hand side); ``slacks``
     maps constraint names to ``|lhs - rhs|`` distance from binding.
+
+    ``iterations`` counts solver iterations -- simplex pivots for the dense
+    simplex backend (also exposed as :attr:`pivots`), ``res.nit`` for
+    scipy -- and ``solve_seconds`` is the wall-clock time spent inside the
+    backend, filled by :func:`repro.lp.backends.solve` when the backend
+    itself does not report it.
     """
 
     status: LPStatus
@@ -33,10 +39,16 @@ class LPResult:
     slacks: dict[str, float] = field(default_factory=dict)
     iterations: int = 0
     backend: str = ""
+    solve_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
         return self.status is LPStatus.OPTIMAL
+
+    @property
+    def pivots(self) -> int:
+        """Simplex pivot count (alias of ``iterations`` for LP backends)."""
+        return self.iterations
 
     def raise_for_status(self) -> "LPResult":
         """Raise a typed error unless the status is OPTIMAL."""

@@ -12,6 +12,7 @@ pivots, which guarantees termination.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -187,7 +188,21 @@ def _run_simplex(
 def solve_simplex(
     program: LinearProgram, options: SimplexOptions | None = None
 ) -> LPResult:
-    """Solve a :class:`LinearProgram` with the two-phase simplex method."""
+    """Solve a :class:`LinearProgram` with the two-phase simplex method.
+
+    The result carries ``iterations`` (total pivots across both phases,
+    also readable as ``result.pivots``) and ``solve_seconds`` (wall-clock
+    time spent in the solver).
+    """
+    start = time.perf_counter()
+    result = _solve_simplex(program, options)
+    result.solve_seconds = time.perf_counter() - start
+    return result
+
+
+def _solve_simplex(
+    program: LinearProgram, options: SimplexOptions | None = None
+) -> LPResult:
     options = options or SimplexOptions()
     sf = _StandardForm(program)
     m, n = sf.m, sf.n_struct
