@@ -1,0 +1,124 @@
+"""Warm-started revised simplex: pivot savings on sweeps (Section VI).
+
+Section VI anticipates parametric design studies -- families of LPs that
+differ only in a few right-hand sides.  The revised backend threads the
+previous grid point's optimal basis into each successive solve, which
+must never change any reported cycle time (the warm-start guard falls
+back to a cold solve whenever the basis is unusable) but should pay for
+itself in skipped pivots.  This benchmark runs the paper's Fig. 7 sweep
+and a scaling suite twice -- cold and warm -- and asserts:
+
+* every Tc agrees between the runs to 1e-9, and
+* the warm runs spend at least 2x fewer total simplex pivots.
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) for a reduced grid.
+"""
+
+import os
+
+import pytest
+
+from repro.circuit.generate import random_multiloop_circuit
+from repro.core.mlp import MLPOptions
+from repro.core.parametric import exact_sweep_delay, sweep_delay
+from repro.core.reporting import format_comparison
+from repro.designs import example1
+from repro.engine import Engine
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZES = [8, 16] if QUICK else [8, 16, 32, 64]
+GRID = range(0, 145, 15) if QUICK else range(0, 145, 5)
+
+WARM = MLPOptions(verify=False, compact=False, backend="revised")
+COLD = MLPOptions(verify=False, compact=False, backend="revised", warm_start=False)
+
+
+def _sweep_case(name, run):
+    """Run one sweep cold and warm; return a comparison row."""
+    row = {"case": name}
+    periods = {}
+    for mode, mlp in (("cold", COLD), ("warm", WARM)):
+        engine = Engine(jobs=1)
+        result = run(engine, mlp)
+        report = engine.report
+        periods[mode] = [p.period for p in result.points] + [
+            s.slope for s in result.segments
+        ] + [s.start for s in result.segments]
+        row[f"{mode} pivots"] = report.lp_iterations
+        if mode == "warm":
+            row["hits"] = report.warm_start_hits
+            row["saved"] = report.pivots_saved
+    assert len(periods["cold"]) == len(periods["warm"])
+    for cold_v, warm_v in zip(periods["cold"], periods["warm"]):
+        assert abs(cold_v - warm_v) <= 1e-9
+    row["ratio"] = round(row["cold pivots"] / max(1, row["warm pivots"]), 2)
+    return row
+
+
+def run_warmstart():
+    rows = []
+    fig7 = example1()
+    rows.append(
+        _sweep_case(
+            "fig7 exact L4->L1",
+            lambda engine, mlp: exact_sweep_delay(
+                fig7, "L4", "L1", 0.0, 140.0, mlp=mlp, engine=engine
+            ),
+        )
+    )
+    rows.append(
+        _sweep_case(
+            "fig7 grid L4->L1",
+            lambda engine, mlp: sweep_delay(
+                fig7, "L4", "L1", GRID, mlp=mlp, engine=engine
+            ),
+        )
+    )
+    for n in SIZES:
+        circuit = random_multiloop_circuit(n, n_extra_arcs=n // 2, k=2, seed=n)
+        arc = min(circuit.arcs, key=lambda a: (a.src, a.dst))
+        grid = [arc.delay + 2.0 * i for i in range(5 if QUICK else 9)]
+        rows.append(
+            _sweep_case(
+                f"scaling n={n} {arc.src}->{arc.dst}",
+                lambda engine, mlp, c=circuit, a=arc, g=grid: sweep_delay(
+                    c, a.src, a.dst, g, mlp=mlp, engine=engine
+                ),
+            )
+        )
+    return rows
+
+
+def test_warm_start_halves_pivots(benchmark, emit):
+    rows = benchmark.pedantic(run_warmstart, rounds=1, iterations=1)
+
+    total_cold = sum(r["cold pivots"] for r in rows)
+    total_warm = sum(r["warm pivots"] for r in rows)
+    assert total_warm > 0
+    # The acceptance bar: warm chains spend at least 2x fewer pivots in
+    # total across the Fig. 7 sweeps and the scaling suite.
+    assert total_cold >= 2 * total_warm
+    # The Fig. 7 chains must actually warm-start; some random scaling
+    # circuits legitimately reject every basis (their optimum moves to a
+    # structurally different vertex between grid points).
+    assert all(r["hits"] > 0 for r in rows if r["case"].startswith("fig7"))
+
+    rows.append(
+        {
+            "case": "TOTAL",
+            "cold pivots": total_cold,
+            "warm pivots": total_warm,
+            "hits": sum(r["hits"] for r in rows),
+            "saved": sum(r["saved"] for r in rows),
+            "ratio": round(total_cold / total_warm, 2),
+        }
+    )
+    emit(
+        "warmstart",
+        format_comparison(
+            rows,
+            ["case", "cold pivots", "warm pivots", "ratio", "hits", "saved"],
+            "Warm-started revised simplex: identical Tc, fewer pivots"
+            + (" (quick grid)" if QUICK else ""),
+        ),
+    )

@@ -124,6 +124,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     graph, _ = _load(args.file)
     options = _constraint_options(args)
+    # One LP solve per distinct point; the revised backend warm-starts each
+    # solve from the previous point's basis unless --cold-start is given.
+    mlp = MLPOptions(
+        backend=args.backend or "revised",
+        verify=False,
+        compact=False,
+        warm_start=not args.cold_start,
+    )
     if args.exact:
         # Bisection is sequential, but the engine cache still dedupes
         # the repeated endpoint evaluations inside refine_breakpoint.
@@ -134,7 +142,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             engine = Engine(jobs=1)
         result = exact_sweep_delay(
             graph, args.src, args.dst, args.lo, args.hi, options=options,
-            engine=engine,
+            mlp=mlp, engine=engine,
         )
     else:
         steps = max(2, args.points)
@@ -142,7 +150,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             args.lo + (args.hi - args.lo) * i / (steps - 1) for i in range(steps)
         ]
         result = sweep_delay(
-            graph, args.src, args.dst, grid, options=options, jobs=args.jobs
+            graph, args.src, args.dst, grid, options=options, mlp=mlp,
+            jobs=args.jobs,
         )
     print(f"segments of Tc(delay {args.src}->{args.dst}):")
     for seg in result.segments:
@@ -254,7 +263,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("minimize", help="find the optimal cycle time (MLP)")
     p.add_argument("file", help=".lcd circuit description")
-    p.add_argument("--backend", default=None, help="LP backend (simplex|scipy)")
+    p.add_argument("--backend", default=None,
+                   help="LP backend (simplex|revised|scipy)")
     p.add_argument("--max-period", type=float, default=None, dest="max_period")
     p.add_argument("--nrip", action="store_true", help="run the NRIP baseline")
     p.add_argument("--initial-phase", default=None, dest="initial_phase",
@@ -290,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="adaptive exact breakpoints instead of a grid")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for grid evaluation (default 1)")
+    p.add_argument("--backend", default=None,
+                   help="LP backend (simplex|revised|scipy; default revised)")
+    p.add_argument("--cold-start", action="store_true", dest="cold_start",
+                   help="disable warm-started solves (identical results, "
+                   "more pivots)")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -324,7 +339,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock limit in seconds")
     p.add_argument("--retries", type=int, default=1,
                    help="extra attempts after a worker crash/timeout")
-    p.add_argument("--backend", default=None, help="LP backend (simplex|scipy)")
+    p.add_argument("--backend", default=None,
+                   help="LP backend (simplex|revised|scipy)")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_batch)
     return parser

@@ -127,6 +127,13 @@ class SMOProgram:
     constraint names generated for it; ``arc_of_constraint`` maps each L2R/FS
     row back to the circuit arc it came from, which is what critical-segment
     extraction uses.
+
+    ``rhs_delay_sign`` records, per arc constraint, the derivative of its
+    right-hand side with respect to that arc's combinational delay (+1 for
+    L2R rows, -1 for FS rows).  The SMO coefficient matrix is exclusively
+    topological, so a delay change moves only these constants --
+    :func:`recost_arc_delay` exploits that to rebuild a perturbed program
+    without re-walking the circuit.
     """
 
     program: LinearProgram
@@ -134,6 +141,7 @@ class SMOProgram:
     options: ConstraintOptions
     families: dict[str, list[str]] = field(default_factory=dict)
     arc_of_constraint: dict[str, tuple[str, str]] = field(default_factory=dict)
+    rhs_delay_sign: dict[str, float] = field(default_factory=dict)
 
     @property
     def explicit_constraint_count(self) -> int:
@@ -282,6 +290,7 @@ def build_program(
                 name=f"L2R[{arc.src}->{arc.dst}]",
             )
             add("L2R", con)
+            smo.rhs_delay_sign[con.name] = 1.0
         else:
             assert isinstance(dst, FlipFlop)
             # With skew the triggering edge may come early_i sooner.
@@ -299,6 +308,7 @@ def build_program(
                     name=f"FS[{arc.src}->{arc.dst}]",
                 )
             add("FS", con)
+            smo.rhs_delay_sign[con.name] = -1.0
         smo.arc_of_constraint[con.name] = (arc.src, arc.dst)
 
     # ---- FF: pin flip-flop departures to their triggering edge ------------
@@ -370,6 +380,50 @@ def build_program(
                     lp.add_eq(var(maker(phase)), value, name=f"FIX[{tag}[{phase}]]"),
                 )
     return smo
+
+
+def recost_arc_delay(
+    smo: SMOProgram, src: str, dst: str, value: float
+) -> SMOProgram:
+    """Re-cost an already-built program for a new ``src -> dst`` arc delay.
+
+    Because every SMO coefficient is topological (0 or +/-1, Section VI), a
+    combinational delay change never touches the constraint matrix -- only
+    the constant side of the affected L2R/FS rows.  This rebuilds exactly
+    those right-hand sides (``d rhs / d delay`` is recorded per row in
+    :attr:`SMOProgram.rhs_delay_sign`) and shares everything else with the
+    original program, so a parametric sweep pays O(rows) bookkeeping per
+    point instead of a full :func:`build_program` circuit walk.
+
+    The returned program is *structurally identical* to the original (same
+    variables, constraint names and senses), which is precisely the
+    condition under which an optimal :class:`~repro.lp.basis.Basis` from
+    one point can warm-start the next.
+    """
+    arc = smo.graph.arc(src, dst)
+    if arc is None:
+        raise CircuitError(f"no combinational arc {src!r} -> {dst!r}")
+    targets = {
+        name
+        for name, pair in smo.arc_of_constraint.items()
+        if pair == (src, dst)
+    }
+    if not targets:  # pragma: no cover - every arc generates a row
+        raise CircuitError(f"arc {src!r} -> {dst!r} generated no constraints")
+    delta = float(value) - arc.delay
+    updates: dict[str, float] = {}
+    if delta:
+        for con in smo.program.constraints:
+            if con.name in targets:
+                updates[con.name] = con.rhs + smo.rhs_delay_sign[con.name] * delta
+    return SMOProgram(
+        program=smo.program.with_rhs(updates) if updates else smo.program,
+        graph=smo.graph.with_arc_delay(src, dst, float(value)),
+        options=smo.options,
+        families=smo.families,
+        arc_of_constraint=smo.arc_of_constraint,
+        rhs_delay_sign=smo.rhs_delay_sign,
+    )
 
 
 def build_maxplus_system(

@@ -14,9 +14,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.circuit.graph import TimingGraph
-from repro.core.constraints import ConstraintOptions
+from repro.core.constraints import ConstraintOptions, build_program, recost_arc_delay
 from repro.core.mlp import MLPOptions, minimize_cycle_time
 from repro.errors import ReproError
+from repro.lp.backends import supports_warm_start
+from repro.lp.basis import Basis
 
 
 @dataclass(frozen=True)
@@ -25,6 +27,36 @@ class SweepPoint:
 
     parameter: float
     period: float
+
+
+class BasisChain:
+    """Nearest-neighbor store of optimal bases along a one-parameter sweep.
+
+    Optimal bases vary slowly along a delay sweep, but a basis from a
+    *distant* point is often primal-infeasible at the new right-hand side
+    (the guard then falls back to a cold solve).  Keeping every solved
+    point's basis and seeding each new solve from the geometrically
+    nearest one raises the warm-start hit rate substantially over a
+    "last solved wins" chain -- bisection in particular revisits
+    midpoints far from the most recent solve.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, Basis]] = []
+        #: pivot count of the chain's first cold solve -- the anchor the
+        #: engine uses to estimate ``pivots_saved`` on warm hits.
+        self.cold_hint: int = 0
+
+    def get(self, x: float) -> Basis | None:
+        """The stored basis nearest to parameter value ``x`` (None if empty)."""
+        if not self._entries:
+            return None
+        return min(self._entries, key=lambda entry: abs(entry[0] - x))[1]
+
+    def put(self, x: float, basis: Basis | None) -> None:
+        if basis is None:
+            return
+        self._entries.append((float(x), basis))
 
 
 @dataclass(frozen=True)
@@ -280,17 +312,36 @@ def delay_evaluator(
 ) -> Callable[[float], float]:
     """A cached ``x -> optimal Tc`` evaluator for one arc delay.
 
-    Without an engine this is the direct (uncached) Algorithm-MLP call;
-    with one, repeated evaluations at the same ``x`` hit the result cache.
-    The sweep consumes only the period, so the default options skip the
-    verify and compact passes (one LP solve per distinct ``x``).
+    Without an engine this is the direct Algorithm-MLP call; with one,
+    repeated evaluations at the same ``x`` hit the result cache.  The
+    sweep consumes only the period, so the default options skip the verify
+    and compact passes (one LP solve per distinct ``x``) and use the
+    revised backend so successive evaluations warm-start from the previous
+    point's optimal basis.
+
+    Warm chaining works in both modes: the direct path re-costs one
+    constraint system per value (:func:`recost_arc_delay`) and hands the
+    last optimal basis to the next solve; the engine path threads the
+    basis through the job's non-hashed ``warm_start`` slot, so cache keys
+    -- and therefore results -- are identical to a cold run.
     """
-    mlp = mlp or MLPOptions(verify=False, compact=False)
+    mlp = mlp or MLPOptions(verify=False, compact=False, backend="revised")
+    chain_warm = mlp.warm_start and supports_warm_start(mlp.backend)
+    chain = BasisChain()
     if engine is None:
+        state: dict = {"smo": None}
 
         def evaluate(value: float) -> float:
-            modified = graph.with_arc_delay(src, dst, value)
-            return minimize_cycle_time(modified, options, mlp).period
+            if state["smo"] is None:
+                state["smo"] = build_program(graph, options or ConstraintOptions())
+            smo = recost_arc_delay(state["smo"], src, dst, float(value))
+            warm = chain.get(value) if chain_warm else None
+            result = minimize_cycle_time(
+                smo.graph, options, mlp, warm_start=warm, smo=smo
+            )
+            if chain_warm:
+                chain.put(value, result.extra.get("basis"))
+            return result.period
 
         return evaluate
 
@@ -303,12 +354,20 @@ def delay_evaluator(
             mlp=mlp,
             arc_override=(src, dst, float(value)),
             label=f"{src}->{dst}={value:g}",
+            warm_start=chain.get(value) if chain_warm else None,
+            cold_pivots_hint=chain.cold_hint,
         )
         result = engine.run_jobs([job])[0]
         if not result.ok:
             raise ReproError(
                 f"evaluation failed at {value:g}: {result.error}"
             )
+        if chain_warm:
+            basis_data = result.payload.get("basis")
+            if basis_data:
+                chain.put(value, Basis.from_dict(basis_data))
+            if not chain.cold_hint:
+                chain.cold_hint = int(result.metrics.get("lp_iterations", 0))
         return float(result.value)
 
     return evaluate_cached

@@ -65,8 +65,9 @@ def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
     if job.arc_override is not None:
         src, dst, delay = job.arc_override
         graph = graph.with_arc_delay(src, dst, delay)
-    result = minimize_cycle_time(graph, job.options, job.mlp)
+    result = minimize_cycle_time(graph, job.options, job.mlp, warm_start=job.warm_start)
     stages = dict(result.extra.get("stages", {}))
+    basis = result.extra.get("basis")
     payload = {
         "period": result.period,
         "schedule": result.schedule.as_dict(),
@@ -74,7 +75,15 @@ def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
         "slide_sweeps": result.slide_sweeps,
         "slide_method": result.slide_method,
         "feasible": result.feasible,
+        # Plain-data optimal basis (when the backend exposes one) so sweep
+        # chains can warm-start the next grid point through the cache.
+        "basis": basis.to_dict() if basis is not None else None,
     }
+    hits = int(result.extra.get("warm_start_hits", 0))
+    lp_iterations = int(result.extra.get("lp_iterations", 0))
+    pivots_saved = 0
+    if hits and job.cold_pivots_hint > 0:
+        pivots_saved = max(0, job.cold_pivots_hint - lp_iterations)
     return JobResult(
         key=key,
         kind=job.kind,
@@ -85,8 +94,12 @@ def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
             wall_seconds=0.0,  # overwritten by execute_job
             stages=stages,
             lp_solves=int(result.extra.get("lp_solves", 1)),
-            lp_iterations=int(result.extra.get("lp_iterations", 0)),
+            lp_iterations=lp_iterations,
             slide_sweeps=result.slide_sweeps,
+            warm_start_hits=hits,
+            warm_start_misses=int(result.extra.get("warm_start_misses", 0)),
+            pivots_saved=pivots_saved,
+            refactorizations=int(result.extra.get("refactorizations", 0)),
         ),
         label=job.label,
     )

@@ -27,9 +27,10 @@ from repro.clocking.schedule import ClockSchedule
 from repro.core.constraints import ConstraintOptions
 from repro.core.mlp import MLPOptions
 from repro.errors import ReproError
+from repro.lp.basis import Basis
 
 #: Bump when the signature layout changes so stale disk caches never match.
-SIGNATURE_VERSION = 1
+SIGNATURE_VERSION = 2
 
 
 def _f(x: float) -> str:
@@ -123,6 +124,7 @@ def mlp_signature(mlp: MLPOptions | None) -> dict | None:
         "verify": mlp.verify,
         "compact": mlp.compact,
         "tol": _f(mlp.tol),
+        "warm_start": mlp.warm_start,
     }
 
 
@@ -142,6 +144,13 @@ class MinimizeJob:
     :meth:`TimingGraph.with_arc_delay` before solving; parametric sweeps use
     it so that every grid point of the same base circuit shares one graph
     object instead of materializing a modified copy per job.
+
+    ``warm_start`` and ``cold_pivots_hint`` are *hints*, deliberately
+    excluded from :meth:`signature`: a warm-start basis changes the pivot
+    path, never the optimum, so two jobs that differ only in their hints
+    must share one cache entry.  ``cold_pivots_hint`` anchors the
+    ``pivots_saved`` metric -- it carries the pivot count of the chain's
+    cold solve so warm solves can report how much work the basis skipped.
     """
 
     graph: TimingGraph
@@ -149,6 +158,9 @@ class MinimizeJob:
     mlp: MLPOptions | None = None
     arc_override: tuple[str, str, float] | None = None
     label: str = ""
+    # Performance hints -- not part of the cache signature (see docstring).
+    warm_start: Basis | None = None
+    cold_pivots_hint: int = 0
 
     kind = "minimize"
 

@@ -58,14 +58,29 @@ def job_metrics(
     lp_solves: int = 0,
     lp_iterations: int = 0,
     slide_sweeps: int = 0,
+    warm_start_hits: int = 0,
+    warm_start_misses: int = 0,
+    pivots_saved: int = 0,
+    refactorizations: int = 0,
 ) -> dict:
-    """The flat metrics dict attached to a :class:`~repro.engine.jobspec.JobResult`."""
+    """The flat metrics dict attached to a :class:`~repro.engine.jobspec.JobResult`.
+
+    ``warm_start_hits``/``warm_start_misses`` count basis reuse outcomes on
+    the Tc pass; ``pivots_saved`` estimates skipped pivots against the
+    chain's cold anchor (``MinimizeJob.cold_pivots_hint``);
+    ``refactorizations`` counts basis-inverse rebuilds inside the revised
+    simplex backend.
+    """
     return {
         "wall_seconds": wall_seconds,
         "stages": dict(stages or {}),
         "lp_solves": lp_solves,
         "lp_iterations": lp_iterations,
         "slide_sweeps": slide_sweeps,
+        "warm_start_hits": warm_start_hits,
+        "warm_start_misses": warm_start_misses,
+        "pivots_saved": pivots_saved,
+        "refactorizations": refactorizations,
     }
 
 
@@ -84,6 +99,10 @@ class EngineReport:
     lp_solves: int = 0
     lp_iterations: int = 0
     slide_sweeps: int = 0
+    warm_start_hits: int = 0
+    warm_start_misses: int = 0
+    pivots_saved: int = 0
+    refactorizations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     workers: int = 1
@@ -105,6 +124,13 @@ class EngineReport:
             f"lp: {self.lp_solves} solves, {self.lp_iterations} simplex "
             f"pivots; slide: {self.slide_sweeps} sweeps",
         ]
+        if self.warm_start_hits or self.warm_start_misses:
+            lines.append(
+                f"warm starts: {self.warm_start_hits} hits / "
+                f"{self.warm_start_misses} misses, "
+                f"~{self.pivots_saved} pivots saved, "
+                f"{self.refactorizations} refactorizations"
+            )
         known = [s for s in STAGES if s in self.stage_seconds]
         extra = sorted(set(self.stage_seconds) - set(known))
         parts = [
@@ -142,6 +168,10 @@ class MetricsAggregator:
             r.lp_solves += int(metrics.get("lp_solves", 0))
             r.lp_iterations += int(metrics.get("lp_iterations", 0))
             r.slide_sweeps += int(metrics.get("slide_sweeps", 0))
+            r.warm_start_hits += int(metrics.get("warm_start_hits", 0))
+            r.warm_start_misses += int(metrics.get("warm_start_misses", 0))
+            r.pivots_saved += int(metrics.get("pivots_saved", 0))
+            r.refactorizations += int(metrics.get("refactorizations", 0))
 
     def set_cache_stats(self, hits: int, misses: int) -> None:
         self._report.cache_hits = hits

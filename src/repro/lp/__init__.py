@@ -10,20 +10,31 @@ such programs:
 * :mod:`repro.lp.simplex` -- a dense two-phase simplex solver written from
   scratch, mirroring the "dense-matrix LP solver which implements the
   standard simplex algorithm" of the paper's initial implementation;
+* :mod:`repro.lp.standard_form` -- the shared ``min c'x, Ax = b, x >= 0``
+  canonicalization both simplex backends solve;
+* :mod:`repro.lp.revised_simplex` -- a revised simplex with explicit
+  :mod:`basis <repro.lp.basis>` objects and warm-start support, the fast
+  path for repeated solves (sweeps, batches);
 * :mod:`repro.lp.scipy_backend` -- an optional cross-checking backend on
   top of :func:`scipy.optimize.linprog`;
 * :mod:`repro.lp.sensitivity` -- binding-constraint and shadow-price
   reporting used for critical-segment analysis (Section V).
+
+See ``docs/LP.md`` for the solver architecture tour.
 """
 
 from repro.lp.expr import LinExpr, var
 from repro.lp.model import Constraint, LinearProgram, Sense
 from repro.lp.result import LPResult, LPStatus
+from repro.lp.basis import Basis
+from repro.lp.standard_form import StandardForm
 from repro.lp.simplex import SimplexOptions, solve_simplex
-from repro.lp.backends import available_backends, solve
+from repro.lp.revised_simplex import RevisedSimplexOptions, solve_revised_simplex
+from repro.lp.backends import available_backends, solve, supports_warm_start
 from repro.lp.sensitivity import SensitivityReport, sensitivity
 
 __all__ = [
+    "Basis",
     "LinExpr",
     "var",
     "Constraint",
@@ -31,9 +42,13 @@ __all__ = [
     "Sense",
     "LPResult",
     "LPStatus",
+    "RevisedSimplexOptions",
     "SimplexOptions",
+    "StandardForm",
+    "solve_revised_simplex",
     "solve_simplex",
     "available_backends",
+    "supports_warm_start",
     "solve",
     "SensitivityReport",
     "sensitivity",

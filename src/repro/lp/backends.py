@@ -1,24 +1,51 @@
-"""Backend registry: route LPs to the simplex or the scipy solver."""
+"""Backend registry: route LPs to the simplex, revised-simplex or scipy solver.
+
+All backends answer the same question and must produce identical optima;
+they differ in speed and capabilities:
+
+* ``"simplex"`` -- the from-scratch dense tableau solver (the default, and
+  the paper's own choice);
+* ``"revised"`` -- the revised simplex with explicit basis objects; the
+  only backend that accepts a **warm start**, which repeated-solve paths
+  (sweeps, batches) use to skip phase 1 between structurally identical
+  programs;
+* ``"scipy"``   -- :func:`scipy.optimize.linprog` (HiGHS), registered when
+  scipy is importable.
+
+``solve(program, backend=..., warm_start=...)`` is the single entry
+point.  A warm start is silently ignored by backends that cannot use one,
+so callers can thread a basis unconditionally.
+"""
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Callable
 
 from repro.errors import SolverError
+from repro.lp.basis import Basis
 from repro.lp.model import LinearProgram
 from repro.lp.result import LPResult
+from repro.lp.revised_simplex import solve_revised_simplex
 from repro.lp.scipy_backend import HAVE_SCIPY, solve_scipy
 from repro.lp.simplex import solve_simplex
 
 #: Name of the backend used when the caller does not specify one.
 DEFAULT_BACKEND = "simplex"
 
-_BACKENDS: dict[str, Callable[[LinearProgram], LPResult]] = {
-    "simplex": solve_simplex,
+
+def _solve_revised(program: LinearProgram, warm_start: Basis | None = None) -> LPResult:
+    return solve_revised_simplex(program, warm_start=warm_start)
+
+
+#: name -> (solver, accepts_warm_start)
+_BACKENDS: dict[str, tuple[Callable[..., LPResult], bool]] = {
+    "simplex": (solve_simplex, False),
+    "revised": (_solve_revised, True),
 }
 if HAVE_SCIPY:
-    _BACKENDS["scipy"] = solve_scipy
+    _BACKENDS["scipy"] = (solve_scipy, False)
 
 
 def available_backends() -> list[str]:
@@ -26,24 +53,52 @@ def available_backends() -> list[str]:
     return sorted(_BACKENDS)
 
 
+def supports_warm_start(name: str | None = None) -> bool:
+    """True when the named backend (default: the default one) takes a basis."""
+    entry = _BACKENDS.get(name or DEFAULT_BACKEND)
+    return bool(entry and entry[1])
+
+
 def register_backend(
-    name: str, solver: Callable[[LinearProgram], LPResult]
+    name: str, solver: Callable[..., LPResult]
 ) -> None:
-    """Register a custom solver callable under ``name``."""
-    _BACKENDS[name] = solver
+    """Register a custom solver callable under ``name``.
+
+    A solver whose signature accepts a ``warm_start`` keyword is handed the
+    caller's basis; any other callable is invoked as ``solver(program)``.
+    """
+    try:
+        accepts_warm = "warm_start" in inspect.signature(solver).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins, C callables
+        accepts_warm = False
+    _BACKENDS[name] = (solver, accepts_warm)
 
 
-def solve(program: LinearProgram, backend: str | None = None) -> LPResult:
-    """Solve a program with the named backend (default: from-scratch simplex)."""
+def solve(
+    program: LinearProgram,
+    backend: str | None = None,
+    warm_start: Basis | None = None,
+) -> LPResult:
+    """Solve a program with the named backend (default: from-scratch simplex).
+
+    ``warm_start`` optionally supplies the optimal basis of a structurally
+    identical, previously solved program; it is forwarded to backends that
+    support it (currently ``"revised"``) and ignored by the rest.  Warm
+    starting never changes the reported optimum -- an unusable basis falls
+    back to a cold start inside the solver.
+    """
     name = backend or DEFAULT_BACKEND
     try:
-        solver = _BACKENDS[name]
+        solver, accepts_warm = _BACKENDS[name]
     except KeyError:
         raise SolverError(
             f"unknown LP backend {name!r}; available: {available_backends()}"
         ) from None
     start = time.perf_counter()
-    result = solver(program)
+    if accepts_warm:
+        result = solver(program, warm_start=warm_start)
+    else:
+        result = solver(program)
     elapsed = time.perf_counter() - start
     if not result.solve_seconds:
         result.solve_seconds = elapsed

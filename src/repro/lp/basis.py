@@ -1,0 +1,69 @@
+"""Explicit simplex basis objects, the currency of warm starting.
+
+A :class:`Basis` records which standard-form column is basic in each row
+of an optimal solution, plus the structure fingerprint of the standard
+form it came from.  Because successive LPs of a parametric sweep (or a
+batch of near-identical designs) share their column structure and differ
+only in constraint constants, the optimal basis of one solve is usually
+feasible -- and close to optimal -- for the next; offering it to
+:func:`repro.lp.revised_simplex.solve_revised_simplex` lets the solver
+skip phase 1 entirely and finish in a handful of pivots.
+
+Bases are plain data (a tuple of column indices and a short fingerprint
+string), so they pickle across process boundaries and round-trip through
+the engine's JSON result cache via :meth:`Basis.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import LPError
+
+
+@dataclass(frozen=True)
+class Basis:
+    """One basic column index per standard-form row, plus a structure key.
+
+    ``columns[i]`` is the structural column that is basic in row ``i``;
+    ``structure`` is :attr:`repro.lp.standard_form.StandardForm.structure_key`
+    of the program the basis was extracted from.  A basis is only offered
+    as a warm start to a program whose standard form has the same key --
+    the solver then re-factorizes the basis matrix against the *new*
+    coefficients and falls back to a cold phase-1 start if the basis turns
+    out infeasible for the perturbed program.
+    """
+
+    columns: tuple[int, ...]
+    structure: str
+
+    def __post_init__(self) -> None:
+        if any(c < 0 for c in self.columns):
+            raise LPError("basis columns must be nonnegative indices")
+
+    @property
+    def m(self) -> int:
+        """Number of rows the basis covers."""
+        return len(self.columns)
+
+    def matches(self, standard_form) -> bool:
+        """True when this basis indexes valid columns of ``standard_form``."""
+        return (
+            self.structure == standard_form.structure_key
+            and len(self.columns) == standard_form.m
+            and all(c < standard_form.n_struct for c in self.columns)
+        )
+
+    # ------------------------------------------------------------------
+    # Plain-data round trip (JSON result cache, process boundaries)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"columns": list(self.columns), "structure": self.structure}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Basis":
+        return cls(
+            columns=tuple(int(c) for c in data["columns"]),
+            structure=str(data["structure"]),
+        )

@@ -166,6 +166,37 @@ class LinearProgram:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    # Cheap structural copies
+    # ------------------------------------------------------------------
+    def with_rhs(self, updates: Mapping[str, float]) -> "LinearProgram":
+        """A copy of this program with selected constraint right-hand sides
+        replaced.
+
+        Expressions are immutable and shared between the copy and the
+        original, so this costs one :class:`Constraint` record per updated
+        row plus list/dict copies -- no expression arithmetic and no graph
+        walking.  This is the substrate of the parametric "re-cost" path:
+        a delay change only moves constants, never coefficients, so the
+        perturbed LP is the same structure with a handful of new rhs
+        values (see :func:`repro.core.constraints.recost_arc_delay`).
+        """
+        unknown = set(updates) - self._constraint_names
+        if unknown:
+            raise LPError(f"with_rhs names unknown constraints: {sorted(unknown)}")
+        clone = LinearProgram(name=self.name)
+        clone._objective = self._objective
+        clone._constraints = [
+            con
+            if con.name not in updates
+            else Constraint(con.name, con.lhs, con.sense, float(updates[con.name]))
+            for con in self._constraints
+        ]
+        clone._constraint_names = set(self._constraint_names)
+        clone._free = set(self._free)
+        clone._declared = dict(self._declared)
+        return clone
+
+    # ------------------------------------------------------------------
     # Matrix form
     # ------------------------------------------------------------------
     def to_arrays(self) -> "LPArrays":

@@ -30,6 +30,12 @@ class LPResult:
     scipy -- and ``solve_seconds`` is the wall-clock time spent inside the
     backend, filled by :func:`repro.lp.backends.solve` when the backend
     itself does not report it.
+
+    ``extra`` carries backend-specific artifacts; the revised simplex puts
+    the optimal :class:`~repro.lp.basis.Basis` under ``extra["basis"]``
+    (reusable as the next solve's warm start), the warm-start outcome under
+    ``extra["warm_start"]`` and its refactorization count under
+    ``extra["refactorizations"]``.
     """
 
     status: LPStatus
@@ -40,6 +46,7 @@ class LPResult:
     iterations: int = 0
     backend: str = ""
     solve_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -8,6 +8,8 @@ benchmarks quickly.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.errors import SolverError
@@ -49,12 +51,29 @@ def solve_scipy(program: LinearProgram) -> LPResult:
         kwargs["A_ub"] = a_ub
         kwargs["b_ub"] = b_ub
 
+    # Time the solver call itself so `solve_seconds` means the same thing
+    # for every backend: time inside the LP code, excluding our model
+    # translation (the simplex backends likewise exclude LinearProgram
+    # construction but include their own standard-form setup).
+    start = time.perf_counter()
     res = _linprog(arrays.c, bounds=bounds, method="highs", **kwargs)
+    elapsed = time.perf_counter() - start
+    nit = int(getattr(res, "nit", 0))
 
     if res.status == 2:
-        return LPResult(status=LPStatus.INFEASIBLE, backend="scipy")
+        return LPResult(
+            status=LPStatus.INFEASIBLE,
+            iterations=nit,
+            backend="scipy",
+            solve_seconds=elapsed,
+        )
     if res.status == 3:
-        return LPResult(status=LPStatus.UNBOUNDED, backend="scipy")
+        return LPResult(
+            status=LPStatus.UNBOUNDED,
+            iterations=nit,
+            backend="scipy",
+            solve_seconds=elapsed,
+        )
     if res.status != 0:
         raise SolverError(f"scipy linprog failed: {res.message}")
 
@@ -74,7 +93,8 @@ def solve_scipy(program: LinearProgram) -> LPResult:
         objective=float(res.fun) + arrays.objective_constant,
         values=values,
         duals=duals,
-        iterations=int(getattr(res, "nit", 0)),
+        iterations=nit,
         backend="scipy",
+        solve_seconds=elapsed,
     )
     return attach_slacks(result, program)

@@ -20,6 +20,11 @@ import numpy as np
 from repro.errors import SolverError
 from repro.lp.model import LinearProgram
 from repro.lp.result import LPResult, LPStatus, attach_slacks
+from repro.lp.standard_form import StandardForm
+
+#: Back-compat alias: the standard-form builder now lives in
+#: :mod:`repro.lp.standard_form`, shared with the revised solver.
+_StandardForm = StandardForm
 
 
 @dataclass(frozen=True)
@@ -31,93 +36,6 @@ class SimplexOptions:
     #: switch from Dantzig's rule to Bland's rule after this many consecutive
     #: degenerate pivots (prevents cycling while keeping typical speed).
     bland_after: int = 50
-
-
-class _StandardForm:
-    """min c'x  s.t.  Ax = b (b >= 0), x >= 0, built from a LinearProgram."""
-
-    def __init__(self, program: LinearProgram):
-        arrays = program.to_arrays()
-        self.program = program
-        n_orig = arrays.n_variables
-
-        # Split free variables into positive and negative parts.
-        self.var_names = list(arrays.variables)
-        self.pos_col = list(range(n_orig))
-        self.neg_col = [-1] * n_orig
-        extra_cols = []
-        for idx, free in enumerate(arrays.free):
-            if free:
-                self.neg_col[idx] = n_orig + len(extra_cols)
-                extra_cols.append(idx)
-
-        blocks = []
-        senses = []
-        rhs = []
-        self.row_names: list[str] = []
-        for a, b, names, sense in (
-            (arrays.a_le, arrays.b_le, arrays.names_le, "<="),
-            (arrays.a_ge, arrays.b_ge, arrays.names_ge, ">="),
-            (arrays.a_eq, arrays.b_eq, arrays.names_eq, "=="),
-        ):
-            for row, bi, name in zip(a, b, names):
-                blocks.append(row)
-                senses.append(sense)
-                rhs.append(bi)
-                self.row_names.append(name)
-
-        m = len(blocks)
-        a_orig = np.vstack(blocks) if m else np.zeros((0, n_orig))
-        b_vec = np.asarray(rhs, dtype=float)
-
-        # Structural columns: originals, negative parts of free vars, slacks.
-        n_slack = sum(1 for s in senses if s != "==")
-        n_struct = n_orig + len(extra_cols) + n_slack
-        a = np.zeros((m, n_struct))
-        a[:, :n_orig] = a_orig
-        for k, orig_idx in enumerate(extra_cols):
-            a[:, n_orig + k] = -a_orig[:, orig_idx]
-
-        self.slack_col_of_row = [-1] * m
-        col = n_orig + len(extra_cols)
-        for i, sense in enumerate(senses):
-            if sense == "<=":
-                a[i, col] = 1.0
-                self.slack_col_of_row[i] = col
-                col += 1
-            elif sense == ">=":
-                a[i, col] = -1.0
-                self.slack_col_of_row[i] = col
-                col += 1
-
-        # Normalize to b >= 0, remembering the sign flips for dual recovery.
-        self.row_sign = np.ones(m)
-        for i in range(m):
-            if b_vec[i] < 0:
-                a[i, :] *= -1.0
-                b_vec[i] *= -1.0
-                self.row_sign[i] = -1.0
-
-        c = np.zeros(n_struct)
-        c[:n_orig] = arrays.c
-        for k, orig_idx in enumerate(extra_cols):
-            c[n_orig + k] = -arrays.c[orig_idx]
-
-        self.a = a
-        self.b = b_vec
-        self.c = c
-        self.m = m
-        self.n_struct = n_struct
-        self.objective_constant = arrays.objective_constant
-
-    def recover_values(self, x: np.ndarray) -> dict[str, float]:
-        values: dict[str, float] = {}
-        for idx, name in enumerate(self.var_names):
-            v = x[self.pos_col[idx]]
-            if self.neg_col[idx] >= 0:
-                v -= x[self.neg_col[idx]]
-            values[name] = float(v)
-        return values
 
 
 def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:

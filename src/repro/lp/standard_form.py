@@ -1,0 +1,138 @@
+"""Conversion of a :class:`LinearProgram` to simplex standard form.
+
+Both simplex backends (the dense tableau solver in :mod:`repro.lp.simplex`
+and the revised solver in :mod:`repro.lp.revised_simplex`) operate on the
+same canonical shape::
+
+    min c'x   s.t.   Ax = b,  b >= 0,  x >= 0
+
+built here: free variables are split into positive/negative parts, slack
+columns turn inequalities into equalities, and rows are sign-normalized so
+every right-hand side is nonnegative (the flips are remembered for dual
+recovery).
+
+Two programs with the same variables, constraint names and senses -- for
+example successive points of a parametric delay sweep, which differ only
+in constraint constants -- produce standard forms with identical *column
+structure*.  :attr:`StandardForm.structure_key` fingerprints that
+structure, which is what lets an optimal basis from one solve be offered
+as a warm start for the next (see :mod:`repro.lp.basis`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.lp.model import LinearProgram
+
+
+class StandardForm:
+    """min c'x  s.t.  Ax = b (b >= 0), x >= 0, built from a LinearProgram."""
+
+    def __init__(self, program: LinearProgram):
+        arrays = program.to_arrays()
+        self.program = program
+        n_orig = arrays.n_variables
+
+        # Split free variables into positive and negative parts.
+        self.var_names = list(arrays.variables)
+        self.pos_col = list(range(n_orig))
+        self.neg_col = [-1] * n_orig
+        extra_cols = []
+        for idx, free in enumerate(arrays.free):
+            if free:
+                self.neg_col[idx] = n_orig + len(extra_cols)
+                extra_cols.append(idx)
+
+        blocks = []
+        senses = []
+        rhs = []
+        self.row_names: list[str] = []
+        for a, b, names, sense in (
+            (arrays.a_le, arrays.b_le, arrays.names_le, "<="),
+            (arrays.a_ge, arrays.b_ge, arrays.names_ge, ">="),
+            (arrays.a_eq, arrays.b_eq, arrays.names_eq, "=="),
+        ):
+            for row, bi, name in zip(a, b, names):
+                blocks.append(row)
+                senses.append(sense)
+                rhs.append(bi)
+                self.row_names.append(name)
+
+        m = len(blocks)
+        a_orig = np.vstack(blocks) if m else np.zeros((0, n_orig))
+        b_vec = np.asarray(rhs, dtype=float)
+
+        # Structural columns: originals, negative parts of free vars, slacks.
+        n_slack = sum(1 for s in senses if s != "==")
+        n_struct = n_orig + len(extra_cols) + n_slack
+        a = np.zeros((m, n_struct))
+        a[:, :n_orig] = a_orig
+        for k, orig_idx in enumerate(extra_cols):
+            a[:, n_orig + k] = -a_orig[:, orig_idx]
+
+        self.slack_col_of_row = [-1] * m
+        col = n_orig + len(extra_cols)
+        for i, sense in enumerate(senses):
+            if sense == "<=":
+                a[i, col] = 1.0
+                self.slack_col_of_row[i] = col
+                col += 1
+            elif sense == ">=":
+                a[i, col] = -1.0
+                self.slack_col_of_row[i] = col
+                col += 1
+
+        # Normalize to b >= 0, remembering the sign flips for dual recovery.
+        self.row_sign = np.ones(m)
+        for i in range(m):
+            if b_vec[i] < 0:
+                a[i, :] *= -1.0
+                b_vec[i] *= -1.0
+                self.row_sign[i] = -1.0
+
+        c = np.zeros(n_struct)
+        c[:n_orig] = arrays.c
+        for k, orig_idx in enumerate(extra_cols):
+            c[n_orig + k] = -arrays.c[orig_idx]
+
+        self.a = a
+        self.b = b_vec
+        self.c = c
+        self.m = m
+        self.n_struct = n_struct
+        self.senses = senses
+        self.objective_constant = arrays.objective_constant
+
+    @property
+    def structure_key(self) -> str:
+        """Fingerprint of the column/row *structure* (not the numbers).
+
+        Two standard forms share a key exactly when they have the same
+        variables (in order), the same constraint names and senses (in
+        order) and the same free-variable split -- i.e. when a basis of
+        one indexes meaningful columns of the other.
+        """
+        blob = "\x1f".join(
+            [
+                "v1",
+                str(self.m),
+                str(self.n_struct),
+                "\x1e".join(self.var_names),
+                "\x1e".join(self.row_names),
+                "".join("E" if s == "==" else ("L" if s == "<=" else "G") for s in self.senses),
+                ",".join(str(c) for c in self.neg_col if c >= 0),
+            ]
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def recover_values(self, x: np.ndarray) -> dict[str, float]:
+        values: dict[str, float] = {}
+        for idx, name in enumerate(self.var_names):
+            v = x[self.pos_col[idx]]
+            if self.neg_col[idx] >= 0:
+                v -= x[self.neg_col[idx]]
+            values[name] = float(v)
+        return values

@@ -370,3 +370,101 @@ class TestBatchCLI:
         empty = tmp_path / "empty.txt"
         empty.write_text("# nothing\n")
         assert main(["batch", str(empty)]) == 2
+
+class TestWarmStartEngine:
+    def test_hints_do_not_affect_cache_key(self, ex1):
+        from repro.lp.basis import Basis
+
+        plain = MinimizeJob(graph=ex1, arc_override=("L4", "L1", 30.0))
+        hinted = MinimizeJob(
+            graph=ex1,
+            arc_override=("L4", "L1", 30.0),
+            warm_start=Basis(columns=(0, 1), structure="abc"),
+            cold_pivots_hint=42,
+        )
+        assert job_key(plain) == job_key(hinted)
+
+    def test_warm_start_flag_does_affect_cache_key(self, ex1):
+        on = MinimizeJob(graph=ex1, mlp=MLPOptions(warm_start=True))
+        off = MinimizeJob(graph=ex1, mlp=MLPOptions(warm_start=False))
+        assert job_key(on) != job_key(off)
+
+    def test_sweep_warm_vs_cold_identical_fewer_pivots(self, ex1):
+        grid = list(range(0, 145, 10))
+        runs = {}
+        for label, warm in (("cold", False), ("warm", True)):
+            engine = Engine(jobs=1)
+            mlp = MLPOptions(
+                verify=False, compact=False, backend="revised", warm_start=warm
+            )
+            result = sweep_delay(ex1, "L4", "L1", grid, mlp=mlp, engine=engine)
+            runs[label] = (result, engine.report)
+        cold, warm = runs["cold"], runs["warm"]
+        assert [p.period for p in cold[0].points] == pytest.approx(
+            [p.period for p in warm[0].points], abs=1e-9
+        )
+        assert cold[1].lp_iterations > warm[1].lp_iterations
+        assert warm[1].warm_start_hits > 0
+        assert warm[1].pivots_saved > 0
+        assert "warm starts:" in warm[1].format()
+        assert "warm starts:" not in cold[1].format()
+
+    def test_parallel_warm_sweep_matches_serial(self, ex1):
+        grid = list(range(0, 145, 10))
+        serial = sweep_delay(ex1, "L4", "L1", grid, engine=Engine(jobs=1))
+        parallel = sweep_delay(ex1, "L4", "L1", grid, engine=Engine(jobs=3))
+        assert [p.period for p in serial.points] == [
+            p.period for p in parallel.points
+        ]
+        assert serial.breakpoints == parallel.breakpoints
+
+    def test_minimize_job_carries_basis_payload(self, ex1):
+        engine = Engine(jobs=1)
+        mlp = MLPOptions(verify=False, compact=False, backend="revised")
+        result = engine.run_jobs([MinimizeJob(graph=ex1, mlp=mlp)])[0]
+        basis = result.payload["basis"]
+        assert basis is not None
+        assert all(isinstance(c, int) for c in basis["columns"])
+        assert isinstance(basis["structure"], str)
+
+    def test_simplex_backend_payload_has_no_basis(self, ex1):
+        engine = Engine(jobs=1)
+        mlp = MLPOptions(verify=False, compact=False, backend="simplex")
+        result = engine.run_jobs([MinimizeJob(graph=ex1, mlp=mlp)])[0]
+        assert result.payload["basis"] is None
+
+
+class TestCLIBackends:
+    @pytest.fixture
+    def ex1_file(self, tmp_path):
+        path = tmp_path / "ex1.lcd"
+        path.write_text(write_circuit(example1(80.0)))
+        return str(path)
+
+    def test_batch_backend_revised(self, ex1_file, capsys):
+        assert main(["batch", ex1_file, "--backend", "revised"]) == 0
+        out = capsys.readouterr().out
+        assert "Tc = 110" in out
+
+    def test_batch_backend_scipy_or_simplex(self, ex1_file, capsys):
+        from repro.lp.backends import available_backends
+
+        backend = "scipy" if "scipy" in available_backends() else "simplex"
+        assert main(["batch", ex1_file, "--backend", backend]) == 0
+        assert "Tc = 110" in capsys.readouterr().out
+
+    def test_sweep_default_backend_warm(self, ex1_file, capsys):
+        assert main(
+            ["sweep", ex1_file, "L4", "L1", "--lo", "0", "--hi", "140",
+             "--exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "breakpoints: [20.0, 100.0]" in out
+
+    def test_sweep_cold_start_matches(self, ex1_file, capsys):
+        assert main(
+            ["sweep", ex1_file, "L4", "L1", "--lo", "0", "--hi", "140",
+             "--exact", "--cold-start", "--backend", "revised"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "breakpoints: [20.0, 100.0]" in out
