@@ -1,0 +1,104 @@
+"""Disabled-tracing overhead budget on the Fig. 7 sweep workload.
+
+The repro.obs instrumentation lives permanently inside the hot paths:
+every LP solve opens a span, every pivot and slide sweep hits an
+``is_enabled`` guard.  The deal that makes this acceptable is that the
+*disabled* path (the default) must cost less than 2% of the untraced
+``bench_fig7_sweep`` workload.
+
+A direct A/B against uninstrumented code is impossible (the hooks are the
+code now), so the budget is asserted from above: run the workload traced
+once to count exactly how many spans and events the instrumentation
+produces, microbenchmark the disabled cost of one no-op span and one
+``is_enabled`` check, and charge every counted site that worst-case
+price.  The resulting estimate deliberately over-counts -- hoisted guards
+(one check per solve, not per pivot) are charged per event anyway -- and
+must still land under 2% of the measured untraced wall time.
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) for a reduced grid.
+"""
+
+import os
+import time
+
+from repro.core.mlp import MLPOptions
+from repro.core.parametric import sweep_delay
+from repro.designs import example1
+from repro.obs import trace
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+GRID = [float(x) for x in (range(0, 145, 15) if QUICK else range(0, 145, 5))]
+FAST = MLPOptions(verify=False)
+
+#: The contract: tracing off costs < 2% on bench_fig7_sweep's workload.
+OVERHEAD_BUDGET = 0.02
+
+
+def _workload():
+    return sweep_delay(example1(), "L4", "L1", grid=GRID, mlp=FAST)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _per_call_null_span(n: int = 200_000) -> float:
+    span = trace.span  # the module-level fast path instrumented code uses
+    start = time.perf_counter()
+    for _ in range(n):
+        with span("bench"):
+            pass
+    return (time.perf_counter() - start) / n
+
+
+def _per_call_enabled_check(n: int = 200_000) -> float:
+    check = trace.is_enabled
+    start = time.perf_counter()
+    for _ in range(n):
+        check()
+    return (time.perf_counter() - start) / n
+
+
+def test_obs_disabled_overhead(emit):
+    trace.reset(enabled=False)
+    _workload()  # warm caches/JIT-ish effects out of the measurement
+    t_off = _best_of(_workload)
+
+    # Count every instrumentation site the workload actually executes.
+    tracer = trace.enable()
+    with trace.span("bench_root"):
+        _workload()
+    spans = sum(1 for root in tracer.roots for _ in root.walk()) - 1
+    events = sum(
+        len(s.events) for root in tracer.roots for s in root.walk()
+    )
+    trace.reset(enabled=False)
+
+    c_span = _per_call_null_span()
+    c_check = _per_call_enabled_check()
+    # Each span site pays one NullSpan open/close plus (generously) one
+    # guard; each event site pays one guard.  Attribute sets on NullSpan
+    # are no-ops cheaper than c_check and are covered by the slack.
+    estimate = spans * (c_span + c_check) + events * c_check
+    ratio = estimate / t_off
+
+    lines = [
+        f"untraced workload (best of 3): {1000.0 * t_off:.2f} ms",
+        f"instrumentation sites: {spans} spans, {events} events",
+        f"disabled cost/site: span {1e9 * c_span:.1f} ns, "
+        f"guard {1e9 * c_check:.1f} ns",
+        f"estimated disabled overhead: {1e6 * estimate:.1f} us "
+        f"({100.0 * ratio:.4f}% of workload, budget "
+        f"{100.0 * OVERHEAD_BUDGET:.0f}%)",
+    ]
+    emit("obs_overhead", "\n".join(lines))
+
+    assert ratio < OVERHEAD_BUDGET, (
+        f"disabled tracing overhead {100.0 * ratio:.3f}% exceeds the "
+        f"{100.0 * OVERHEAD_BUDGET:.0f}% budget on bench_fig7_sweep"
+    )

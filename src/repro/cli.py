@@ -9,14 +9,24 @@ Operates on ``.lcd`` circuit description files (see :mod:`repro.lang`)::
     python -m repro tune     circuit.lcd --period 120
     python -m repro baselines circuit.lcd --jobs 4
     python -m repro batch    designs.txt --jobs 4 --cache results.json
+    python -m repro minimize circuit.lcd --trace run.json
+    python -m repro trace summarize run.json
+
+Every subcommand accepts the global observability flags (see
+``docs/OBSERVABILITY.md``): ``--trace FILE`` records a hierarchical span
+trace (Chrome-trace/Perfetto JSON), ``--log-json FILE`` appends a
+structured JSONL event log, ``-v`` adds diagnostics and ``-q`` silences
+normal output (exit codes still carry the result).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
+from repro import obs
 from repro.baselines.ladder import run_ladder
 from repro.baselines.nrip import nrip_minimize
 from repro.core.analysis import analyze
@@ -34,6 +44,27 @@ from repro.lang.parser import parse_file
 from repro.lang.writer import write_circuit
 from repro.render.ascii_art import strip_diagram
 from repro.render.svg import schedule_svg
+
+# Output-routing state, set once per main() invocation from -q/-v.
+_QUIET = False
+_VERBOSE = False
+
+
+def _emit(text: str = "") -> None:
+    """Primary CLI output; suppressed by ``-q`` (exit codes still apply)."""
+    if not _QUIET:
+        print(text)
+
+
+def _info(text: str) -> None:
+    """Diagnostic output, shown only with ``-v`` (goes to stderr)."""
+    if _VERBOSE and not _QUIET:
+        print(text, file=sys.stderr)
+
+
+def _error(text: str) -> None:
+    """Errors always print, quiet or not."""
+    print(text, file=sys.stderr)
 
 
 def _load(path: str):
@@ -59,6 +90,23 @@ def _add_common_constraints(parser: argparse.ArgumentParser) -> None:
                         help="global setup margin (skew/jitter allowance)")
 
 
+def _global_flags_parser() -> argparse.ArgumentParser:
+    """The shared observability/verbosity flags, as an argparse parent."""
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument("--trace", default=None, metavar="FILE",
+                       help="record a hierarchical span trace to FILE "
+                       "(Chrome-trace JSON, loadable in Perfetto)")
+    group.add_argument("--log-json", default=None, dest="log_json",
+                       metavar="FILE",
+                       help="append a structured JSONL event log to FILE")
+    group.add_argument("-v", "--verbose", action="store_true",
+                       help="print diagnostics to stderr")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="suppress normal output (exit codes only)")
+    return common
+
+
 def cmd_minimize(args: argparse.Namespace) -> int:
     graph, _ = _load(args.file)
     options = _constraint_options(args)
@@ -66,56 +114,58 @@ def cmd_minimize(args: argparse.Namespace) -> int:
     if args.nrip:
         result = nrip_minimize(graph, initial_phase=args.initial_phase,
                                options=options, mlp=mlp)
-        print(f"NRIP (initial phase {result.extra['initial_phase']}):")
+        _emit(f"NRIP (initial phase {result.extra['initial_phase']}):")
     else:
         result = minimize_cycle_time(graph, options, mlp)
-    print(format_optimal_result(result))
+    _emit(format_optimal_result(result))
+    obs.emit("minimize.done", file=args.file, period=result.period,
+             slide_sweeps=result.slide_sweeps)
     if args.critical:
-        print()
-        print(critical_segments(result.smo, result.lp_result))
+        _emit()
+        _emit(str(critical_segments(result.smo, result.lp_result)))
     if args.strips:
-        print()
-        print(strip_diagram(graph, analyze(graph, result.schedule, options)))
+        _emit()
+        _emit(strip_diagram(graph, analyze(graph, result.schedule, options)))
     if args.svg:
         report = analyze(graph, result.schedule, options)
         with open(args.svg, "w", encoding="utf-8") as handle:
             handle.write(schedule_svg(result.schedule, graph, report))
-        print(f"\nwrote {args.svg}")
+        _emit(f"\nwrote {args.svg}")
     if args.write:
         with open(args.write, "w", encoding="utf-8") as handle:
             handle.write(write_circuit(graph, result.schedule))
-        print(f"wrote {args.write}")
+        _emit(f"wrote {args.write}")
     if args.dot:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(to_dot(graph))
-        print(f"wrote {args.dot}")
+        _emit(f"wrote {args.dot}")
     if args.lp:
         with open(args.lp, "w", encoding="utf-8") as handle:
             handle.write(to_cplex_lp(result.smo.program))
-        print(f"wrote {args.lp}")
+        _emit(f"wrote {args.lp}")
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     graph, schedule = _load(args.file)
     if schedule is None:
-        print(
+        _error(
             "error: the file's clock block has no concrete schedule "
-            "(need 'period' and per-phase 'start'/'width')",
-            file=sys.stderr,
+            "(need 'period' and per-phase 'start'/'width')"
         )
         return 2
     options = _constraint_options(args)
     report = analyze(graph, schedule, options)
-    print(report)
+    _emit(str(report))
+    obs.emit("analyze.done", file=args.file, feasible=report.feasible)
     if args.hold:
         hold = check_hold(graph, schedule)
-        print(
+        _emit(
             f"\nhold: {'clean' if hold.feasible else 'VIOLATED'} "
             f"(worst slack {hold.worst_slack:g})"
         )
         for timing in hold.violations:
-            print(f"  hold violation at {timing.name}: slack {timing.slack:g}")
+            _emit(f"  hold violation at {timing.name}: slack {timing.slack:g}")
         if not hold.feasible:
             return 1
     return 0 if report.feasible else 1
@@ -153,14 +203,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             graph, args.src, args.dst, grid, options=options, mlp=mlp,
             jobs=args.jobs,
         )
-    print(f"segments of Tc(delay {args.src}->{args.dst}):")
+    _emit(f"segments of Tc(delay {args.src}->{args.dst}):")
     for seg in result.segments:
-        print(
+        _emit(
             f"  [{seg.start:g}, {seg.end:g}]  slope {seg.slope:g}  "
             f"Tc = {seg.intercept:g} + {seg.slope:g} * delay"
         )
     if result.breakpoints:
-        print(f"breakpoints: {[round(b, 6) for b in result.breakpoints]}")
+        _emit(f"breakpoints: {[round(b, 6) for b in result.breakpoints]}")
+    obs.emit("sweep.done", file=args.file, segments=len(result.segments))
     return 0
 
 
@@ -168,10 +219,10 @@ def cmd_tune(args: argparse.Namespace) -> int:
     graph, _ = _load(args.file)
     options = _constraint_options(args)
     tuned = maximize_slack(graph, args.period, options=options)
-    print(
+    _emit(
         f"best uniform setup slack at Tc = {args.period:g}: {tuned.slack:g}"
     )
-    print(tuned.schedule)
+    _emit(str(tuned.schedule))
     return 0 if tuned.meets_timing else 1
 
 
@@ -185,7 +236,7 @@ def cmd_baselines(args: argparse.Namespace) -> int:
         {"algorithm": row.label, "Tc": row.period, "ratio": row.ratio}
         for row in ladder
     ]
-    print(format_comparison(rows, ["algorithm", "Tc", "ratio"]))
+    _emit(format_comparison(rows, ["algorithm", "Tc", "ratio"]))
     return 0
 
 
@@ -209,7 +260,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     files = _batch_files(args.files)
     if not files:
-        print("error: no .lcd files to run", file=sys.stderr)
+        _error("error: no .lcd files to run")
         return 2
     options = _constraint_options(args)
     mlp = MLPOptions(backend=args.backend, verify=False)
@@ -221,6 +272,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             graph, _ = _load(path)
         except (ReproError, OSError) as exc:
             load_errors[path] = str(exc)
+            obs.emit("batch.load_error", level="warning", file=path,
+                     error=str(exc))
             continue
         batch.append(
             MinimizeJob(graph=graph, options=options, mlp=mlp, label=path)
@@ -241,16 +294,31 @@ def cmd_batch(args: argparse.Namespace) -> int:
         result = by_label.get(path)
         if result is None:
             failures += 1
-            print(f"{path:<{width}}  FAILED: {load_errors[path]}")
+            _emit(f"{path:<{width}}  FAILED: {load_errors[path]}")
         elif result.ok:
             note = " (cached)" if result.cached else ""
-            print(f"{path:<{width}}  Tc = {result.value:g}{note}")
+            _emit(f"{path:<{width}}  Tc = {result.value:g}{note}")
         else:
             failures += 1
-            print(f"{path:<{width}}  FAILED: {result.error}")
-    print()
-    print(engine.report.format())
+            _emit(f"{path:<{width}}  FAILED: {result.error}")
+    _emit()
+    _emit(engine.report.format())
+    obs.emit("batch.done", files=len(files), failures=failures)
     return 1 if failures else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """The ``repro trace`` family: offline tools over recorded trace files."""
+    try:
+        run_id, spans = obs.load_trace(args.file)
+    except ValueError as err:  # includes json.JSONDecodeError
+        _error(f"error: {err}")
+        return 2
+    if args.trace_cmd == "summarize":
+        _emit(obs.summarize(spans, run_id))
+    else:  # "export-prom" -- membership enforced by argparse choices
+        _emit(obs.prometheus_text(spans))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,8 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(Sakallah, Mudge, Olukotun, DAC 1990)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _global_flags_parser()
 
-    p = sub.add_parser("minimize", help="find the optimal cycle time (MLP)")
+    p = sub.add_parser("minimize", parents=[common],
+                       help="find the optimal cycle time (MLP)")
     p.add_argument("file", help=".lcd circuit description")
     p.add_argument("--backend", default=None,
                    help="LP backend (simplex|revised|scipy)")
@@ -283,13 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_constraints(p)
     p.set_defaults(func=cmd_minimize)
 
-    p = sub.add_parser("analyze", help="verify a circuit at its embedded clock")
+    p = sub.add_parser("analyze", parents=[common],
+                       help="verify a circuit at its embedded clock")
     p.add_argument("file")
     p.add_argument("--hold", action="store_true", help="also run the hold check")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("sweep", help="piecewise-linear Tc(delay) curve")
+    p = sub.add_parser("sweep", parents=[common],
+                       help="piecewise-linear Tc(delay) curve")
     p.add_argument("file")
     p.add_argument("src")
     p.add_argument("dst")
@@ -308,13 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_constraints(p)
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("tune", help="maximize setup slack at a fixed period")
+    p = sub.add_parser("tune", parents=[common],
+                       help="maximize setup slack at a fixed period")
     p.add_argument("file")
     p.add_argument("--period", type=float, required=True)
     _add_common_constraints(p)
     p.set_defaults(func=cmd_tune)
 
-    p = sub.add_parser("baselines", help="compare MLP with every baseline")
+    p = sub.add_parser("baselines", parents=[common],
+                       help="compare MLP with every baseline")
     p.add_argument("file")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the ladder (default 1)")
@@ -323,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "batch",
+        parents=[common],
         help="run many designs through the cached, parallel engine",
         description="Arguments are .lcd files and/or manifest files "
         "(one .lcd path per line, '#' comments).  Every design is "
@@ -343,20 +418,86 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LP backend (simplex|revised|scipy)")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a recorded --trace file",
+        description="Offline tools over a trace recorded with --trace: "
+        "'summarize' prints a top-down time breakdown plus LP/slide "
+        "convergence tables; 'export-prom' flattens the spans into "
+        "Prometheus exposition text.",
+    )
+    tsub = p.add_subparsers(dest="trace_cmd", required=True)
+    for action in ("summarize", "export-prom"):
+        tp = tsub.add_parser(action, parents=[common])
+        tp.add_argument("file", help="trace JSON written by --trace")
+        tp.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    global _QUIET, _VERBOSE
     parser = build_parser()
     args = parser.parse_args(argv)
+    _QUIET = bool(getattr(args, "quiet", False))
+    _VERBOSE = bool(getattr(args, "verbose", False))
+    trace_path = getattr(args, "trace", None)
+    log_path = getattr(args, "log_json", None)
+
+    tracer = obs.enable() if trace_path else None
+    log = None
+    bridge = None
+    if log_path:
+        log = obs.EventLog(log_path, level="debug" if _VERBOSE else "info")
+        obs.set_log(log)
+        bridge = obs.install_logging_bridge(log)
+        log.emit("run.start", command=args.command)
+
+    start = time.perf_counter()
+    code = 2
     try:
-        return args.func(args)
+        root = tracer.span(f"repro.{args.command}") if tracer else None
+        if root is not None:
+            root.__enter__()
+        try:
+            code = args.func(args)
+        finally:
+            if root is not None:
+                root.__exit__(None, None, None)
+        return code
     except ReproError as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 2
+        _error(f"error: {err}")
+        obs.emit("run.error", level="error", error=str(err))
+        return code
+    except BrokenPipeError:
+        # Downstream consumer (head, less) closed stdout; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return code
     except OSError as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 2
+        _error(f"error: {err}")
+        obs.emit("run.error", level="error", error=str(err))
+        return code
+    finally:
+        if tracer is not None:
+            spans = [s.to_dict() for s in tracer.roots]
+            try:
+                obs.write_chrome_trace(trace_path, spans, tracer.run_id)
+                _info(
+                    f"wrote trace ({len(spans)} root span(s), "
+                    f"run {tracer.run_id}) to {trace_path}"
+                )
+            except OSError as err:
+                _error(f"error: could not write trace: {err}")
+            obs.disable()
+        if log is not None:
+            log.emit("run.end", command=args.command, exit_code=code,
+                     seconds=time.perf_counter() - start)
+            if bridge is not None:
+                obs.remove_logging_bridge(bridge)
+            obs.set_log(None)
+            log.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,7 @@ from repro.lp.backends import solve
 from repro.lp.expr import LinExpr, var
 from repro.lp.result import LPResult
 from repro.maxplus.fixpoint import slide
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,9 @@ class OptimalClockResult:
     smo: SMOProgram = None  # type: ignore[assignment]
     slide_sweeps: int = 0
     slide_method: str = "jacobi"
+    #: magnitude of the last value update the slide applied before
+    #: converging (0.0 when the LP point was already a fixpoint).
+    slide_residual: float = 0.0
     report: TimingReport | None = None
     extra: dict[str, object] = field(default_factory=dict)
 
@@ -167,8 +171,10 @@ def minimize_cycle_time(
 
     # Step 1: solve the LP relaxation P2.
     build_start = time.perf_counter()
-    if smo is None:
-        smo = build_program(graph, options)
+    with trace.span("constraint_gen", stage="program") as cg_span:
+        if smo is None:
+            smo = build_program(graph, options)
+        cg_span.set("constraints", len(smo.program.constraints))
     stages["constraint_gen"] = time.perf_counter() - build_start
     basis_in = warm_start if mlp.warm_start else None
     tc_result = solve(
@@ -198,10 +204,12 @@ def minimize_cycle_time(
     # Steps 2-5: slide the departures to a fixpoint of the max constraints,
     # holding the clock variables at their LP-optimal values.
     build_start = time.perf_counter()
-    system = build_maxplus_system(graph, schedule, options)
+    with trace.span("constraint_gen", stage="maxplus"):
+        system = build_maxplus_system(graph, schedule, options)
     stages["constraint_gen"] += time.perf_counter() - build_start
     slide_start = time.perf_counter()
-    fix = slide(system, lp_departures, method=mlp.iteration, tol=mlp.tol)
+    with trace.span("slide", method=mlp.iteration):
+        fix = slide(system, lp_departures, method=mlp.iteration, tol=mlp.tol)
     stages["slide"] = time.perf_counter() - slide_start
 
     result = OptimalClockResult(
@@ -214,10 +222,12 @@ def minimize_cycle_time(
         smo=smo,
         slide_sweeps=fix.iterations,
         slide_method=fix.method,
+        slide_residual=fix.residual,
     )
     result.extra["stages"] = stages
     result.extra["lp_solves"] = lp_solves
     result.extra["lp_iterations"] = lp_iterations
+    result.extra["slide_residual"] = fix.residual
     # Warm-start bookkeeping for the Tc pass (the compact tie-break pass is
     # a different program -- extra FIX row, different objective -- so it is
     # always solved cold and never offered a basis).
@@ -234,7 +244,10 @@ def minimize_cycle_time(
 
     if mlp.verify:
         verify_start = time.perf_counter()
-        report = analyze(graph, schedule, options)
+        with trace.span("analysis") as an_span:
+            report = analyze(graph, schedule, options)
+            an_span.set("feasible", report.feasible)
+            an_span.set("worst_slack", report.worst_slack)
         stages["analysis"] = time.perf_counter() - verify_start
         result.report = report
         if not report.feasible:

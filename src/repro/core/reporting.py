@@ -31,7 +31,8 @@ def format_optimal_result(
             note = f"   (LP gave {before:g}, slid down)"
         lines.append(f"  {name:<{width}}  D = {after:<10g}{note}")
     lines.append(
-        f"slide: {result.slide_method}, {result.slide_sweeps} iteration(s)"
+        f"slide: {result.slide_method}, {result.slide_sweeps} iteration(s), "
+        f"residual {result.slide_residual:g}"
     )
     return "\n".join(lines)
 

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.engine.jobspec import JobResult
+from repro.obs import trace
 
 #: Disk-format version; mismatching stores are ignored rather than misread.
 STORE_VERSION = 1
@@ -81,6 +82,8 @@ class ResultCache:
     def get(self, key: str) -> JobResult | None:
         """Look up a key, counting the hit or miss."""
         entry = self._entries.get(key)
+        if trace.is_enabled():
+            trace.add_event("cache.lookup", key=key[:12], hit=entry is not None)
         if entry is None:
             self._misses += 1
             return None
@@ -98,6 +101,8 @@ class ResultCache:
         """
         if not result.ok:
             return
+        if trace.is_enabled():
+            trace.add_event("cache.store", key=key[:12])
         self._entries[key] = JobResult.from_dict(result.to_dict())
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:

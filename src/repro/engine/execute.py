@@ -29,6 +29,7 @@ from repro.engine.jobspec import (
 )
 from repro.engine.metrics import StageTimer, job_metrics
 from repro.errors import ReproError
+from repro.obs import trace
 
 
 def execute_job(job: Job, key: str | None = None) -> JobResult:
@@ -45,16 +46,26 @@ def execute_job(job: Job, key: str | None = None) -> JobResult:
             error=f"no executor for job kind {getattr(job, 'kind', '?')!r}",
             label=getattr(job, "label", ""),
         )
-    try:
-        result = executor(job, key)
-    except ReproError as err:
-        result = JobResult(
-            key=key,
-            kind=job.kind,
-            ok=False,
-            error=f"{type(err).__name__}: {err}",
-            label=job.label,
-        )
+    tracer = trace.get_tracer()
+    with tracer.span(
+        f"job.{job.kind}", key=key[:12], label=job.label
+    ) as job_span:
+        try:
+            result = executor(job, key)
+        except ReproError as err:
+            result = JobResult(
+                key=key,
+                kind=job.kind,
+                ok=False,
+                error=f"{type(err).__name__}: {err}",
+                label=job.label,
+            )
+        job_span.set("ok", result.ok)
+    # In a pool worker the job span is a *root* of the worker's tracer;
+    # detach and ship it so the parent engine can graft it under the live
+    # batch span.  In-process (serial pool) the span already nested live.
+    if job_span and tracer.take_root(job_span):
+        result.spans = [job_span.to_dict()]
     result.metrics.setdefault("stages", {})
     result.metrics["wall_seconds"] = time.perf_counter() - start
     return result
@@ -74,6 +85,7 @@ def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
         "departures": dict(result.departures),
         "slide_sweeps": result.slide_sweeps,
         "slide_method": result.slide_method,
+        "slide_residual": result.slide_residual,
         "feasible": result.feasible,
         # Plain-data optimal basis (when the backend exposes one) so sweep
         # chains can warm-start the next grid point through the cache.

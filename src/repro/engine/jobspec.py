@@ -342,6 +342,11 @@ class JobResult:
     label: str = ""
     attempts: int = 1
     cached: bool = False
+    #: Serialized span trees recorded while executing this job in a pool
+    #: worker (see :mod:`repro.obs.trace`).  Transport-only: deliberately
+    #: excluded from :meth:`to_dict` so cached/duplicated results never
+    #: replay another run's spans.
+    spans: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {

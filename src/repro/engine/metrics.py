@@ -22,12 +22,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import trace
+
 #: Canonical stage ordering for reports.
 STAGES = ("constraint_gen", "lp_solve", "slide", "analysis")
 
 
 class StageTimer:
-    """Accumulate named wall-clock stages; used by the job executors."""
+    """Accumulate named wall-clock stages; used by the job executors.
+
+    Each timed stage also opens a :mod:`repro.obs.trace` span of the same
+    name, so stage timings show up in the hierarchical trace for free;
+    when tracing is disabled the span is the shared no-op singleton.
+    """
 
     def __init__(self) -> None:
         self.seconds: dict[str, float] = {}
@@ -41,11 +48,14 @@ class StageTimer:
             self.stage = stage
 
         def __enter__(self) -> "StageTimer._Span":
+            self._obs = trace.span(self.stage)
+            self._obs.__enter__()
             self.start = time.perf_counter()
             return self
 
         def __exit__(self, *exc) -> None:
             self.timer.add(self.stage, time.perf_counter() - self.start)
+            self._obs.__exit__(None, None, None)
 
     def span(self, stage: str) -> "StageTimer._Span":
         """Context manager timing one stage: ``with timer.span("lp_solve"):``."""
@@ -92,6 +102,10 @@ class EngineReport:
     succeeded: int = 0
     failed: int = 0
     from_cache: int = 0
+    #: cached/fanned-out results that carry a failure (a within-batch
+    #: duplicate of a job that failed this run; the cache itself never
+    #: stores failed results).
+    cached_failed: int = 0
     executed: int = 0
     retries: int = 0
     wall_seconds: float = 0.0
@@ -114,9 +128,12 @@ class EngineReport:
 
     def format(self) -> str:
         """A printable multi-line summary (the CLI's metrics block)."""
+        cached_part = f"{self.from_cache} from cache"
+        if self.cached_failed:
+            cached_part += f" ({self.cached_failed} failed)"
         lines = [
             f"jobs: {self.jobs} total, {self.succeeded} ok, "
-            f"{self.failed} failed, {self.from_cache} from cache, "
+            f"{self.failed} failed, {cached_part}, "
             f"{self.executed} executed ({self.retries} retries, "
             f"{self.workers} worker{'s' if self.workers != 1 else ''})",
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
@@ -159,6 +176,8 @@ class MetricsAggregator:
         r.failed += 0 if ok else 1
         if cached:
             r.from_cache += 1
+            if not ok:
+                r.cached_failed += 1
         else:
             r.executed += 1
             r.retries += max(0, attempts - 1)

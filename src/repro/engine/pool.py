@@ -34,6 +34,7 @@ from multiprocessing.connection import wait as _wait_connections
 
 from repro.engine.execute import execute_job
 from repro.engine.jobspec import Job, JobResult
+from repro.obs import trace
 
 #: How long (seconds) the master sleeps between health checks when no
 #: result arrives and no deadline is pending.
@@ -57,8 +58,13 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _worker_main(task_queue, conn) -> None:
+def _worker_main(task_queue, conn, trace_enabled: bool = False) -> None:
     """Worker loop: execute jobs from the queue until the ``None`` sentinel."""
+    # A forked worker inherits the parent tracer's open spans and roots;
+    # start from a clean per-process tracer either way.  Job spans recorded
+    # here become tracer roots, shipped back on each JobResult (see
+    # repro.engine.execute.execute_job).
+    trace.reset(enabled=trace_enabled)
     while True:
         item = task_queue.get()
         if item is None:
@@ -94,7 +100,7 @@ class _Worker:
         self.conn, child_conn = ctx.Pipe(duplex=False)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(self.task_queue, child_conn),
+            args=(self.task_queue, child_conn, trace.is_enabled()),
             daemon=True,
         )
         self.proc.start()
@@ -254,6 +260,13 @@ class WorkerPool:
             self.stats.timeouts += 1
         else:
             self.stats.crashes += 1
+        if trace.is_enabled():
+            trace.add_event(
+                "pool.failover",
+                reason=reason,
+                attempts=item.attempts,
+                label=getattr(item.job, "label", ""),
+            )
         worker.shutdown(graceful=False)
         if item.attempts <= self.retries:
             self.stats.retries += 1

@@ -38,6 +38,7 @@ from repro.engine.jobspec import (
 from repro.engine.metrics import EngineReport, MetricsAggregator
 from repro.engine.pool import make_pool
 from repro.errors import ReproError
+from repro.obs import trace
 
 
 class Engine:
@@ -83,27 +84,37 @@ class Engine:
         first_index: dict[str, int] = {}
         duplicates: dict[str, list[int]] = {}
 
-        for i, job in enumerate(jobs):
-            if isinstance(job, SweepJob):
-                results[i] = self._run_sweep_job(job)
-                continue
-            key = job_key(job)
-            keys[i] = key
-            if key in first_index or key in duplicates:
-                duplicates.setdefault(key, []).append(i)
-                continue
-            hit = self.cache.get(key)
-            if hit is not None:
-                hit.label = job.label or hit.label
-                results[i] = hit
-            else:
-                first_index[key] = i
-                to_run.append((job, key))
+        with trace.span(
+            "engine.run_jobs", jobs=len(jobs), workers=self.jobs
+        ) as batch_span:
+            for i, job in enumerate(jobs):
+                if isinstance(job, SweepJob):
+                    results[i] = self._run_sweep_job(job)
+                    continue
+                key = job_key(job)
+                keys[i] = key
+                if key in first_index or key in duplicates:
+                    duplicates.setdefault(key, []).append(i)
+                    continue
+                hit = self.cache.get(key)
+                if hit is not None:
+                    hit.label = job.label or hit.label
+                    results[i] = hit
+                else:
+                    first_index[key] = i
+                    to_run.append((job, key))
 
-        executed = self.pool.run(to_run)
-        for (job, key), result in zip(to_run, executed):
-            self.cache.put(key, result)
-            results[first_index[key]] = result
+            executed = self.pool.run(to_run)
+            for (job, key), result in zip(to_run, executed):
+                # Graft span trees recorded by pool workers under the live
+                # batch span (serial execution nested them directly).
+                if result.spans:
+                    trace.attach(result.spans)
+                    result.spans = []
+                self.cache.put(key, result)
+                results[first_index[key]] = result
+            batch_span.set("executed", len(to_run))
+            batch_span.set("cached", len(jobs) - len(to_run))
 
         # Fan executed/cached results out to within-batch duplicates.
         for key, indices in duplicates.items():
@@ -145,6 +156,18 @@ class Engine:
         order -- and therefore the result -- is independent of the worker
         count.
         """
+        sweep_span = trace.span(
+            "engine.map_sweep",
+            src=job.src,
+            dst=job.dst,
+            grid_points=len(job.grid),
+        )
+        with sweep_span:
+            return self._map_sweep(job, value_tol, sweep_span)
+
+    def _map_sweep(
+        self, job: SweepJob, value_tol: float, sweep_span
+    ) -> SweepResult:
         grid = [float(x) for x in job.grid]
         if len(grid) < 2:
             raise ReproError("sweep needs at least two grid points")
@@ -251,6 +274,8 @@ class Engine:
             evaluate_wave(missing)
 
         points = [SweepPoint(grid[i], values[i]) for i in range(n)]
+        sweep_span.set("solved", len(solved))
+        sweep_span.set("interpolated", n - len(solved))
         return SweepResult(
             points=points, segments=_fit_segments(points, job.slope_tol)
         )

@@ -30,6 +30,7 @@ from repro.lp.result import LPResult
 from repro.lp.revised_simplex import solve_revised_simplex
 from repro.lp.scipy_backend import HAVE_SCIPY, solve_scipy
 from repro.lp.simplex import solve_simplex
+from repro.obs import trace
 
 #: Name of the backend used when the caller does not specify one.
 DEFAULT_BACKEND = "simplex"
@@ -94,12 +95,18 @@ def solve(
         raise SolverError(
             f"unknown LP backend {name!r}; available: {available_backends()}"
         ) from None
-    start = time.perf_counter()
-    if accepts_warm:
-        result = solver(program, warm_start=warm_start)
-    else:
-        result = solver(program)
-    elapsed = time.perf_counter() - start
-    if not result.solve_seconds:
-        result.solve_seconds = elapsed
+    with trace.span("lp_solve", backend=name) as span:
+        start = time.perf_counter()
+        if accepts_warm:
+            result = solver(program, warm_start=warm_start)
+        else:
+            result = solver(program)
+        elapsed = time.perf_counter() - start
+        if not result.solve_seconds:
+            result.solve_seconds = elapsed
+        span.set("status", result.status.name)
+        span.set("pivots", result.iterations)
+        outcome = result.extra.get("warm_start")
+        if outcome is not None:
+            span.set("warm_start", outcome)
     return result

@@ -31,6 +31,7 @@ from repro.lp.basis import Basis
 from repro.lp.model import LinearProgram
 from repro.lp.result import LPResult, LPStatus, attach_slacks
 from repro.lp.standard_form import StandardForm
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,8 @@ class _RevisedState:
         self._pivots_since_refactor += 1
         if self._pivots_since_refactor >= self.options.refactor_every:
             self.refactorizations += 1
+            if trace.is_enabled():
+                trace.add_event("refactorize", count=self.refactorizations)
             self._factorize()
 
 
@@ -100,6 +103,7 @@ def _optimize(
     tol = options.tol
     iterations = 0
     degenerate_run = 0
+    traced = trace.is_enabled()  # hoisted so untraced pivots pay one bool test
 
     while True:
         if iterations >= options.max_iterations:
@@ -132,6 +136,14 @@ def _optimize(
         row = int(tied[np.argmin(state.basis[tied])])
 
         degenerate_run = degenerate_run + 1 if best <= tol else 0
+        if traced:
+            trace.add_event(
+                "pivot",
+                enter=col,
+                leave=int(state.basis[row]),
+                row=row,
+                degenerate=bool(best <= tol),
+            )
         state.pivot(row, col, direction)
         iterations += 1
 
@@ -218,6 +230,8 @@ def _solve_revised(
     state = _try_warm_start(sf, warm_start, options)
     if state is not None:
         extra["warm_start"] = "hit"
+    if trace.is_enabled():
+        trace.add_event("warm_start", outcome=extra["warm_start"])
 
     if state is None:
         # ------------------------------------------------------------------
@@ -247,6 +261,8 @@ def _solve_revised(
             status, it1 = _optimize(state, phase1_costs, allowed, options)
             iterations += it1
             extra["phase1_pivots"] = it1
+            if trace.is_enabled():
+                trace.add_event("phase1", pivots=it1)
             if status != "optimal":  # pragma: no cover - phase 1 never unbounded
                 raise SolverError(f"phase 1 ended with status {status}")
             infeasibility = float(

@@ -21,6 +21,7 @@ from repro.errors import SolverError
 from repro.lp.model import LinearProgram
 from repro.lp.result import LPResult, LPStatus, attach_slacks
 from repro.lp.standard_form import StandardForm
+from repro.obs import trace
 
 #: Back-compat alias: the standard-form builder now lives in
 #: :mod:`repro.lp.standard_form`, shared with the revised solver.
@@ -65,6 +66,7 @@ def _run_simplex(
     tol = options.tol
     iterations = 0
     degenerate_run = 0
+    traced = trace.is_enabled()  # hoisted so untraced pivots pay one bool test
 
     while True:
         if iterations >= options.max_iterations:
@@ -99,6 +101,14 @@ def _run_simplex(
         row = int(tied[np.argmin(basis[tied])])
 
         degenerate_run = degenerate_run + 1 if best <= tol else 0
+        if traced:
+            trace.add_event(
+                "pivot",
+                enter=col,
+                leave=int(basis[row]),
+                row=row,
+                degenerate=bool(best <= tol),
+            )
         _pivot(tableau, basis, row, col)
         iterations += 1
 

@@ -24,6 +24,7 @@ from typing import Mapping
 from repro.errors import AnalysisError, DivergentTimingError
 from repro.maxplus.cycles import find_positive_cycle
 from repro.maxplus.system import MaxPlusSystem
+from repro.obs import trace
 
 _METHODS = ("jacobi", "gauss-seidel", "event")
 
@@ -33,13 +34,17 @@ class FixpointResult:
     """Fixpoint values plus convergence bookkeeping.
 
     ``iterations`` counts full sweeps for the Jacobi/Gauss-Seidel methods
-    and individual node updates for the event-driven method.
+    and individual node updates for the event-driven method.  ``residual``
+    is the magnitude of the largest value update applied in the final
+    changing sweep (the convergence telemetry the slide reports; 0.0 when
+    the start point was already a fixpoint or the values are exact).
     """
 
     values: dict[str, float]
     iterations: int
     method: str
     converged: bool = True
+    residual: float = 0.0
 
 
 def _check_method(method: str) -> None:
@@ -137,12 +142,15 @@ def slide(
         values[node] = system.floor(node)
     fanin = system.fanin()
 
+    traced = trace.is_enabled()
+
     if method == "event":
         fanout = system.fanout()
         # Seed with every node; propagate decreases.
         queue = deque(system.nodes)
         queued = set(system.nodes)
         updates = 0
+        residual = 0.0
         budget = max_sweeps * max(n, 1)
         while queue:
             if updates > budget:
@@ -155,16 +163,28 @@ def slide(
             for arc in fanin[node]:
                 best = max(best, values[arc.src] + arc.weight)
             if best < values[node] - tol:
+                delta = values[node] - best
+                residual = delta
                 values[node] = best
                 updates += 1
+                if traced:
+                    trace.add_event(
+                        "slide.update", node=node, delta=delta, update=updates
+                    )
                 for arc in fanout[node]:
                     if arc.dst not in queued:
                         queue.append(arc.dst)
                         queued.add(arc.dst)
-        return FixpointResult(values=values, iterations=updates, method=method)
+        _record_slide(traced, updates, residual, None)
+        return FixpointResult(
+            values=values, iterations=updates, method=method, residual=residual
+        )
 
+    residual = 0.0
+    residuals: list[float] = [] if traced else None  # type: ignore[assignment]
     for sweep in range(max_sweeps):
         changed = False
+        sweep_max = 0.0
         current = dict(values) if method == "jacobi" else values
         for node in system.nodes:
             if node in system.frozen:
@@ -172,21 +192,53 @@ def slide(
             best = system.floor(node)
             for arc in fanin[node]:
                 best = max(best, current[arc.src] + arc.weight)
-            if abs(best - values[node]) > tol:
+            delta = abs(best - values[node])
+            if delta > tol:
                 values[node] = best
                 changed = True
+                if delta > sweep_max:
+                    sweep_max = delta
+        if changed:
+            residual = sweep_max
+        if traced:
+            residuals.append(sweep_max)
+            trace.add_event("slide.sweep", sweep=sweep, residual=sweep_max)
         if not changed:
-            return FixpointResult(values=values, iterations=sweep + 1, method=method)
+            _record_slide(traced, sweep + 1, residual, residuals)
+            return FixpointResult(
+                values=values,
+                iterations=sweep + 1,
+                method=method,
+                residual=residual,
+            )
     return _fallback_to_least(system, method)
+
+
+def _record_slide(
+    traced: bool,
+    iterations: int,
+    residual: float,
+    residuals: list[float] | None,
+) -> None:
+    """Attach convergence telemetry to the enclosing span when tracing."""
+    if not traced:
+        return
+    span = trace.current_span()
+    span.set("sweeps", iterations)
+    span.set("residual", residual)
+    if residuals is not None:
+        span.set("sweep_residuals", residuals)
 
 
 def _fallback_to_least(system: MaxPlusSystem, method: str) -> FixpointResult:
     exact = least_fixpoint(system, method="event")
+    _record_slide(trace.is_enabled(), exact.iterations, 0.0, None)
     return FixpointResult(
         values=exact.values,
         iterations=exact.iterations,
         method=f"{method}+least-fixpoint",
         converged=True,
+        residual=0.0,
     )
 
 

@@ -1,0 +1,87 @@
+"""repro.obs -- hierarchical tracing, structured run logs, and exporters.
+
+Three cooperating layers (see ``docs/OBSERVABILITY.md`` for the tour):
+
+* :mod:`repro.obs.trace`  -- nested spans with attributes, counters and
+  events; process-aware (pool workers serialize their span trees back to
+  the parent engine, which reassembles them under the batch root);
+* :mod:`repro.obs.events` -- a per-run JSONL event log with levels and a
+  stdlib-``logging`` bridge;
+* :mod:`repro.obs.export` -- Chrome-trace/Perfetto JSON and a
+  Prometheus-style flat text dump, plus the ``repro trace summarize``
+  renderer.
+
+Tracing is off by default and costs <2% when disabled (asserted by
+``benchmarks/bench_obs_overhead.py``), so the instrumentation lives
+permanently in the hot paths.
+"""
+
+from repro.obs.trace import (
+    NullSpan,
+    Span,
+    Tracer,
+    add_event,
+    attach,
+    current_span,
+    disable,
+    enable,
+    get_tracer,
+    inc,
+    is_enabled,
+    new_run_id,
+    reset,
+    span,
+)
+from repro.obs.events import (
+    LEVELS,
+    EventLog,
+    EventLogHandler,
+    emit,
+    get_log,
+    install_logging_bridge,
+    remove_logging_bridge,
+    set_log,
+)
+from repro.obs.export import (
+    TRACE_VERSION,
+    chrome_trace,
+    load_trace,
+    prometheus_text,
+    summarize,
+    walk,
+    walk_with_ancestors,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "EventLog",
+    "EventLogHandler",
+    "LEVELS",
+    "NullSpan",
+    "Span",
+    "TRACE_VERSION",
+    "Tracer",
+    "add_event",
+    "attach",
+    "chrome_trace",
+    "current_span",
+    "disable",
+    "emit",
+    "enable",
+    "get_log",
+    "get_tracer",
+    "inc",
+    "install_logging_bridge",
+    "is_enabled",
+    "load_trace",
+    "new_run_id",
+    "prometheus_text",
+    "remove_logging_bridge",
+    "reset",
+    "set_log",
+    "span",
+    "summarize",
+    "walk",
+    "walk_with_ancestors",
+    "write_chrome_trace",
+]

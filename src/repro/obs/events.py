@@ -1,0 +1,142 @@
+"""Structured JSONL run logs (repro.obs).
+
+Every line of an :class:`EventLog` is one JSON object::
+
+    {"ts": 1722860000.123, "run": "1a2b3c4d5e6f", "level": "info",
+     "event": "run.start", ...fields}
+
+``ts`` is epoch seconds, ``run`` ties all lines of one process run
+together (it defaults to the tracer's run id when tracing is active), and
+``level`` is one of ``debug`` / ``info`` / ``warning`` / ``error``.  Lines
+below the log's threshold level are dropped at the emit site.
+
+A stdlib-``logging`` bridge (:func:`install_logging_bridge`) forwards any
+``logging`` records under a chosen logger name into the same file, so
+third-party or legacy ``logging`` calls land in the structured stream
+instead of interleaving with CLI output on stdout.
+
+The module-global log (:func:`set_log` / :func:`get_log`) lets deep code
+emit events without threading a handle everywhere; :func:`emit` is a
+no-op until a log is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+from repro.obs import trace as _trace
+
+#: Level names in increasing severity; unknown names are treated as info.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _level_no(name: str) -> int:
+    return LEVELS.get(name, LEVELS["info"])
+
+
+class EventLog:
+    """An append-only JSONL event stream with level filtering."""
+
+    def __init__(
+        self,
+        path: str,
+        run_id: str | None = None,
+        level: str = "debug",
+    ) -> None:
+        self.path = path
+        self.run_id = run_id or _trace.get_tracer().run_id or _trace.new_run_id()
+        self.level = level
+        self._threshold = _level_no(level)
+        self._handle = open(path, "a", encoding="utf-8")
+        self.emitted = 0
+        self.dropped = 0
+
+    def emit(self, event: str, level: str = "info", **fields: object) -> bool:
+        """Write one event line; returns False when filtered out."""
+        if _level_no(level) < self._threshold:
+            self.dropped += 1
+            return False
+        record = {"ts": time.time(), "run": self.run_id, "level": level,
+                  "event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
+        self.emitted += 1
+        return True
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EventLogHandler(logging.Handler):
+    """Bridge stdlib ``logging`` records into an :class:`EventLog`."""
+
+    def __init__(self, log: EventLog) -> None:
+        super().__init__()
+        self.log = log
+
+    def emit(self, record: logging.LogRecord) -> None:  # noqa: A003
+        if record.levelno >= logging.ERROR:
+            level = "error"
+        elif record.levelno >= logging.WARNING:
+            level = "warning"
+        elif record.levelno >= logging.INFO:
+            level = "info"
+        else:
+            level = "debug"
+        try:
+            self.log.emit(
+                "log",
+                level=level,
+                logger=record.name,
+                message=record.getMessage(),
+            )
+        except Exception:  # pragma: no cover - never raise out of logging
+            self.handleError(record)
+
+
+def install_logging_bridge(
+    log: EventLog, logger_name: str = "repro", level: int = logging.DEBUG
+) -> EventLogHandler:
+    """Attach an :class:`EventLogHandler` to ``logger_name``; returns it."""
+    handler = EventLogHandler(log)
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler
+
+
+def remove_logging_bridge(
+    handler: EventLogHandler, logger_name: str = "repro"
+) -> None:
+    logging.getLogger(logger_name).removeHandler(handler)
+
+
+#: Process-global log used by the module-level :func:`emit` convenience.
+_LOG: EventLog | None = None
+
+
+def set_log(log: EventLog | None) -> None:
+    global _LOG
+    _LOG = log
+
+
+def get_log() -> EventLog | None:
+    return _LOG
+
+
+def emit(event: str, level: str = "info", **fields: object) -> bool:
+    """Emit to the installed global log; silently no-op when none is set."""
+    if _LOG is None:
+        return False
+    return _LOG.emit(event, level=level, **fields)

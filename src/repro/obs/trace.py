@@ -1,0 +1,283 @@
+"""Hierarchical span tracing for the whole stack (repro.obs).
+
+A *span* is a named wall-clock interval with attributes (set once),
+counters (incremented), point-in-time events, and child spans.  The
+process-global :class:`Tracer` keeps a stack of open spans; ``with
+trace.span("lp_solve"):`` nests automatically.  Tracing is **off by
+default** and the disabled path is engineered to be near-free: ``span()``
+returns a shared no-op singleton and every event hook is guarded by one
+``enabled`` check, so instrumentation can live permanently in hot paths
+(per-pivot, per-sweep) without taxing untraced runs -- the budget, asserted
+by ``benchmarks/bench_obs_overhead.py``, is <2% on ``bench_fig7_sweep``.
+
+Process awareness: pool workers run with their own tracer (reset at worker
+start, see :mod:`repro.engine.pool`).  A job executed in a worker produces
+a *root* span there; :func:`repro.engine.execute.execute_job` serializes
+it onto the :class:`~repro.engine.jobspec.JobResult` and the parent engine
+re-attaches it under its live batch span with :func:`attach`, so one trace
+file covers the full tree across processes (spans carry their ``pid``).
+
+Timestamps are wall-clock epoch seconds (``time.time``) so spans from
+different processes align on one timeline; durations are measured with
+``time.perf_counter`` for resolution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from typing import Iterator
+
+
+def new_run_id() -> str:
+    """A short unique id tying spans, events and logs of one run together."""
+    return uuid.uuid4().hex[:12]
+
+
+class NullSpan:
+    """Shared no-op span returned by every tracing call while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def inc(self, counter: str, n: int = 1) -> None:
+        pass
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NULL = NullSpan()
+
+
+class Span:
+    """One named interval of work; also its own context manager."""
+
+    __slots__ = (
+        "name",
+        "t0",
+        "duration",
+        "attributes",
+        "counters",
+        "events",
+        "children",
+        "pid",
+        "_tracer",
+        "_p0",
+    )
+
+    def __init__(self, tracer: "Tracer | None", name: str, attributes: dict):
+        self.name = name
+        self.t0 = time.time()
+        self.duration = 0.0
+        self.attributes = attributes
+        self.counters: dict[str, int] = {}
+        self.events: list[dict] = []
+        self.children: list["Span"] = []
+        self.pid = os.getpid()
+        self._tracer = tracer
+        self._p0 = time.perf_counter()
+
+    # -- recording ------------------------------------------------------
+    def set(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def inc(self, counter: str, n: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point-in-time event inside this span."""
+        self.events.append({"name": name, "ts": time.time(), **attrs})
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._p0
+        if exc_type is not None:
+            self.attributes.setdefault("exception", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "t0": self.t0,
+            "dur": self.duration,
+            "pid": self.pid,
+            "attrs": dict(self.attributes),
+            "counters": dict(self.counters),
+            "events": list(self.events),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(None, data.get("name", "?"), dict(data.get("attrs") or {}))
+        span.t0 = float(data.get("t0", 0.0))
+        span.duration = float(data.get("dur", 0.0))
+        span.pid = int(data.get("pid", 0))
+        span.counters = dict(data.get("counters") or {})
+        span.events = list(data.get("events") or [])
+        span.children = [cls.from_dict(c) for c in data.get("children") or []]
+        return span
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, dur={self.duration:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """A per-process span collector: an open-span stack plus finished roots.
+
+    Not thread-safe by design -- the engine parallelizes across *processes*
+    and each worker resets its own tracer at startup.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.run_id: str | None = None
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- span creation --------------------------------------------------
+    def span(self, name: str, **attributes: object) -> Span | NullSpan:
+        if not self.enabled:
+            return _NULL
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Span | NullSpan:
+        """The innermost open span (NullSpan when none / disabled)."""
+        if self.enabled and self._stack:
+            return self._stack[-1]
+        return _NULL
+
+    # -- stack plumbing (called by Span) --------------------------------
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Pop back to (and including) `span`; tolerates skipped exits from
+        # exceptional unwinds so the tracer never corrupts its stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- cross-process reassembly ---------------------------------------
+    def attach(self, serialized: list[dict]) -> None:
+        """Graft serialized span trees (from a worker) into the live tree."""
+        if not self.enabled:
+            return
+        parent = self._stack[-1] if self._stack else None
+        for data in serialized:
+            span = Span.from_dict(data)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+
+    def take_root(self, span: Span) -> bool:
+        """Detach ``span`` from the finished roots (worker-side handoff).
+
+        Returns True when the span was a root of this tracer -- the caller
+        then owns its serialized form and ships it to the parent process.
+        """
+        for i, root in enumerate(self.roots):
+            if root is span:
+                del self.roots[i]
+                return True
+        return False
+
+    def reset(self, enabled: bool | None = None, run_id: str | None = None) -> None:
+        """Drop all recorded state; optionally flip the enabled bit."""
+        if enabled is not None:
+            self.enabled = enabled
+        self.run_id = run_id or (new_run_id() if self.enabled else None)
+        self.roots = []
+        self._stack = []
+
+
+#: The process-global tracer every instrumentation site talks to.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def is_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def enable(run_id: str | None = None) -> Tracer:
+    """Turn tracing on (fresh state) and return the global tracer."""
+    _TRACER.reset(enabled=True, run_id=run_id or new_run_id())
+    return _TRACER
+
+
+def disable() -> None:
+    _TRACER.reset(enabled=False)
+
+
+def reset(enabled: bool = False, run_id: str | None = None) -> None:
+    """Reset the global tracer (worker startup, test isolation)."""
+    _TRACER.reset(enabled=enabled, run_id=run_id)
+
+
+def span(name: str, **attributes: object) -> Span | NullSpan:
+    """Open a span on the global tracer (NullSpan when tracing is off)."""
+    return _TRACER.span(name, **attributes)
+
+
+def current_span() -> Span | NullSpan:
+    return _TRACER.current
+
+
+def add_event(name: str, **attrs: object) -> None:
+    """Record an event on the innermost open span (no-op when disabled)."""
+    if _TRACER.enabled and _TRACER._stack:
+        _TRACER._stack[-1].event(name, **attrs)
+
+
+def inc(counter: str, n: int = 1) -> None:
+    """Bump a counter on the innermost open span (no-op when disabled)."""
+    if _TRACER.enabled and _TRACER._stack:
+        _TRACER._stack[-1].inc(counter, n)
+
+
+def attach(serialized: list[dict]) -> None:
+    """Module-level alias for :meth:`Tracer.attach` on the global tracer."""
+    _TRACER.attach(serialized)
