@@ -1,0 +1,192 @@
+"""Dict vs compiled-array fixpoint kernels: the PR's headline speedup.
+
+The compiled kernels (:mod:`repro.maxplus.compiled`) exist to make the
+non-LP part of Algorithm MLP scale: on generated multiloop circuits the
+dict kernels spend their time walking per-node ``WeightedArc`` lists,
+while the array kernels run one ``np.maximum.reduceat`` per sweep.  This
+benchmark times both on the same systems from 8 to 1024 latches, checks
+the array kernels win by >= 5x at 256 latches and beyond, verifies the
+optimum is unchanged (Tc within 1e-9), and measures what the structure
+cache saves on re-compiles (the delay-sweep hot path).
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) for a reduced grid.
+"""
+
+import os
+import time
+
+from repro.circuit.generate import random_multiloop_circuit
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule
+from repro.core.constraints import build_maxplus_system
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.core.reporting import format_comparison
+from repro.errors import DivergentTimingError
+from repro.maxplus import compiled
+from repro.maxplus.fixpoint import least_fixpoint, slide
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZES = [8, 16, 32, 64] if QUICK else [8, 16, 32, 64, 128, 256, 512, 1024]
+#: sizes on which the >= 5x acceptance ratio is asserted.
+ASSERT_FLOOR = 256
+TC_CHECK_SIZE = 64 if QUICK else 256
+
+
+def _circuit(n):
+    return random_multiloop_circuit(n, n_extra_arcs=n // 2, k=2, seed=n)
+
+
+def _system(graph, scale=1.0):
+    """A convergent max-plus system for ``graph`` (period grown on demand).
+
+    ``scale`` nudges the period so two calls produce equal structure with
+    different weights (the structure-cache hot path).
+    """
+    period = 256.0 * scale
+    while True:
+        half = period / 2
+        schedule = ClockSchedule(
+            period,
+            [
+                ClockPhase("phi1", 0.0, half - 1.0),
+                ClockPhase("phi2", half, half - 1.0),
+            ],
+        )
+        system = build_maxplus_system(graph, schedule)
+        try:
+            least_fixpoint(system, method="event")
+            return system
+        except DivergentTimingError:
+            period *= 2.0
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure():
+    rows = []
+    for n in SIZES:
+        graph = _circuit(n)
+        system = _system(graph)
+        base = least_fixpoint(system, method="event").values
+        start = {
+            name: (base[name] + 25.0 if name not in system.frozen else base[name])
+            for name in system.nodes
+        }
+        compiled.compile_system(system)  # exclude one-time lowering below
+
+        fix_dict = _best_of(lambda: least_fixpoint(system, method="jacobi"))
+        fix_array = _best_of(
+            lambda: least_fixpoint(system, method="jacobi", kernel="array")
+        )
+        slide_dict = _best_of(lambda: slide(system, start, method="jacobi"))
+        slide_array = _best_of(
+            lambda: slide(system, start, method="jacobi", kernel="array")
+        )
+
+        rows.append(
+            {
+                "latches": n,
+                "arcs": len(system.arcs),
+                "fix dict ms": round(fix_dict * 1e3, 3),
+                "fix array ms": round(fix_array * 1e3, 3),
+                "fix speedup": round(fix_dict / fix_array, 1),
+                "slide dict ms": round(slide_dict * 1e3, 3),
+                "slide array ms": round(slide_array * 1e3, 3),
+                "slide speedup": round(slide_dict / slide_array, 1),
+            }
+        )
+    return rows
+
+
+def measure_cache():
+    """Structure-cache economics: cold compile vs weight-only re-cost."""
+    rows = []
+    for n in SIZES[-3:]:
+        graph = _circuit(n)
+        a = _system(graph)
+        b = _system(graph, scale=1.001953125)  # same structure, new weights
+
+        def cold():
+            compiled.clear_cache()
+            a.__dict__.pop("_compiled", None)
+            compiled.compile_system(a)
+
+        def warm():
+            b.__dict__.pop("_compiled", None)
+            compiled.compile_system(b)
+
+        cold_s = _best_of(cold)
+        compiled.clear_cache()
+        a.__dict__.pop("_compiled", None)
+        compiled.compile_system(a)  # populate the structure cache
+        warm_s = _best_of(warm)
+        stats = compiled.cache_stats()
+        assert stats["structure_hits"] >= 3, stats
+        rows.append(
+            {
+                "latches": n,
+                "compile miss ms": round(cold_s * 1e3, 3),
+                "recost hit ms": round(warm_s * 1e3, 3),
+                "ratio": round(cold_s / max(warm_s, 1e-9), 1),
+            }
+        )
+    return rows
+
+
+def test_fixpoint_kernel_speedup(benchmark, emit):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    cache_rows = measure_cache()
+
+    # Correctness guard: the kernels must agree before speed means anything
+    # (the agreement proper is tested exhaustively in
+    # tests/test_fixpoint_kernels.py).
+    graph = _circuit(TC_CHECK_SIZE)
+    tc = {
+        kernel: minimize_cycle_time(
+            graph, mlp=MLPOptions(verify=False, kernel=kernel)
+        ).period
+        for kernel in ("dict", "array")
+    }
+    assert abs(tc["dict"] - tc["array"]) <= 1e-9, tc
+
+    # The acceptance ratio: >= 5x on the 256-latch row; larger rows only
+    # get a looser floor so one noisy timing cannot fail the suite.
+    for row in rows:
+        if row["latches"] == ASSERT_FLOOR:
+            assert row["fix speedup"] >= 5.0, row
+            assert row["slide speedup"] >= 5.0, row
+        elif row["latches"] > ASSERT_FLOOR:
+            assert row["fix speedup"] >= 3.0, row
+            assert row["slide speedup"] >= 3.0, row
+    # A weight-only re-cost must beat a cold structural lowering.
+    for row in cache_rows:
+        assert row["recost hit ms"] <= row["compile miss ms"], row
+
+    table = format_comparison(
+        rows,
+        [
+            "latches",
+            "arcs",
+            "fix dict ms",
+            "fix array ms",
+            "fix speedup",
+            "slide dict ms",
+            "slide array ms",
+            "slide speedup",
+        ],
+        "Fixpoint kernels: dict vs compiled numpy (jacobi, least fixpoint + slide)",
+    )
+    table += "\n" + format_comparison(
+        cache_rows,
+        ["latches", "compile miss ms", "recost hit ms", "ratio"],
+        f"Structure cache: cold lowering vs weight re-cost "
+        f"(Tc agreement at n={TC_CHECK_SIZE}: |dTc| <= 1e-9)",
+    )
+    emit("fixpoint_kernels", table)

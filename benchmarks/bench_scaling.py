@@ -12,12 +12,22 @@ import time
 import pytest
 
 from repro.circuit.generate import random_multiloop_circuit
-from repro.core.constraints import build_program
+from repro.core.constraints import build_maxplus_system, build_program
 from repro.core.mlp import MLPOptions, minimize_cycle_time
 from repro.core.reporting import format_comparison
+from repro.maxplus.fixpoint import least_fixpoint
 
 SIZES = [8, 16, 32, 64]
 FAST = MLPOptions(verify=False)
+
+
+def _fixpoint_ms(system, kernel):
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        least_fixpoint(system, method="jacobi", kernel=kernel)
+        best = min(best, time.perf_counter() - t0)
+    return round(best * 1e3, 3)
 
 
 def measure():
@@ -28,6 +38,9 @@ def measure():
         start = time.perf_counter()
         result = minimize_cycle_time(circuit, mlp=FAST)
         elapsed = time.perf_counter() - start
+        # Fixpoint kernel comparison at the optimal schedule (the slide's
+        # workload; see bench_fixpoint_kernels.py for the full sweep).
+        system = build_maxplus_system(circuit, result.schedule)
         rows.append(
             {
                 "latches": n,
@@ -36,6 +49,8 @@ def measure():
                 "bound 4k+(F+1)l": 4 * circuit.k + (circuit.max_fanin() + 1) * n,
                 "Tc": result.period,
                 "seconds": round(elapsed, 4),
+                "fix dict ms": _fixpoint_ms(system, "dict"),
+                "fix array ms": _fixpoint_ms(system, "array"),
             }
         )
     return rows
@@ -61,7 +76,16 @@ def test_constraint_count_scales_linearly(benchmark, emit):
         "scaling",
         format_comparison(
             rows,
-            ["latches", "arcs", "constraints", "bound 4k+(F+1)l", "Tc", "seconds"],
+            [
+                "latches",
+                "arcs",
+                "constraints",
+                "bound 4k+(F+1)l",
+                "Tc",
+                "seconds",
+                "fix dict ms",
+                "fix array ms",
+            ],
             "Constraint-count and runtime scaling (Section IV claims)",
         ),
     )

@@ -110,7 +110,7 @@ def _global_flags_parser() -> argparse.ArgumentParser:
 def cmd_minimize(args: argparse.Namespace) -> int:
     graph, _ = _load(args.file)
     options = _constraint_options(args)
-    mlp = MLPOptions(backend=args.backend)
+    mlp = MLPOptions(backend=args.backend, kernel=args.kernel)
     if args.nrip:
         result = nrip_minimize(graph, initial_phase=args.initial_phase,
                                options=options, mlp=mlp)
@@ -181,6 +181,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         verify=False,
         compact=False,
         warm_start=not args.cold_start,
+        kernel=args.kernel,
     )
     if args.exact:
         # Bisection is sequential, but the engine cache still dedupes
@@ -263,7 +264,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         _error("error: no .lcd files to run")
         return 2
     options = _constraint_options(args)
-    mlp = MLPOptions(backend=args.backend, verify=False)
+    mlp = MLPOptions(backend=args.backend, verify=False, kernel=args.kernel)
     batch = []
     load_errors: dict[str, str] = {}
     for path in files:
@@ -335,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help=".lcd circuit description")
     p.add_argument("--backend", default=None,
                    help="LP backend (simplex|revised|scipy)")
+    p.add_argument("--kernel", default="auto",
+                   choices=("dict", "array", "auto"),
+                   help="fixpoint kernel for the departure slide "
+                   "(default auto)")
     p.add_argument("--max-period", type=float, default=None, dest="max_period")
     p.add_argument("--nrip", action="store_true", help="run the NRIP baseline")
     p.add_argument("--initial-phase", default=None, dest="initial_phase",
@@ -374,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for grid evaluation (default 1)")
     p.add_argument("--backend", default=None,
                    help="LP backend (simplex|revised|scipy; default revised)")
+    p.add_argument("--kernel", default="auto",
+                   choices=("dict", "array", "auto"),
+                   help="fixpoint kernel for the departure slide "
+                   "(default auto)")
     p.add_argument("--cold-start", action="store_true", dest="cold_start",
                    help="disable warm-started solves (identical results, "
                    "more pivots)")
@@ -416,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra attempts after a worker crash/timeout")
     p.add_argument("--backend", default=None,
                    help="LP backend (simplex|revised|scipy)")
+    p.add_argument("--kernel", default="auto",
+                   choices=("dict", "array", "auto"),
+                   help="fixpoint kernel for the departure slide "
+                   "(default auto)")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_batch)
 

@@ -30,13 +30,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from repro.circuit.elements import EdgeKind, FlipFlop
 from repro.circuit.graph import TimingGraph
 from repro.clocking.schedule import ClockSchedule
 from repro.clocking.skew import SkewBound
 from repro.errors import CircuitError, LPError
 from repro.lp.expr import var
-from repro.lp.model import LinearProgram
+from repro.lp.model import LinearProgram, Sense
+from repro.maxplus.compiled import prime_weights
 from repro.maxplus.system import MaxPlusSystem, WeightedArc
 
 #: LP variable name for the clock period.
@@ -260,34 +263,67 @@ def build_program(
             rhs = rhs + pad
         add("C3", lp.add_ge(var(s_var(pi)), rhs, name=f"C3[{pi}/{pj}]"))
 
-    # ---- L1 / FS: setup ---------------------------------------------------
+    # ---- L1 / FS: setup; L2R: relaxed propagation -------------------------
+    # These families contain one row per latch/arc -- the only parts of the
+    # program that grow with circuit size -- so they are emitted through the
+    # pre-normalized :meth:`LinearProgram.add_row` fast path: coefficient
+    # dicts are assembled directly from per-phase-pair shift templates
+    # instead of chaining LinExpr arithmetic per row.  The produced rows
+    # (names, coefficient sets, senses, right-hand sides) are identical to
+    # the expression-based construction they replace.
     margin = options.setup_margin
-    slack = var(setup_slack_var) if setup_slack_var else 0.0
     for sync in graph.synchronizers:
         if sync.is_latch:
             # With skew the closing edge may come early_i sooner.
             early = options.skew_of(sync.phase).early
+            terms = {d_var(sync.name): 1.0}
+            if setup_slack_var:
+                terms[setup_slack_var] = 1.0
+            terms[t_var(sync.phase)] = -1.0
             add(
                 "L1",
-                lp.add_le(
-                    var(d_var(sync.name)) + sync.setup + margin + early + slack,
-                    var(t_var(sync.phase)),
-                    name=f"L1[{sync.name}]",
+                lp.add_row(
+                    f"L1[{sync.name}]",
+                    terms,
+                    Sense.LE,
+                    -(sync.setup + margin + early),
                 ),
             )
 
-    # ---- L2R: relaxed propagation into latches;
-    # ---- FS:  arrival-based setup into flip-flops -------------------------
+    # Shift templates S_{from,to} per phase pair, as coefficient dicts:
+    # ``plain`` is the operator itself (FS rows carry it on the lhs),
+    # ``negated`` its sign flip (L2R rows move it across the inequality).
+    shift_plain: dict[tuple[str, str], dict[str, float]] = {}
+    shift_negated: dict[tuple[str, str], dict[str, float]] = {}
+    for pf in graph.phase_names:
+        for pt in graph.phase_names:
+            c = _ordering_flag(graph, pf, pt)
+            plain: dict[str, float] = {}
+            if pf != pt:
+                plain[s_var(pf)] = 1.0
+                plain[s_var(pt)] = -1.0
+            if c:
+                plain[TC] = -1.0
+            shift_plain[(pf, pt)] = plain
+            shift_negated[(pf, pt)] = {n: -v for n, v in plain.items()}
+
     for arc in graph.arcs:
         src = graph[arc.src]
         dst = graph[arc.dst]
-        shift = _shift_expr(graph, src.phase, dst.phase)
-        arrival = var(d_var(src.name)) + src.delay + arc.delay + shift
+        pair = (src.phase, dst.phase)
         if dst.is_latch:
-            con = lp.add_ge(
-                var(d_var(dst.name)),
-                arrival,
-                name=f"L2R[{arc.src}->{arc.dst}]",
+            if arc.src == arc.dst:
+                # Self-loop: the departure terms cancel, leaving only the
+                # (negated) shift operator -- same as the expression path.
+                terms = dict(shift_negated[pair])
+            else:
+                terms = {d_var(dst.name): 1.0, d_var(src.name): -1.0}
+                terms.update(shift_negated[pair])
+            con = lp.add_row(
+                f"L2R[{arc.src}->{arc.dst}]",
+                terms,
+                Sense.GE,
+                src.delay + arc.delay,
             )
             add("L2R", con)
             smo.rhs_delay_sign[con.name] = 1.0
@@ -295,18 +331,18 @@ def build_program(
             assert isinstance(dst, FlipFlop)
             # With skew the triggering edge may come early_i sooner.
             dst_early = options.skew_of(dst.phase).early
-            if dst.edge is EdgeKind.RISE:
-                con = lp.add_le(
-                    arrival + dst.setup + margin + dst_early + slack,
-                    0.0,
-                    name=f"FS[{arc.src}->{arc.dst}]",
-                )
-            else:
-                con = lp.add_le(
-                    arrival + dst.setup + margin + dst_early + slack,
-                    var(t_var(dst.phase)),
-                    name=f"FS[{arc.src}->{arc.dst}]",
-                )
+            terms = {d_var(src.name): 1.0}
+            terms.update(shift_plain[pair])
+            if setup_slack_var:
+                terms[setup_slack_var] = 1.0
+            if dst.edge is not EdgeKind.RISE:
+                terms[t_var(dst.phase)] = -1.0
+            con = lp.add_row(
+                f"FS[{arc.src}->{arc.dst}]",
+                terms,
+                Sense.LE,
+                -(src.delay + arc.delay + dst.setup + margin + dst_early),
+            )
             add("FS", con)
             smo.rhs_delay_sign[con.name] = -1.0
         smo.arc_of_constraint[con.name] = (arc.src, arc.dst)
@@ -456,14 +492,35 @@ def build_maxplus_system(
                 floors[sync.name] = late
             else:
                 floors[sync.name] = schedule[sync.phase].width + late
-    arcs = []
-    for arc in graph.arcs:
-        src, dst = graph[arc.src], graph[arc.dst]
-        if not dst.is_latch:
-            continue  # flip-flop departures do not depend on arrivals
-        weight = src.delay + arc.delay + schedule.phase_shift(src.phase, dst.phase)
-        arcs.append(WeightedArc(arc.src, arc.dst, weight))
-    return MaxPlusSystem(nodes=nodes, arcs=arcs, floors=floors, frozen=frozen)
+    # Flip-flop departures do not depend on arrivals; only latch-bound arcs
+    # become max-plus arcs.  Weights are computed vectorized: a k x k table
+    # of phase shifts indexed by the (src, dst) phase ids of every arc.  The
+    # addition order matches the scalar form ``(src.delay + arc.delay) +
+    # shift`` bit for bit.
+    live = [a for a in graph.arcs if graph[a.dst].is_latch]
+    m = len(live)
+    weights = np.zeros(m)
+    if m:
+        pidx = {name: i for i, name in enumerate(graph.phase_names)}
+        shift = np.empty((graph.k, graph.k))
+        for pf, i in pidx.items():
+            for pt, j in pidx.items():
+                shift[i, j] = schedule.phase_shift(pf, pt)
+        src_delays = np.fromiter(
+            (graph[a.src].delay for a in live), dtype=np.float64, count=m
+        )
+        arc_delays = np.fromiter((a.delay for a in live), dtype=np.float64, count=m)
+        sp = np.fromiter((pidx[graph[a.src].phase] for a in live), dtype=np.intp, count=m)
+        dp = np.fromiter((pidx[graph[a.dst].phase] for a in live), dtype=np.intp, count=m)
+        weights = (src_delays + arc_delays) + shift[sp, dp]
+    arcs = [
+        WeightedArc(a.src, a.dst, w) for a, w in zip(live, weights.tolist())
+    ]
+    system = MaxPlusSystem(nodes=nodes, arcs=arcs, floors=floors, frozen=frozen)
+    # Hand the already-computed weight vector to the array-kernel compiler
+    # so a later compile_system() call re-costs without re-walking the arcs.
+    prime_weights(system, weights)
+    return system
 
 
 def _check_phases(graph: TimingGraph, schedule: ClockSchedule) -> None:
@@ -475,16 +532,17 @@ def _check_phases(graph: TimingGraph, schedule: ClockSchedule) -> None:
 
 
 def schedule_from_values(
-    graph: TimingGraph, values: Mapping[str, float]
+    graph: TimingGraph, values: Mapping[str, float], tol: float = 1e-7
 ) -> ClockSchedule:
     """Assemble a :class:`ClockSchedule` from LP solution values.
 
-    Values within solver tolerance below zero (floating-point dust from the
-    simplex) are snapped to exactly zero.
+    Values within ``tol`` below zero (floating-point dust from the simplex)
+    are snapped to exactly zero.  Callers that know their solver's actual
+    tolerance should pass it instead of relying on the permissive default.
     """
     from repro.clocking.phase import ClockPhase  # local import to avoid cycle
 
-    def clean(x: float, tol: float = 1e-7) -> float:
+    def clean(x: float) -> float:
         return 0.0 if -tol < x < 0.0 else x
 
     phases = [

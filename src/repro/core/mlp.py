@@ -60,6 +60,15 @@ class MLPOptions:
     starting is purely a performance device -- an unusable basis falls
     back to a cold start inside the solver, so reported optima are
     unaffected either way.
+
+    ``kernel`` selects the execution engine for the slide (step 3-5
+    fixpoint iteration): ``"dict"`` runs the reference implementation over
+    Python dicts, ``"array"`` the compiled numpy kernels of
+    :mod:`repro.maxplus.compiled`, and ``"auto"`` (the default) picks the
+    array kernels on circuits large enough for the lowering to pay off --
+    restricted to method/size combinations whose array kernel is
+    bit-identical to the dict kernel, so the choice never changes a
+    reported schedule or period.
     """
 
     backend: str | None = None
@@ -68,6 +77,7 @@ class MLPOptions:
     compact: bool = True
     tol: float = 1e-9
     warm_start: bool = True
+    kernel: str = "auto"
 
 
 @dataclass
@@ -195,7 +205,7 @@ def minimize_cycle_time(
             lp_seconds += lp_result.solve_seconds
     stages["lp_solve"] = lp_seconds
 
-    schedule = schedule_from_values(graph, lp_result.values)
+    schedule = schedule_from_values(graph, lp_result.values, tol=max(mlp.tol, 1e-9))
     lp_departures = {
         sync.name: lp_result.values[d_var(sync.name)]
         for sync in graph.synchronizers
@@ -208,8 +218,14 @@ def minimize_cycle_time(
         system = build_maxplus_system(graph, schedule, options)
     stages["constraint_gen"] += time.perf_counter() - build_start
     slide_start = time.perf_counter()
-    with trace.span("slide", method=mlp.iteration):
-        fix = slide(system, lp_departures, method=mlp.iteration, tol=mlp.tol)
+    with trace.span("slide", method=mlp.iteration, kernel=mlp.kernel):
+        fix = slide(
+            system,
+            lp_departures,
+            method=mlp.iteration,
+            tol=mlp.tol,
+            kernel=mlp.kernel,
+        )
     stages["slide"] = time.perf_counter() - slide_start
 
     result = OptimalClockResult(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import replace
 
 from repro.baselines.binary_search import binary_search_minimize
 from repro.baselines.borrowing import borrowing_minimize
@@ -76,7 +77,12 @@ def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
     if job.arc_override is not None:
         src, dst, delay = job.arc_override
         graph = graph.with_arc_delay(src, dst, delay)
-    result = minimize_cycle_time(graph, job.options, job.mlp, warm_start=job.warm_start)
+    mlp = job.mlp
+    if job.kernel is not None:
+        # Pure performance hint: redirect the slide onto the requested
+        # fixpoint kernel without disturbing the (cache-relevant) options.
+        mlp = replace(mlp or MLPOptions(), kernel=job.kernel)
+    result = minimize_cycle_time(graph, job.options, mlp, warm_start=job.warm_start)
     stages = dict(result.extra.get("stages", {}))
     basis = result.extra.get("basis")
     payload = {

@@ -145,12 +145,17 @@ class MinimizeJob:
     it so that every grid point of the same base circuit shares one graph
     object instead of materializing a modified copy per job.
 
-    ``warm_start`` and ``cold_pivots_hint`` are *hints*, deliberately
-    excluded from :meth:`signature`: a warm-start basis changes the pivot
-    path, never the optimum, so two jobs that differ only in their hints
-    must share one cache entry.  ``cold_pivots_hint`` anchors the
-    ``pivots_saved`` metric -- it carries the pivot count of the chain's
-    cold solve so warm solves can report how much work the basis skipped.
+    ``warm_start``, ``cold_pivots_hint`` and ``kernel`` are *hints*,
+    deliberately excluded from :meth:`signature`: a warm-start basis
+    changes the pivot path, never the optimum, so two jobs that differ
+    only in their hints must share one cache entry.  ``cold_pivots_hint``
+    anchors the ``pivots_saved`` metric -- it carries the pivot count of
+    the chain's cold solve so warm solves can report how much work the
+    basis skipped.  ``kernel`` overrides the fixpoint execution engine
+    (``"dict"``/``"array"``/``"auto"``, see
+    :attr:`repro.core.mlp.MLPOptions.kernel`); it is a pure performance
+    device -- every kernel the engine selects produces identical results,
+    so it must not split the cache either.
     """
 
     graph: TimingGraph
@@ -161,6 +166,7 @@ class MinimizeJob:
     # Performance hints -- not part of the cache signature (see docstring).
     warm_start: Basis | None = None
     cold_pivots_hint: int = 0
+    kernel: str | None = None
 
     kind = "minimize"
 

@@ -108,6 +108,36 @@ class LinearProgram:
         self._touch(constraint.lhs)
         return constraint
 
+    def add_row(
+        self,
+        name: str,
+        terms: Mapping[str, float],
+        sense: Sense | str,
+        rhs: float,
+    ) -> Constraint:
+        """Add a pre-normalized row directly from a coefficient mapping.
+
+        Fast path for bulk generators (the SMO constraint builder emits
+        thousands of structurally known rows on large circuits): skips the
+        :class:`LinExpr` operator arithmetic of :meth:`add` entirely.  The
+        caller guarantees ``terms`` has no zero coefficients and that any
+        constant has already been folded into ``rhs`` -- exactly the shape
+        :meth:`add` would have produced.
+        """
+        constraint = Constraint(
+            name=name,
+            lhs=LinExpr(terms),
+            sense=Sense(sense),
+            rhs=float(rhs),
+        )
+        if name in self._constraint_names:
+            raise LPError(f"duplicate constraint name {name!r}")
+        self._constraint_names.add(name)
+        self._constraints.append(constraint)
+        for v in terms:
+            self._declared.setdefault(v, None)
+        return constraint
+
     def add_le(self, lhs, rhs, name: str | None = None) -> Constraint:
         return self.add(lhs, Sense.LE, rhs, name=name)
 

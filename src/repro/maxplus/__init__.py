@@ -18,14 +18,24 @@ from repro.maxplus.fixpoint import (
     least_fixpoint,
     slide,
 )
+from repro.maxplus.compiled import (
+    CompiledMaxPlus,
+    compile_system,
+    least_fixpoint_arrays,
+    slide_arrays,
+)
 from repro.maxplus.cycles import find_positive_cycle, max_cycle_weight
 
 __all__ = [
     "MaxPlusSystem",
     "WeightedArc",
     "FixpointResult",
+    "CompiledMaxPlus",
+    "compile_system",
     "least_fixpoint",
+    "least_fixpoint_arrays",
     "slide",
+    "slide_arrays",
     "find_positive_cycle",
     "max_cycle_weight",
 ]

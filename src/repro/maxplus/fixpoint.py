@@ -13,6 +13,14 @@ Two entry points:
 
 Both support Jacobi (the paper's listing), Gauss-Seidel, and event-driven
 worklist iteration (the paper's suggested enhancement).
+
+Each entry point takes a ``kernel`` argument selecting the execution
+engine: ``"dict"`` (this module's reference implementation over Python
+dicts), ``"array"`` (the compiled numpy kernels in
+:mod:`repro.maxplus.compiled`), or ``"auto"``, which switches to arrays
+on systems large enough for the lowering to pay off -- and only for the
+methods whose array kernel is bit-identical to the dict kernel, so the
+choice can never change a reported value.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.maxplus.system import MaxPlusSystem
 from repro.obs import trace
 
 _METHODS = ("jacobi", "gauss-seidel", "event")
+_KERNELS = ("dict", "array", "auto")
 
 
 @dataclass
@@ -54,10 +63,43 @@ def _check_method(method: str) -> None:
         )
 
 
+def _check_kernel(kernel: str) -> None:
+    if kernel not in _KERNELS:
+        raise AnalysisError(
+            f"unknown fixpoint kernel {kernel!r}; choose from {_KERNELS}"
+        )
+
+
+def _use_array(system: MaxPlusSystem, method: str, kernel: str) -> bool:
+    """Decide whether to run the compiled numpy kernel.
+
+    ``"auto"`` only ever picks an array kernel that is bit-identical to
+    the dict kernel (Jacobi always; blocked Gauss-Seidel when the run
+    structure is wide enough to amortize the per-run dispatch).  The
+    event worklist agrees only to within ``tol``, so auto keeps it on
+    dicts; request ``kernel="array"`` explicitly to vectorize it.
+    """
+    if kernel == "array":
+        return True
+    if kernel != "auto":
+        return False
+    from repro.maxplus import compiled
+
+    n = len(system.nodes)
+    if n < compiled.AUTO_ARRAY_MIN_NODES or method == "event":
+        return False
+    if method == "jacobi":
+        return True
+    structure = compiled.compile_system(system).structure
+    blocks = len(structure.block_bounds) - 1
+    return blocks > 0 and n / blocks >= 4.0
+
+
 def least_fixpoint(
     system: MaxPlusSystem,
     method: str = "event",
     tol: float = 1e-9,
+    kernel: str = "dict",
 ) -> FixpointResult:
     """Least fixpoint of ``D = max(floor, max(D_src + w))`` from below.
 
@@ -65,6 +107,11 @@ def least_fixpoint(
     dependency cycle), attaching the offending latch cycle to the message.
     """
     _check_method(method)
+    _check_kernel(kernel)
+    if _use_array(system, method, kernel):
+        from repro.maxplus import compiled
+
+        return compiled.least_fixpoint_arrays(system, method=method, tol=tol)
     n = len(system.nodes)
     values = {node: system.floor(node) for node in system.nodes}
     fanin = system.fanin()
@@ -122,6 +169,7 @@ def slide(
     method: str = "jacobi",
     tol: float = 1e-9,
     max_sweeps: int | None = None,
+    kernel: str = "dict",
 ) -> FixpointResult:
     """Algorithm MLP steps 3-5: iterate the update map from ``start``.
 
@@ -134,6 +182,13 @@ def slide(
     never larger, so optimality is preserved.
     """
     _check_method(method)
+    _check_kernel(kernel)
+    if _use_array(system, method, kernel):
+        from repro.maxplus import compiled
+
+        return compiled.slide_arrays(
+            system, start, method=method, tol=tol, max_sweeps=max_sweeps
+        )
     n = len(system.nodes)
     if max_sweeps is None:
         max_sweeps = max(10 * n, 100)

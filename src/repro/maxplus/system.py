@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -32,20 +33,55 @@ class MaxPlusSystem:
     frozen: set[str] = field(default_factory=set)
 
     def __post_init__(self) -> None:
-        known = set(self.nodes)
-        if len(known) != len(self.nodes):
+        # One index map validates everything in O(V + E) and doubles as the
+        # node -> dense-id table the compiled kernels are built on.
+        index = {name: i for i, name in enumerate(self.nodes)}
+        if len(index) != len(self.nodes):
             raise AnalysisError("duplicate node names in max-plus system")
         for arc in self.arcs:
-            if arc.src not in known or arc.dst not in known:
+            if arc.src not in index or arc.dst not in index:
                 raise AnalysisError(
                     f"arc {arc.src}->{arc.dst} references unknown node"
                 )
         for name in self.floors:
-            if name not in known:
+            if name not in index:
                 raise AnalysisError(f"floor given for unknown node {name!r}")
         for name in self.frozen:
-            if name not in known:
+            if name not in index:
                 raise AnalysisError(f"frozen flag on unknown node {name!r}")
+        self._index = index
+
+    @property
+    def node_index(self) -> dict[str, int]:
+        """Node name -> dense integer id (position in :attr:`nodes`).
+
+        Built once during validation and shared with the array kernels in
+        :mod:`repro.maxplus.compiled`; treat it as read-only.
+        """
+        return self._index
+
+    @property
+    def structure_key(self) -> str:
+        """Fingerprint of the *structure* (nodes, arc pairs, frozen set).
+
+        Arc weights and floors are deliberately excluded: two systems from
+        successive points of a delay sweep share a key, so the compiled
+        index arrays can be reused and only the weight vector re-costed
+        (mirroring ``StandardForm.structure_key`` on the LP side).
+        """
+        key = self.__dict__.get("_structure_key")
+        if key is None:
+            blob = "\x1f".join(
+                [
+                    "v1",
+                    "\x1e".join(self.nodes),
+                    "\x1e".join(f"{a.src}\x1d{a.dst}" for a in self.arcs),
+                    "\x1e".join(sorted(self.frozen)),
+                ]
+            )
+            key = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+            self._structure_key = key
+        return key
 
     def floor(self, name: str) -> float:
         return self.floors.get(name, 0.0)
