@@ -27,7 +27,9 @@ def test_appendix_fig1_constraints(benchmark, emit):
 
     result = minimize_cycle_time(circuit)
 
-    k_text = "\n".join("  " + " ".join(str(x) for x in row) for row in circuit.k_matrix())
+    k_text = "\n".join(
+        "  " + " ".join(str(x) for x in row) for row in circuit.k_matrix()
+    )
     emit(
         "appendix_fig1",
         "K matrix (matches the paper's Appendix):\n"

@@ -17,11 +17,7 @@ import pytest
 from repro.core.analysis import analyze
 from repro.core.constraints import build_program
 from repro.core.mlp import minimize_cycle_time
-from repro.designs.gaas import (
-    GAAS_OPTIMAL_PERIOD,
-    GAAS_TARGET_PERIOD,
-    gaas_datapath,
-)
+from repro.designs.gaas import GAAS_OPTIMAL_PERIOD, GAAS_TARGET_PERIOD, gaas_datapath
 from repro.render.ascii_art import clock_diagram, schedule_table
 
 

@@ -33,7 +33,10 @@ def run_all():
         result = minimize_cycle_time(
             circuit, mlp=MLPOptions(iteration="jacobi", verify=False)
         )
-        rows.append({"circuit": name, "Tc": result.period, "slide sweeps": result.slide_sweeps})
+        rows.append(
+            {"circuit": name, "Tc": result.period,
+             "slide sweeps": result.slide_sweeps}
+        )
     return rows
 
 

@@ -23,55 +23,42 @@ Quickstart::
     print(result.period, result.schedule)
 """
 
-from repro.errors import (
-    ReproError,
-    ClockError,
-    CircuitError,
-    PhaseOverlapError,
-    LPError,
-    InfeasibleError,
-    UnboundedError,
-    SolverError,
-    AnalysisError,
-    DivergentTimingError,
-    ParseError,
+from repro.baselines import (
+    binary_search_minimize,
+    borrowing_minimize,
+    edge_triggered_minimize,
+    nrip_minimize,
+)
+from repro.circuit import (
+    CircuitBuilder,
+    DelayArc,
+    EdgeKind,
+    FlipFlop,
+    Latch,
+    TimingGraph,
+    check_structure,
+    lump_parallel_latches,
 )
 from repro.clocking import (
     ClockPhase,
     ClockSchedule,
-    symmetric_clock,
-    two_phase_clock,
-    three_phase_clock,
     four_phase_clock,
-)
-from repro.circuit import (
-    Latch,
-    FlipFlop,
-    EdgeKind,
-    DelayArc,
-    TimingGraph,
-    CircuitBuilder,
-    check_structure,
-    lump_parallel_latches,
+    symmetric_clock,
+    three_phase_clock,
+    two_phase_clock,
 )
 from repro.core import (
     ConstraintOptions,
-    signoff,
     MLPOptions,
     OptimalClockResult,
     TimingReport,
     analyze,
     build_program,
-    minimize_cycle_time,
-    critical_segments,
-    sweep_delay,
     check_hold,
-)
-from repro.baselines import (
-    nrip_minimize,
-    edge_triggered_minimize,
-    borrowing_minimize,
-    binary_search_minimize,
+    critical_segments,
+    minimize_cycle_time,
+    signoff,
+    sweep_delay,
 )
 from repro.engine import (
     AnalyzeJob,
@@ -85,16 +72,24 @@ from repro.engine import (
     job_key,
     run_jobs,
 )
-from repro.lang import parse_circuit, parse_file, write_circuit
-from repro.netlist import (
-    Netlist,
-    Library,
-    default_library,
-    extract_timing_graph,
+from repro.errors import (
+    AnalysisError,
+    CircuitError,
+    ClockError,
+    DivergentTimingError,
+    InfeasibleError,
+    LPError,
+    ParseError,
+    PhaseOverlapError,
+    ReproError,
+    SolverError,
+    UnboundedError,
 )
-from repro.render import clock_diagram, strip_diagram, schedule_svg
+from repro.export import to_cplex_lp, to_dot, to_mps
+from repro.lang import parse_circuit, parse_file, write_circuit
+from repro.netlist import Library, Netlist, default_library, extract_timing_graph
+from repro.render import clock_diagram, schedule_svg, strip_diagram
 from repro.sim import simulate
-from repro.export import to_cplex_lp, to_mps, to_dot
 
 __version__ = "1.0.0"
 

@@ -12,10 +12,10 @@
   search over proportionally scaled schedules.
 """
 
-from repro.baselines.nrip import nrip_minimize
-from repro.baselines.edge_triggered import as_edge_triggered, edge_triggered_minimize
-from repro.baselines.borrowing import borrowing_minimize, BorrowingResult
 from repro.baselines.binary_search import binary_search_minimize
+from repro.baselines.borrowing import BorrowingResult, borrowing_minimize
+from repro.baselines.edge_triggered import as_edge_triggered, edge_triggered_minimize
+from repro.baselines.nrip import nrip_minimize
 
 __all__ = [
     "nrip_minimize",

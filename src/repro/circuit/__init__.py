@@ -8,16 +8,12 @@ propagation delays ``Delta_ji`` (Section III-B); the structure is captured
 by :class:`TimingGraph`.
 """
 
-from repro.circuit.elements import Latch, FlipFlop, Synchronizer, EdgeKind
-from repro.circuit.graph import DelayArc, TimingGraph
 from repro.circuit.builder import CircuitBuilder
-from repro.circuit.validate import (
-    check_structure,
-    check_loop_phases,
-    StructureReport,
-)
+from repro.circuit.elements import EdgeKind, FlipFlop, Latch, Synchronizer
+from repro.circuit.generate import random_multiloop_circuit, random_pipeline
+from repro.circuit.graph import DelayArc, TimingGraph
 from repro.circuit.lump import lump_parallel_latches
-from repro.circuit.generate import random_pipeline, random_multiloop_circuit
+from repro.circuit.validate import StructureReport, check_loop_phases, check_structure
 
 __all__ = [
     "Latch",

@@ -66,10 +66,20 @@ def check_loop_phases(
     return problems
 
 
+#: Registry codes backing :func:`check_structure`, in legacy report order.
+_LEGACY_ERROR_CODES = ("LINT101", "LINT103")
+_LEGACY_WARNING_CODES = ("LINT111", "LINT112")
+
+
 def check_structure(
     graph: TimingGraph, schedule: ClockSchedule | None = None
 ) -> StructureReport:
     """Run all structural checks; returns a :class:`StructureReport`.
+
+    The checks are implemented as registered rules of
+    :mod:`repro.lint.rules` (codes LINT101/103 for errors, LINT111/112 for
+    warnings); this function runs exactly those and re-packages their
+    findings with the historical message strings.
 
     Errors (violations of the paper's stated assumptions):
 
@@ -83,25 +93,18 @@ def check_structure(
     * synchronizers with no fanin and no fanout;
     * clock phases that control no synchronizer.
     """
+    # Local import: repro.lint.rules imports check_loop_phases from here.
+    from repro.lint.rules import run_rules
+
     report = StructureReport()
-    report.errors.extend(check_loop_phases(graph, schedule))
-
-    for sync in graph.latches:
-        if sync.delay < sync.setup:
-            report.errors.append(
-                f"latch {sync.name!r}: Delta_DQ = {sync.delay:g} is smaller "
-                f"than Delta_DC = {sync.setup:g}; the paper assumes "
-                f"Delta_DQ >= Delta_DC"
-            )
-
-    used_phases = {s.phase for s in graph.synchronizers}
-    for phase in graph.phase_names:
-        if phase not in used_phases:
-            report.warnings.append(f"phase {phase!r} controls no synchronizer")
-
-    for name in graph.names:
-        if not graph.fanin(name) and not graph.fanout(name):
-            report.warnings.append(
-                f"synchronizer {name!r} is isolated (no fanin, no fanout)"
-            )
+    findings = run_rules(
+        graph,
+        schedule,
+        codes=_LEGACY_ERROR_CODES + _LEGACY_WARNING_CODES,
+    )
+    for finding in findings:
+        if finding.code in _LEGACY_ERROR_CODES:
+            report.errors.append(finding.message)
+        else:
+            report.warnings.append(finding.message)
     return report

@@ -22,8 +22,10 @@ normal output (exit codes still carry the result).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from dataclasses import replace
 from typing import Sequence
 
 from repro import obs
@@ -42,6 +44,7 @@ from repro.export.dot import to_dot
 from repro.export.lpformat import to_cplex_lp
 from repro.lang.parser import parse_file
 from repro.lang.writer import write_circuit
+from repro.lint import diagnose, run_lint, run_rules
 from repro.render.ascii_art import strip_diagram
 from repro.render.svg import schedule_svg
 
@@ -107,10 +110,50 @@ def _global_flags_parser() -> argparse.ArgumentParser:
     return common
 
 
+def _preflight_lint(graph, options, args: argparse.Namespace) -> int:
+    """Structural lint before solving; returns 0 to proceed, 2 to abort.
+
+    Runs the rule registry over the circuit (no schedule); errors abort,
+    warnings surface with ``-v``.  When the options pin or cap the clock,
+    the constraint-graph diagnosis also runs, so a provably infeasible
+    request fails here with a named negative-cycle certificate instead of
+    an opaque LP status.
+    """
+    if getattr(args, "no_lint", False):
+        return 0
+    report = run_rules(graph, None, options)
+    for finding in report.warnings:
+        _info(f"lint: {finding}")
+    if not report.ok:
+        for finding in report.errors:
+            _error(f"error: lint: {finding.message}")
+        obs.emit("lint.failed", level="error", file=args.file,
+                 errors=len(report.errors))
+        return 2
+    if (
+        options.fixed_period is not None
+        or options.max_period is not None
+        or options.fixed_starts
+        or options.fixed_widths
+    ):
+        diagnostics = diagnose(graph, options)
+        if diagnostics.certificate is not None:
+            _error(f"error: lint: {diagnostics.certificate.message}")
+            _error(diagnostics.certificate.format())
+            obs.emit("lint.infeasible", level="error", file=args.file,
+                     kind=diagnostics.certificate.kind)
+            return 2
+    return 0
+
+
 def cmd_minimize(args: argparse.Namespace) -> int:
     graph, _ = _load(args.file)
     options = _constraint_options(args)
-    mlp = MLPOptions(backend=args.backend, kernel=args.kernel)
+    code = _preflight_lint(graph, options, args)
+    if code:
+        return code
+    mlp = MLPOptions(backend=args.backend, kernel=args.kernel,
+                     sanitize=args.sanitize)
     if args.nrip:
         result = nrip_minimize(graph, initial_phase=args.initial_phase,
                                options=options, mlp=mlp)
@@ -120,6 +163,9 @@ def cmd_minimize(args: argparse.Namespace) -> int:
     _emit(format_optimal_result(result))
     obs.emit("minimize.done", file=args.file, period=result.period,
              slide_sweeps=result.slide_sweeps)
+    sanitize_report = result.extra.get("sanitize")
+    if sanitize_report is not None:
+        _emit(sanitize_report.format())
     if args.critical:
         _emit()
         _emit(str(critical_segments(result.smo, result.lp_result)))
@@ -155,6 +201,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
         return 2
     options = _constraint_options(args)
+    code = _preflight_lint(graph, options, args)
+    if code:
+        return code
     report = analyze(graph, schedule, options)
     _emit(str(report))
     obs.emit("analyze.done", file=args.file, feasible=report.feasible)
@@ -308,6 +357,65 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over one or more designs (see docs/LINT.md).
+
+    Runs every registered rule plus the constraint-graph diagnostics on
+    each design (against its embedded schedule when the file carries one)
+    and reports findings as text or JSON.  Exit code 1 when any design has
+    an error-severity finding, 2 when nothing could be loaded.
+    """
+    files = _batch_files(args.files)
+    if not files:
+        _error("error: no .lcd files to lint")
+        return 2
+    options = _constraint_options(args)
+    reports = []
+    load_errors = 0
+    failures = 0
+    for path in files:
+        try:
+            graph, schedule = _load(path)
+        except (ReproError, OSError) as exc:
+            load_errors += 1
+            failures += 1
+            _error(f"error: {path}: {exc}")
+            reports.append(
+                {"source": path, "ok": False, "load_error": str(exc)}
+            )
+            continue
+        file_options = options
+        if (
+            schedule is not None
+            and not args.no_schedule
+            and options.max_period is None
+        ):
+            # A fully specified clock pins the cycle time: diagnose
+            # feasibility *at the declared period*, so a design that can
+            # never run this fast gets a negative-cycle certificate.
+            file_options = replace(options, max_period=schedule.period)
+        report = run_lint(
+            graph,
+            None if args.no_schedule else schedule,
+            file_options,
+            graph_diagnostics=not args.no_graph,
+            source=path,
+        )
+        obs.emit("lint.done", file=path, ok=report.ok,
+                 findings=len(report.findings))
+        if not report.ok:
+            failures += 1
+        reports.append(report.to_dict())
+        if args.format == "text":
+            _emit(report.format())
+    if args.format == "json":
+        _emit(json.dumps(reports if len(reports) > 1 else reports[0],
+                         indent=2))
+    if load_errors == len(files):
+        return 2
+    return 1 if failures else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """The ``repro trace`` family: offline tools over recorded trace files."""
     try:
@@ -355,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Graphviz view of the circuit")
     p.add_argument("--lp", default=None,
                    help="write the constraint system in CPLEX LP format")
+    p.add_argument("--no-lint", action="store_true", dest="no_lint",
+                   help="skip the structural lint pre-flight")
+    p.add_argument("--sanitize", action="store_true",
+                   help="re-verify the result against every P1 constraint")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_minimize)
 
@@ -362,8 +474,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="verify a circuit at its embedded clock")
     p.add_argument("file")
     p.add_argument("--hold", action="store_true", help="also run the hold check")
+    p.add_argument("--no-lint", action="store_true", dest="no_lint",
+                   help="skip the structural lint pre-flight")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "lint",
+        parents=[common],
+        help="static analysis: rules, certificates, Tc lower bounds",
+        description="Run the lint rule registry and the constraint-graph "
+        "diagnostics (negative-cycle infeasibility certificates, Karp Tc "
+        "lower bound) over .lcd files and/or manifests.  Exit code 1 when "
+        "any design has an error-severity finding.  See docs/LINT.md.",
+    )
+    p.add_argument("files", nargs="+",
+                   help=".lcd files or manifests listing them")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="output format (default text)")
+    p.add_argument("--no-graph", action="store_true", dest="no_graph",
+                   help="skip the constraint-graph diagnostics pass")
+    p.add_argument("--no-schedule", action="store_true", dest="no_schedule",
+                   help="ignore any schedule embedded in the files")
+    p.add_argument("--max-period", type=float, default=None,
+                   dest="max_period",
+                   help="diagnose feasibility against a period cap")
+    _add_common_constraints(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("sweep", parents=[common],
                        help="piecewise-linear Tc(delay) curve")

@@ -8,25 +8,25 @@ to one another -- which is what lets a single formulation cover two-, three-
 and four-phase disciplines alike (Fig. 3 of the paper).
 """
 
-from repro.clocking.phase import ClockPhase
-from repro.clocking.schedule import ClockSchedule, ClockViolation
 from repro.clocking.library import (
-    symmetric_clock,
-    two_phase_clock,
-    three_phase_clock,
+    fig3_clocks,
     four_phase_clock,
     single_phase_clock,
-    fig3_clocks,
+    symmetric_clock,
+    three_phase_clock,
+    two_phase_clock,
 )
+from repro.clocking.phase import ClockPhase
+from repro.clocking.schedule import ClockSchedule, ClockViolation
+from repro.clocking.skew import SkewBound, apply_skew, worst_case_schedules
 from repro.clocking.waveform import (
+    intervals_in_window,
+    overlap_duration,
+    phase_edges,
+    phases_overlap,
     sample_phase,
     sample_schedule,
-    phase_edges,
-    intervals_in_window,
-    phases_overlap,
-    overlap_duration,
 )
-from repro.clocking.skew import SkewBound, apply_skew, worst_case_schedules
 
 __all__ = [
     "ClockPhase",

@@ -26,9 +26,13 @@ class ClockPhase:
         if not self.name:
             raise ClockError("clock phase must have a non-empty name")
         if self.start < 0:
-            raise ClockError(f"phase {self.name!r}: start must be >= 0, got {self.start}")
+            raise ClockError(
+                f"phase {self.name!r}: start must be >= 0, got {self.start}"
+            )
         if self.width < 0:
-            raise ClockError(f"phase {self.name!r}: width must be >= 0, got {self.width}")
+            raise ClockError(
+                f"phase {self.name!r}: width must be >= 0, got {self.width}"
+            )
 
     @property
     def end(self) -> float:

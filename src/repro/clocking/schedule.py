@@ -14,7 +14,7 @@ DEFAULT_TOL = 1e-9
 
 @dataclass(frozen=True)
 class ClockViolation:
-    """A single violated clock constraint, reported by :meth:`ClockSchedule.violations`."""
+    """One violated clock constraint (see :meth:`ClockSchedule.violations`)."""
 
     constraint: str  # one of "C1", "C2", "C3", "C4"
     message: str
@@ -114,7 +114,9 @@ class ClockSchedule:
             try:
                 return self._index[key]
             except KeyError:
-                raise ClockError(f"unknown phase {key!r}; have {list(self._index)}") from None
+                raise ClockError(
+                    f"unknown phase {key!r}; have {list(self._index)}"
+                ) from None
         if not 0 <= key < self.k:
             raise ClockError(f"phase index {key} out of range 0..{self.k - 1}")
         return key
@@ -148,7 +150,9 @@ class ClockSchedule:
     # ------------------------------------------------------------------
     def violations(
         self,
-        k_matrix: Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None = None,
+        k_matrix: (
+            Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None
+        ) = None,
         tol: float = DEFAULT_TOL,
     ) -> list[ClockViolation]:
         """Check the clock constraints C1-C4 and return any violations.
@@ -219,7 +223,9 @@ class ClockSchedule:
 
     def validate(
         self,
-        k_matrix: Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None = None,
+        k_matrix: (
+            Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None
+        ) = None,
         tol: float = DEFAULT_TOL,
     ) -> None:
         """Raise :class:`ClockError` if any of C1-C4 is violated."""
@@ -230,7 +236,9 @@ class ClockSchedule:
 
     def is_valid(
         self,
-        k_matrix: Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None = None,
+        k_matrix: (
+            Mapping[tuple[int, int], bool] | Sequence[Sequence[int]] | None
+        ) = None,
         tol: float = DEFAULT_TOL,
     ) -> bool:
         """Return True if the schedule satisfies C1-C4."""
@@ -243,7 +251,9 @@ class ClockSchedule:
         """Return a schedule with all times multiplied by ``factor``."""
         if factor < 0:
             raise ClockError(f"scale factor must be >= 0, got {factor}")
-        return ClockSchedule(self._period * factor, [p.scaled(factor) for p in self._phases])
+        return ClockSchedule(
+            self._period * factor, [p.scaled(factor) for p in self._phases]
+        )
 
     def with_period(self, period: float) -> "ClockSchedule":
         """Return a schedule with the same phases but a different period."""

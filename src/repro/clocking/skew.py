@@ -76,7 +76,11 @@ def worst_case_schedules(
     margins directly to the constraints; tests use it to cross-check the
     constraint-level treatment.
     """
-    skewed = [p.name for p in schedule.phases if bounds.get(p.name, SkewBound()).span > 0]
+    skewed = [
+        p.name
+        for p in schedule.phases
+        if bounds.get(p.name, SkewBound()).span > 0
+    ]
     if len(skewed) > max_phases:
         raise ClockError(
             f"refusing to enumerate 2**{len(skewed)} skew corners; "

@@ -12,31 +12,31 @@
 * :mod:`repro.core.shortpath` -- hold-time (short-path) extension.
 """
 
+from repro.core.analysis import SyncTiming, TimingReport, analyze
 from repro.core.constraints import (
+    TC,
     ConstraintOptions,
     SMOProgram,
-    build_program,
     build_maxplus_system,
-    TC,
+    build_program,
+    d_var,
     s_var,
     t_var,
-    d_var,
 )
-from repro.core.analysis import SyncTiming, TimingReport, analyze
-from repro.core.mlp import MLPOptions, OptimalClockResult, minimize_cycle_time
 from repro.core.critical import CriticalReport, critical_segments
+from repro.core.minperiod import feasible_period, min_period_search
+from repro.core.mlp import MLPOptions, OptimalClockResult, minimize_cycle_time
 from repro.core.parametric import (
     SweepPoint,
     SweepResult,
-    sweep_delay,
     exact_sweep,
     exact_sweep_delay,
+    sweep_delay,
 )
 from repro.core.shortpath import HoldReport, check_hold, required_padding
-from repro.core.minperiod import feasible_period, min_period_search
-from repro.core.tuning import TuningResult, maximize_slack
-from repro.core.theorem1 import P3Result, solve_p3
 from repro.core.signoff import SignoffReport, signoff
+from repro.core.theorem1 import P3Result, solve_p3
+from repro.core.tuning import TuningResult, maximize_slack
 
 __all__ = [
     "ConstraintOptions",

@@ -510,8 +510,12 @@ def build_maxplus_system(
             (graph[a.src].delay for a in live), dtype=np.float64, count=m
         )
         arc_delays = np.fromiter((a.delay for a in live), dtype=np.float64, count=m)
-        sp = np.fromiter((pidx[graph[a.src].phase] for a in live), dtype=np.intp, count=m)
-        dp = np.fromiter((pidx[graph[a.dst].phase] for a in live), dtype=np.intp, count=m)
+        sp = np.fromiter(
+            (pidx[graph[a.src].phase] for a in live), dtype=np.intp, count=m
+        )
+        dp = np.fromiter(
+            (pidx[graph[a.dst].phase] for a in live), dtype=np.intp, count=m
+        )
         weights = (src_delays + arc_delays) + shift[sp, dp]
     arcs = [
         WeightedArc(a.src, a.dst, w) for a, w in zip(live, weights.tolist())

@@ -25,8 +25,8 @@ from repro.core.constraints import (
     build_program,
     d_var,
     s_var,
-    t_var,
     schedule_from_values,
+    t_var,
 )
 from repro.errors import ReproError
 from repro.lp.backends import solve
@@ -69,6 +69,14 @@ class MLPOptions:
     restricted to method/size combinations whose array kernel is
     bit-identical to the dict kernel, so the choice never changes a
     reported schedule or period.
+
+    ``sanitize`` runs the :mod:`repro.lint.sanitize` a-posteriori checker
+    on the finished result: every explicit SMO row, the implicit C4/L3
+    bounds and L2 tightness are re-verified at the solved point, and a
+    violation raises :class:`~repro.errors.ReproError` (it would indicate
+    a solver/kernel bug, not a property of the circuit).  The per-run
+    :class:`~repro.lint.sanitize.SanitizeReport` lands in
+    ``result.extra["sanitize"]``.
     """
 
     backend: str | None = None
@@ -78,6 +86,7 @@ class MLPOptions:
     tol: float = 1e-9
     warm_start: bool = True
     kernel: str = "auto"
+    sanitize: bool = False
 
 
 @dataclass
@@ -253,10 +262,39 @@ def minimize_cycle_time(
     result.extra["warm_start_misses"] = 1 if outcome == "miss" else 0
     result.extra["refactorizations"] = int(
         tc_result.extra.get("refactorizations", 0)
-    ) + int(lp_result.extra.get("refactorizations", 0) if lp_result is not tc_result else 0)
+    ) + int(
+        lp_result.extra.get("refactorizations", 0)
+        if lp_result is not tc_result
+        else 0
+    )
     basis_out = tc_result.extra.get("basis")
     if basis_out is not None:
         result.extra["basis"] = basis_out
+
+    if mlp.sanitize:
+        # Local import: repro.lint imports from this package.
+        from repro.lint.sanitize import sanitize_solution
+
+        sanitize_start = time.perf_counter()
+        with trace.span("sanitize") as san_span:
+            check = sanitize_solution(
+                graph,
+                schedule,
+                fix.values,
+                options=options,
+                smo=smo,
+                tol=max(mlp.tol, 1e-9) * 1e3,
+            )
+            san_span.set("ok", check.ok)
+            san_span.set("checked", check.checked)
+            san_span.set("min_slack", check.min_slack)
+        stages["sanitize"] = time.perf_counter() - sanitize_start
+        result.extra["sanitize"] = check
+        if not check.ok:
+            raise ReproError(
+                "internal error: sanitizer rejected the MLP result:\n"
+                + check.format()
+            )
 
     if mlp.verify:
         verify_start = time.perf_counter()

@@ -11,16 +11,16 @@
 
 from repro.designs.example1 import (
     example1,
-    example1_optimal_period,
     example1_nrip_period,
+    example1_optimal_period,
 )
 from repro.designs.example2 import example2
 from repro.designs.fig1 import fig1_circuit, fig1_k_matrix
 from repro.designs.gaas import (
-    gaas_datapath,
-    GAAS_TARGET_PERIOD,
     GAAS_OPTIMAL_PERIOD,
+    GAAS_TARGET_PERIOD,
     TRANSISTOR_COUNTS,
+    gaas_datapath,
 )
 
 __all__ = [

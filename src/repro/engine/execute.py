@@ -18,6 +18,7 @@ from repro.baselines.borrowing import borrowing_minimize
 from repro.baselines.edge_triggered import edge_triggered_minimize
 from repro.baselines.nrip import nrip_minimize
 from repro.core.analysis import analyze
+from repro.core.constraints import build_program
 from repro.core.mlp import MLPOptions, minimize_cycle_time
 from repro.engine.jobspec import (
     AnalyzeJob,
@@ -30,7 +31,8 @@ from repro.engine.jobspec import (
 )
 from repro.engine.metrics import StageTimer, job_metrics
 from repro.errors import ReproError
-from repro.obs import trace
+from repro.lint.graphdiag import diagnose
+from repro.obs import emit, trace
 
 
 def execute_job(job: Job, key: str | None = None) -> JobResult:
@@ -72,6 +74,22 @@ def execute_job(job: Job, key: str | None = None) -> JobResult:
     return result
 
 
+def _clock_is_pinned(job: MinimizeJob) -> bool:
+    """True when the job's options pin or cap clock values.
+
+    Only then can the constraint system be infeasible -- an unconstrained
+    P2 always has a (large enough) feasible period -- so only then is the
+    pre-flight graph diagnosis worth its Bellman-Ford pass.
+    """
+    options = job.options
+    return options is not None and (
+        options.fixed_period is not None
+        or options.max_period is not None
+        or bool(options.fixed_starts)
+        or bool(options.fixed_widths)
+    )
+
+
 def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
     graph = job.graph
     if job.arc_override is not None:
@@ -82,7 +100,40 @@ def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
         # Pure performance hint: redirect the slide onto the requested
         # fixpoint kernel without disturbing the (cache-relevant) options.
         mlp = replace(mlp or MLPOptions(), kernel=job.kernel)
-    result = minimize_cycle_time(graph, job.options, mlp, warm_start=job.warm_start)
+    smo = None
+    lint_payload = None
+    if _clock_is_pinned(job):
+        # Pre-flight: a negative cycle in the difference-constraint graph
+        # proves the LP infeasible before any simplex runs; the certificate
+        # ships in the payload either way, and the built program is reused
+        # by the solve below when the job survives the check.
+        with trace.span("lint.preflight") as lint_span:
+            assert job.options is not None
+            smo = build_program(graph, job.options)
+            diagnostics = diagnose(graph, job.options, smo=smo)
+            lint_span.set("feasible", diagnostics.feasible)
+        lint_payload = diagnostics.to_dict()
+        if diagnostics.certificate is not None:
+            certificate = diagnostics.certificate
+            emit(
+                "lint.infeasible",
+                level="warning",
+                label=job.label,
+                kind=certificate.kind,
+                constraints=list(certificate.constraints),
+            )
+            return JobResult(
+                key=key,
+                kind=job.kind,
+                ok=False,
+                error="lint: " + certificate.message,
+                payload={"lint": lint_payload},
+                metrics=job_metrics(wall_seconds=0.0, lp_solves=0),
+                label=job.label,
+            )
+    result = minimize_cycle_time(
+        graph, job.options, mlp, warm_start=job.warm_start, smo=smo
+    )
     stages = dict(result.extra.get("stages", {}))
     basis = result.extra.get("basis")
     payload = {
@@ -97,6 +148,11 @@ def _execute_minimize(job: MinimizeJob, key: str) -> JobResult:
         # chains can warm-start the next grid point through the cache.
         "basis": basis.to_dict() if basis is not None else None,
     }
+    if lint_payload is not None:
+        payload["lint"] = lint_payload
+    sanitize = result.extra.get("sanitize")
+    if sanitize is not None:
+        payload["sanitize"] = sanitize.to_dict()
     hits = int(result.extra.get("warm_start_hits", 0))
     lp_iterations = int(result.extra.get("lp_iterations", 0))
     pivots_saved = 0

@@ -116,6 +116,13 @@ def options_signature(options: ConstraintOptions | None) -> dict | None:
 
 
 def mlp_signature(mlp: MLPOptions | None) -> dict | None:
+    """Cache-relevant MLP options.
+
+    ``kernel`` and ``sanitize`` are deliberately excluded: the fixpoint
+    kernel is a pure performance device and the sanitizer a pure
+    verification device -- neither changes a reported optimum, so neither
+    may split the cache.
+    """
     if mlp is None:
         return None
     return {

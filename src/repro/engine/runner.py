@@ -26,18 +26,12 @@ from typing import Sequence
 from repro.core.mlp import MLPOptions
 from repro.core.parametric import BasisChain, SweepPoint, SweepResult, _fit_segments
 from repro.engine.cache import ResultCache
-from repro.lp.backends import supports_warm_start
-from repro.lp.basis import Basis
-from repro.engine.jobspec import (
-    Job,
-    JobResult,
-    MinimizeJob,
-    SweepJob,
-    job_key,
-)
+from repro.engine.jobspec import Job, JobResult, MinimizeJob, SweepJob, job_key
 from repro.engine.metrics import EngineReport, MetricsAggregator
 from repro.engine.pool import make_pool
 from repro.errors import ReproError
+from repro.lp.backends import supports_warm_start
+from repro.lp.basis import Basis
 from repro.obs import trace
 
 

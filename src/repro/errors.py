@@ -61,7 +61,9 @@ class DivergentTimingError(AnalysisError):
 class ParseError(ReproError):
     """The circuit-description text is syntactically or semantically invalid."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(
+        self, message: str, line: int | None = None, column: int | None = None
+    ):
         self.line = line
         self.column = column
         location = ""

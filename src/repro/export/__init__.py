@@ -7,7 +7,7 @@ formats so they can be handed to any industrial solver, and
 documentation and debugging.
 """
 
-from repro.export.lpformat import to_cplex_lp, to_mps
 from repro.export.dot import to_dot
+from repro.export.lpformat import to_cplex_lp, to_mps
 
 __all__ = ["to_cplex_lp", "to_mps", "to_dot"]

@@ -41,7 +41,11 @@ def to_cplex_lp(program: LinearProgram, name: str | None = None) -> str:
     cleanly across runs.
     """
     rename = {v: _clean(v) for v in program.variables}
-    lines = [f"\\ {name or program.name}", "Minimize", f" obj: {_terms(program.objective.terms, rename)}"]
+    lines = [
+        f"\\ {name or program.name}",
+        "Minimize",
+        f" obj: {_terms(program.objective.terms, rename)}",
+    ]
     lines.append("Subject To")
     for con in program.constraints:
         op = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}[con.sense]

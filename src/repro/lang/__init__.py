@@ -16,14 +16,8 @@ Example::
     path L1 -> L2 delay 20 label "La";
 """
 
+from repro.lang.ast import CircuitDecl, ClockDecl, PathDecl, PhaseDecl, SyncDecl
 from repro.lang.lexer import Token, TokenKind, tokenize
-from repro.lang.ast import (
-    CircuitDecl,
-    ClockDecl,
-    PhaseDecl,
-    SyncDecl,
-    PathDecl,
-)
 from repro.lang.parser import parse_circuit, parse_file
 from repro.lang.writer import write_circuit
 

@@ -1,0 +1,66 @@
+"""Static analysis over SMO constraint systems (see ``docs/LINT.md``).
+
+Three passes, usable independently or together through :func:`run_lint`:
+
+1. **Constraint-graph diagnostics** (:mod:`repro.lint.graphdiag`): lower
+   the generated LP to a parametric difference-constraint graph, detect
+   infeasibility by Bellman-Ford with a negative-cycle certificate naming
+   the offending C1-C4/L1-L3 rows, and compute a provable Tc lower bound
+   (equal to the LP optimum when nothing is skipped) by Karp's
+   minimum-cycle-mean -- no LP solve required.
+2. **Rule engine** (:mod:`repro.lint.rules`): coded structural and
+   schedule-dependent checks (``LINT1xx``/``LINT2xx``), absorbing the
+   legacy :func:`repro.circuit.validate.check_structure` messages.
+3. **Sanitizer** (:mod:`repro.lint.sanitize`): a-posteriori verification
+   of a solved schedule against every P1 constraint with per-row slack.
+"""
+
+from repro.lint.graphdiag import (
+    ConstraintGraph,
+    DiffEdge,
+    GraphDiagnostics,
+    InfeasibilityCertificate,
+    TcBound,
+    build_constraint_graph,
+    diagnose,
+    find_negative_cycle,
+    karp_min_cycle_mean,
+    structural_negative_cycle,
+    tc_lower_bound,
+)
+from repro.lint.report import LintFinding, LintReport, Severity
+from repro.lint.rules import LintRule, get_rule, registered_rules, run_lint, run_rules
+from repro.lint.sanitize import (
+    ConstraintSlack,
+    SanitizeReport,
+    sanitize_result,
+    sanitize_solution,
+    solution_assignment,
+)
+
+__all__ = [
+    "ConstraintGraph",
+    "ConstraintSlack",
+    "DiffEdge",
+    "GraphDiagnostics",
+    "InfeasibilityCertificate",
+    "LintFinding",
+    "LintReport",
+    "LintRule",
+    "SanitizeReport",
+    "Severity",
+    "TcBound",
+    "build_constraint_graph",
+    "diagnose",
+    "find_negative_cycle",
+    "get_rule",
+    "karp_min_cycle_mean",
+    "registered_rules",
+    "run_lint",
+    "run_rules",
+    "sanitize_result",
+    "sanitize_solution",
+    "solution_assignment",
+    "structural_negative_cycle",
+    "tc_lower_bound",
+]

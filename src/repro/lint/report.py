@@ -1,0 +1,147 @@
+"""Structured findings for the lint subsystem.
+
+A :class:`LintFinding` is one diagnosed problem -- identified by a stable
+rule code, carrying a severity, a human-readable message and an optional
+fix hint -- and a :class:`LintReport` aggregates the findings of one run
+over a ``(circuit, schedule)`` pair.  Reports render to plain text for the
+CLI and to JSON-serializable dicts for machine consumers (the batch
+engine's payloads and the ``repro lint --format json`` output).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings violate the paper's stated preconditions or prove
+    the constraint system infeasible -- solving is pointless; ``WARNING``
+    findings are legal but usually unintended; ``INFO`` findings are
+    advisory observations.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {Severity.ERROR: 2, Severity.WARNING: 1, Severity.INFO: 0}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnosed problem.
+
+    ``code`` is the stable rule identifier (``LINT1xx`` structural,
+    ``LINT2xx`` schedule-dependent, ``LINT3xx`` constraint-graph; see
+    ``docs/LINT.md``); ``subjects`` names the circuit objects involved
+    (latches, phases, arcs, constraint rows).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    subjects: tuple[str, ...] = ()
+    fix_hint: str | None = None
+    data: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subjects": list(self.subjects),
+        }
+        if self.fix_hint:
+            out["fix_hint"] = self.fix_hint
+        if self.data:
+            out["data"] = dict(self.data)
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.severity.value}[{self.code}] {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run, plus the machine diagnostics blob.
+
+    ``diagnostics`` carries the constraint-graph analysis results (the
+    infeasibility certificate and the Tc lower bound) when the graph pass
+    ran; rule-only runs leave it ``None``.
+    """
+
+    findings: list[LintFinding] = field(default_factory=list)
+    diagnostics: dict[str, Any] | None = None
+    source: str = ""
+
+    def add(self, finding: LintFinding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[LintFinding]) -> None:
+        self.findings.extend(findings)
+
+    def __iter__(self) -> Iterator[LintFinding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not self.errors
+
+    def by_severity(self) -> list[LintFinding]:
+        """Findings sorted most severe first (stable within a severity)."""
+        return sorted(
+            self.findings, key=lambda f: (-f.severity.rank, f.code)
+        )
+
+    def counts(self) -> dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            out[finding.severity.value] += 1
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.by_severity()],
+            "diagnostics": self.diagnostics,
+        }
+
+    def format(self) -> str:
+        """Plain-text rendering for the CLI."""
+        lines: list[str] = []
+        head = self.source or "lint"
+        counts = self.counts()
+        summary = ", ".join(
+            f"{n} {kind}{'s' if n != 1 else ''}"
+            for kind, n in counts.items()
+            if n
+        )
+        lines.append(f"{head}: {summary or 'clean'}")
+        for finding in self.by_severity():
+            lines.append(f"  {finding}")
+            if finding.fix_hint:
+                lines.append(f"      hint: {finding.fix_hint}")
+        return "\n".join(lines)

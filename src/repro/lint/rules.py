@@ -1,0 +1,481 @@
+"""The lint rule registry: named, coded checks over circuits and schedules.
+
+Rules come in two classes, mirrored in their code ranges:
+
+* ``LINT1xx`` -- structural rules over the :class:`TimingGraph` alone (the
+  legacy ``circuit/validate.py`` checks live here, with their original
+  messages preserved verbatim);
+* ``LINT2xx`` -- schedule-dependent rules, which run only when a concrete
+  :class:`ClockSchedule` is supplied.
+
+Each rule is a plain function registered with :func:`rule`; callers run
+them through :func:`run_rules` (selected subsets) or :func:`run_lint`
+(everything, plus the constraint-graph diagnostics of
+:mod:`repro.lint.graphdiag`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.circuit.graph import TimingGraph
+from repro.circuit.validate import check_loop_phases
+from repro.clocking.schedule import ClockSchedule
+from repro.core.constraints import ConstraintOptions
+from repro.lint.graphdiag import GraphDiagnostics, diagnose
+from repro.lint.report import LintFinding, LintReport, Severity
+
+RuleCheck = Callable[
+    [TimingGraph, ClockSchedule | None, ConstraintOptions],
+    Iterable[LintFinding],
+]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered check.
+
+    ``needs_schedule`` rules are skipped when no schedule is available;
+    ``legacy`` marks the rules whose findings reproduce the historical
+    :func:`repro.circuit.validate.check_structure` messages.
+    """
+
+    code: str
+    severity: Severity
+    description: str
+    check: RuleCheck
+    needs_schedule: bool = False
+    legacy: bool = False
+    fix_hint: str | None = None
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(
+    code: str,
+    severity: Severity,
+    description: str,
+    needs_schedule: bool = False,
+    legacy: bool = False,
+    fix_hint: str | None = None,
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a rule function under a stable code."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        _REGISTRY[code] = LintRule(
+            code=code,
+            severity=severity,
+            description=description,
+            check=check,
+            needs_schedule=needs_schedule,
+            legacy=legacy,
+            fix_hint=fix_hint,
+        )
+        return check
+
+    return register
+
+
+def registered_rules() -> tuple[LintRule, ...]:
+    """All rules, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def get_rule(code: str) -> LintRule:
+    return _REGISTRY[code]
+
+
+def _finding(
+    rule_def: LintRule,
+    message: str,
+    subjects: Sequence[str] = (),
+    severity: Severity | None = None,
+) -> LintFinding:
+    return LintFinding(
+        code=rule_def.code,
+        severity=severity or rule_def.severity,
+        message=message,
+        subjects=tuple(subjects),
+        fix_hint=rule_def.fix_hint,
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural rules (LINT1xx) -- graph only
+# ----------------------------------------------------------------------
+@rule(
+    "LINT101",
+    Severity.ERROR,
+    "all-latch feedback loop on a single phase (or simultaneously active "
+    "phases, given a schedule) is transparent and oscillates",
+    legacy=True,
+    fix_hint="clock the loop's latches on nonoverlapping phases, or break "
+    "the loop with a flip-flop",
+)
+def _loop_phases(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT101"]
+    for message in check_loop_phases(graph, schedule):
+        yield _finding(rule_def, message)
+
+
+@rule(
+    "LINT103",
+    Severity.ERROR,
+    "latch propagation delay below its setup time violates the paper's "
+    "Delta_DQ >= Delta_DC assumption",
+    legacy=True,
+    fix_hint="increase the latch delay or reduce its setup time",
+)
+def _setup_exceeds_delay(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT103"]
+    for sync in graph.latches:
+        if sync.delay < sync.setup:
+            yield _finding(
+                rule_def,
+                f"latch {sync.name!r}: Delta_DQ = {sync.delay:g} is smaller "
+                f"than Delta_DC = {sync.setup:g}; the paper assumes "
+                f"Delta_DQ >= Delta_DC",
+                subjects=(sync.name,),
+            )
+
+
+@rule(
+    "LINT111",
+    Severity.WARNING,
+    "clock phase controls no synchronizer",
+    legacy=True,
+    fix_hint="drop the unused phase or assign synchronizers to it",
+)
+def _unclocked_phase(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT111"]
+    used = {s.phase for s in graph.synchronizers}
+    for phase in graph.phase_names:
+        if phase not in used:
+            yield _finding(
+                rule_def,
+                f"phase {phase!r} controls no synchronizer",
+                subjects=(phase,),
+            )
+
+
+@rule(
+    "LINT112",
+    Severity.WARNING,
+    "synchronizer with no fanin and no fanout",
+    legacy=True,
+    fix_hint="wire the synchronizer into the datapath or remove it",
+)
+def _isolated_synchronizer(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT112"]
+    for name in graph.names:
+        if not graph.fanin(name) and not graph.fanout(name):
+            yield _finding(
+                rule_def,
+                f"synchronizer {name!r} is isolated (no fanin, no fanout)",
+                subjects=(name,),
+            )
+
+
+@rule(
+    "LINT120",
+    Severity.INFO,
+    "dead-end synchronizer: receives data but drives nothing",
+)
+def _dead_end(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT120"]
+    for name in graph.names:
+        if graph.fanin(name) and not graph.fanout(name):
+            yield _finding(
+                rule_def,
+                f"synchronizer {name!r} has fanin but no fanout "
+                "(dead end: its departure constrains nothing)",
+                subjects=(name,),
+            )
+
+
+@rule(
+    "LINT121",
+    Severity.INFO,
+    "source synchronizer: drives data but receives none",
+)
+def _unreachable(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT121"]
+    for name in graph.names:
+        if graph.fanout(name) and not graph.fanin(name):
+            yield _finding(
+                rule_def,
+                f"synchronizer {name!r} has fanout but no fanin "
+                "(primary source: its departure floats at the phase opening)",
+                subjects=(name,),
+            )
+
+
+@rule(
+    "LINT122",
+    Severity.WARNING,
+    "degenerate arc: zero-delay self-loop",
+    fix_hint="remove the self-loop or give it a positive delay",
+)
+def _degenerate_arc(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT122"]
+    for arc in graph.arcs:
+        if arc.src == arc.dst and arc.delay == 0.0:
+            yield _finding(
+                rule_def,
+                f"arc {arc.src} -> {arc.dst} is a zero-delay self-loop "
+                "(its propagation constraint is vacuous or contradictory)",
+                subjects=(arc.src,),
+            )
+
+
+@rule(
+    "LINT123",
+    Severity.INFO,
+    "zero min-delay path between differently-phased latches (hold risk)",
+    fix_hint="pad the path's minimum delay or share a phase",
+)
+def _hold_risk(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    rule_def = _REGISTRY["LINT123"]
+    for arc in graph.arcs:
+        if arc.src == arc.dst:
+            continue
+        src, dst = graph[arc.src], graph[arc.dst]
+        hold = getattr(dst, "hold", 0.0)
+        if arc.min_delay + src.delay <= hold and src.phase != dst.phase:
+            yield _finding(
+                rule_def,
+                f"arc {arc.src} -> {arc.dst}: minimum path delay "
+                f"{arc.min_delay + src.delay:g} does not cover the "
+                f"receiving hold time {hold:g}; the path can race when "
+                f"{src.phase!r} and {dst.phase!r} overlap",
+                subjects=(arc.src, arc.dst),
+            )
+
+
+# ----------------------------------------------------------------------
+# Schedule-dependent rules (LINT2xx)
+# ----------------------------------------------------------------------
+@rule(
+    "LINT201",
+    Severity.WARNING,
+    "zero-width phase under the given schedule",
+    needs_schedule=True,
+    fix_hint="give the phase a positive active width",
+)
+def _zero_width(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    assert schedule is not None
+    rule_def = _REGISTRY["LINT201"]
+    for phase in schedule.phases:
+        if phase.width <= 0.0:
+            yield _finding(
+                rule_def,
+                f"phase {phase.name!r} has zero width: its latches are "
+                "never transparent and can never launch new data",
+                subjects=(phase.name,),
+            )
+
+
+@rule(
+    "LINT202",
+    Severity.ERROR,
+    "clock-constraint violation (C1-C3) under the given schedule",
+    needs_schedule=True,
+    fix_hint="repair the schedule or re-run minimize to derive one",
+)
+def _clock_violations(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    assert schedule is not None
+    rule_def = _REGISTRY["LINT202"]
+    if tuple(schedule.names) != tuple(graph.phase_names):
+        yield _finding(
+            rule_def,
+            f"schedule phases {schedule.names} do not match circuit "
+            f"phases {graph.phase_names}",
+        )
+        return
+    for violation in schedule.violations(graph.k_matrix()):
+        yield _finding(
+            rule_def,
+            f"{violation.constraint}: {violation.message} "
+            f"(violated by {violation.amount:g})",
+            subjects=(violation.constraint,),
+        )
+
+
+@rule(
+    "LINT210",
+    Severity.WARNING,
+    "hold (short-path) violation under the given schedule",
+    needs_schedule=True,
+    fix_hint="pad short paths or widen the nonoverlap gap",
+)
+def _hold_violations(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None,
+    options: ConstraintOptions,
+) -> Iterable[LintFinding]:
+    assert schedule is not None
+    from repro.core.shortpath import check_hold
+
+    rule_def = _REGISTRY["LINT210"]
+    if tuple(schedule.names) != tuple(graph.phase_names):
+        return
+    hold = check_hold(graph, schedule)
+    for timing in hold.violations:
+        yield _finding(
+            rule_def,
+            f"hold violation at {timing.name}: slack {timing.slack:g}",
+            subjects=(timing.name,),
+        )
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def run_rules(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None = None,
+    options: ConstraintOptions | None = None,
+    codes: Sequence[str] | None = None,
+    legacy_only: bool = False,
+) -> LintReport:
+    """Run registered rules and collect their findings into a report.
+
+    ``codes`` selects a subset (in the given order); ``legacy_only``
+    restricts to the rules backing the historical ``check_structure``.
+    """
+    options = options or ConstraintOptions()
+    report = LintReport()
+    if codes is None:
+        selected = registered_rules()
+    else:
+        selected = tuple(_REGISTRY[code] for code in codes)
+    for rule_def in selected:
+        if legacy_only and not rule_def.legacy:
+            continue
+        if rule_def.needs_schedule and schedule is None:
+            continue
+        report.extend(rule_def.check(graph, schedule, options))
+    return report
+
+
+def run_lint(
+    graph: TimingGraph,
+    schedule: ClockSchedule | None = None,
+    options: ConstraintOptions | None = None,
+    graph_diagnostics: bool = True,
+    source: str = "",
+) -> LintReport:
+    """The full lint pass: every rule plus the constraint-graph analysis.
+
+    When ``graph_diagnostics`` is enabled, the SMO system is built and the
+    pre-solve analysis of :func:`repro.lint.graphdiag.diagnose` runs; an
+    infeasibility certificate becomes an error finding (``LINT301`` for
+    structural negative cycles, ``LINT302`` for period-capped ones,
+    ``LINT303`` for scalar contradictions) and the Tc lower bound an info
+    finding (``LINT310``).  The raw diagnostics land in
+    :attr:`LintReport.diagnostics`.
+    """
+    options = options or ConstraintOptions()
+    report = run_rules(graph, schedule, options)
+    report.source = source
+    if graph_diagnostics:
+        diagnostics = diagnose(graph, options)
+        report.diagnostics = diagnostics.to_dict()
+        report.extend(_diagnostic_findings(diagnostics))
+    return report
+
+
+def _diagnostic_findings(
+    diagnostics: GraphDiagnostics,
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    certificate = diagnostics.certificate
+    if certificate is not None:
+        code = {
+            "structural": "LINT301",
+            "period": "LINT302",
+            "contradiction": "LINT303",
+        }[certificate.kind]
+        findings.append(
+            LintFinding(
+                code=code,
+                severity=Severity.ERROR,
+                message=certificate.message,
+                subjects=certificate.constraints,
+                data={"certificate": certificate.to_dict()},
+            )
+        )
+    bound = diagnostics.bound
+    if bound.value not in (float("inf"),):
+        qualifier = "exact" if bound.exact else "relaxed"
+        findings.append(
+            LintFinding(
+                code="LINT310",
+                severity=Severity.INFO,
+                message=(
+                    f"provable Tc lower bound: {bound.value:.6g} "
+                    f"({qualifier}, {len(bound.cycle)} constraints on the "
+                    "critical cycle)"
+                ),
+                subjects=bound.constraints,
+                data={"tc_lower_bound": bound.to_dict()},
+            )
+        )
+    if diagnostics.graph.skipped:
+        findings.append(
+            LintFinding(
+                code="LINT311",
+                severity=Severity.INFO,
+                message=(
+                    f"{len(diagnostics.graph.skipped)} constraint row(s) did "
+                    "not reduce to difference form; graph diagnostics are a "
+                    "relaxation"
+                ),
+                subjects=tuple(diagnostics.graph.skipped[:8]),
+            )
+        )
+    return findings

@@ -23,15 +23,15 @@ such programs:
 See ``docs/LP.md`` for the solver architecture tour.
 """
 
+from repro.lp.backends import available_backends, solve, supports_warm_start
+from repro.lp.basis import Basis
 from repro.lp.expr import LinExpr, var
 from repro.lp.model import Constraint, LinearProgram, Sense
 from repro.lp.result import LPResult, LPStatus
-from repro.lp.basis import Basis
-from repro.lp.standard_form import StandardForm
-from repro.lp.simplex import SimplexOptions, solve_simplex
 from repro.lp.revised_simplex import RevisedSimplexOptions, solve_revised_simplex
-from repro.lp.backends import available_backends, solve, supports_warm_start
 from repro.lp.sensitivity import SensitivityReport, sensitivity
+from repro.lp.simplex import SimplexOptions, solve_simplex
+from repro.lp.standard_form import StandardForm
 
 __all__ = [
     "Basis",

@@ -102,4 +102,6 @@ def rhs_ranging(
 
 def perturbed(constraint: Constraint, delta: float) -> Constraint:
     """A copy of ``constraint`` with its rhs shifted by ``delta``."""
-    return Constraint(constraint.name, constraint.lhs, constraint.sense, constraint.rhs + delta)
+    return Constraint(
+        constraint.name, constraint.lhs, constraint.sense, constraint.rhs + delta
+    )

@@ -122,7 +122,10 @@ class StandardForm:
                 str(self.n_struct),
                 "\x1e".join(self.var_names),
                 "\x1e".join(self.row_names),
-                "".join("E" if s == "==" else ("L" if s == "<=" else "G") for s in self.senses),
+                "".join(
+                    "E" if s == "==" else ("L" if s == "<=" else "G")
+                    for s in self.senses
+                ),
                 ",".join(str(c) for c in self.neg_col if c >= 0),
             ]
         )

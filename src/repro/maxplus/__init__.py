@@ -12,12 +12,6 @@ paper's suggested enhancement) and detects the positive-weight cycles that
 signal an unclockable schedule.
 """
 
-from repro.maxplus.system import MaxPlusSystem, WeightedArc
-from repro.maxplus.fixpoint import (
-    FixpointResult,
-    least_fixpoint,
-    slide,
-)
 from repro.maxplus.compiled import (
     CompiledMaxPlus,
     compile_system,
@@ -25,6 +19,8 @@ from repro.maxplus.compiled import (
     slide_arrays,
 )
 from repro.maxplus.cycles import find_positive_cycle, max_cycle_weight
+from repro.maxplus.fixpoint import FixpointResult, least_fixpoint, slide
+from repro.maxplus.system import MaxPlusSystem, WeightedArc
 
 __all__ = [
     "MaxPlusSystem",

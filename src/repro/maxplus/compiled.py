@@ -44,11 +44,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.maxplus.fixpoint import (
-    FixpointResult,
-    _raise_divergent,
-    _record_slide,
-)
+from repro.maxplus.fixpoint import FixpointResult, _raise_divergent, _record_slide
 from repro.maxplus.system import MaxPlusSystem
 from repro.obs import trace
 

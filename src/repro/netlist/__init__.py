@@ -10,17 +10,11 @@ of a latch-level :class:`repro.circuit.TimingGraph` whose ``Delta_ji``
 arcs are the longest (and shortest) gate paths between synchronizers.
 """
 
-from repro.netlist.cells import (
-    Cell,
-    CellKind,
-    Library,
-    default_library,
-    parse_library,
-)
-from repro.netlist.netlist import Instance, Netlist
-from repro.netlist.sta import PathDelays, combinational_delays
+from repro.netlist.cells import Cell, CellKind, Library, default_library, parse_library
 from repro.netlist.extract import extract_timing_graph
 from repro.netlist.generate import random_gate_pipeline
+from repro.netlist.netlist import Instance, Netlist
+from repro.netlist.sta import PathDelays, combinational_delays
 
 __all__ = [
     "Cell",

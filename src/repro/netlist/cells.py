@@ -223,7 +223,9 @@ def parse_library(text: str) -> Library:
     def keyword(word: str):
         tok = advance()
         if tok.kind is not TokenKind.IDENT or tok.text != word:
-            raise ParseError(f"expected {word!r}, got {tok.text!r}", tok.line, tok.column)
+            raise ParseError(
+                f"expected {word!r}, got {tok.text!r}", tok.line, tok.column
+            )
 
     keyword("library")
     lib = Library(expect(TokenKind.IDENT, "a library name").text)

@@ -16,22 +16,6 @@ Tracing is off by default and costs <2% when disabled (asserted by
 permanently in the hot paths.
 """
 
-from repro.obs.trace import (
-    NullSpan,
-    Span,
-    Tracer,
-    add_event,
-    attach,
-    current_span,
-    disable,
-    enable,
-    get_tracer,
-    inc,
-    is_enabled,
-    new_run_id,
-    reset,
-    span,
-)
 from repro.obs.events import (
     LEVELS,
     EventLog,
@@ -51,6 +35,22 @@ from repro.obs.export import (
     walk,
     walk_with_ancestors,
     write_chrome_trace,
+)
+from repro.obs.trace import (
+    NullSpan,
+    Span,
+    Tracer,
+    add_event,
+    attach,
+    current_span,
+    disable,
+    enable,
+    get_tracer,
+    inc,
+    is_enabled,
+    new_run_id,
+    reset,
+    span,
 )
 
 __all__ = [

@@ -6,7 +6,7 @@ Fig. 6 showing departure times, latch propagation (shaded) and waiting
 gaps for early arrivals.
 """
 
-from repro.render.ascii_art import clock_diagram, strip_diagram, schedule_table
+from repro.render.ascii_art import clock_diagram, schedule_table, strip_diagram
 from repro.render.svg import schedule_svg
 
 __all__ = ["clock_diagram", "strip_diagram", "schedule_table", "schedule_svg"]

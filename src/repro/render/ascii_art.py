@@ -109,7 +109,10 @@ def schedule_table(schedule: ClockSchedule) -> str:
     """A small aligned table of Tc, s_i and T_i values."""
     lines = [f"Tc = {schedule.period:g}"]
     name_width = max(len(p.name) for p in schedule.phases)
-    lines.append(f"{'phase':<{max(5, name_width)}} {'start':>10} {'width':>10} {'end':>10}")
+    lines.append(
+        f"{'phase':<{max(5, name_width)}} "
+        f"{'start':>10} {'width':>10} {'end':>10}"
+    )
     for p in schedule.phases:
         lines.append(
             f"{p.name:<{max(5, name_width)}} {p.start:>10g} {p.width:>10g} {p.end:>10g}"

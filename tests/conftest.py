@@ -6,7 +6,7 @@ import pytest
 
 from repro.circuit.builder import CircuitBuilder
 from repro.clocking.library import two_phase_clock
-from repro.designs import example1, example2, gaas_datapath, fig1_circuit
+from repro.designs import example1, example2, fig1_circuit, gaas_datapath
 
 
 @pytest.fixture

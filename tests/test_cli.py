@@ -3,9 +3,9 @@
 import pytest
 
 from repro.cli import main
+from repro.core.mlp import minimize_cycle_time
 from repro.designs import example1
 from repro.lang.writer import write_circuit
-from repro.core.mlp import minimize_cycle_time
 
 
 @pytest.fixture

@@ -5,11 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.clocking.phase import ClockPhase
 from repro.clocking.schedule import ClockSchedule
-from repro.clocking.waveform import (
-    intervals_in_window,
-    overlap_duration,
-    sample_phase,
-)
+from repro.clocking.waveform import intervals_in_window, overlap_duration, sample_phase
 
 
 @st.composite

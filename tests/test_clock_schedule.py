@@ -149,7 +149,8 @@ class TestViolations:
             100.0, [ClockPhase("a", 0.0, 60.0), ClockPhase("b", 50.0, 40.0)]
         )
         assert any(
-            v.constraint == "C3" for v in s.violations({("a", "b"): True, ("b", "a"): True})
+            v.constraint == "C3"
+            for v in s.violations({("a", "b"): True, ("b", "a"): True})
         )
 
     def test_malformed_k_matrix_rejected(self):

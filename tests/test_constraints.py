@@ -3,6 +3,7 @@
 import pytest
 
 from repro.circuit.builder import CircuitBuilder
+from repro.clocking.library import two_phase_clock
 from repro.core.constraints import (
     TC,
     ConstraintOptions,
@@ -10,10 +11,9 @@ from repro.core.constraints import (
     build_program,
     d_var,
     s_var,
-    t_var,
     schedule_from_values,
+    t_var,
 )
-from repro.clocking.library import two_phase_clock
 from repro.designs import example1
 from repro.errors import CircuitError, LPError
 from repro.lp.model import Sense

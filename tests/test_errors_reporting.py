@@ -3,9 +3,13 @@
 import pytest
 
 from repro import errors
-from repro.core.mlp import minimize_cycle_time
-from repro.core.reporting import format_analysis, format_comparison, format_optimal_result
 from repro.core.analysis import analyze
+from repro.core.mlp import minimize_cycle_time
+from repro.core.reporting import (
+    format_analysis,
+    format_comparison,
+    format_optimal_result,
+)
 from repro.lp.result import LPResult, LPStatus
 
 

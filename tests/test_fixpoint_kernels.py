@@ -263,10 +263,12 @@ class TestStructureCache:
         compiled.clear_cache()
         graph = random_multiloop_circuit(16, n_extra_arcs=8, seed=3)
         sched = ClockSchedule(
-            4000.0, [ClockPhase("phi1", 0.0, 1900.0), ClockPhase("phi2", 2000.0, 1900.0)]
+            4000.0,
+            [ClockPhase("phi1", 0.0, 1900.0), ClockPhase("phi2", 2000.0, 1900.0)],
         )
         sched2 = ClockSchedule(
-            4400.0, [ClockPhase("phi1", 0.0, 2100.0), ClockPhase("phi2", 2200.0, 2100.0)]
+            4400.0,
+            [ClockPhase("phi1", 0.0, 2100.0), ClockPhase("phi2", 2200.0, 2100.0)],
         )
         a = build_maxplus_system(graph, sched)
         b = build_maxplus_system(graph, sched2)

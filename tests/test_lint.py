@@ -1,0 +1,223 @@
+"""Tests for the repro.lint subsystem (see docs/LINT.md).
+
+Covers the difference-constraint graph construction, Bellman-Ford
+infeasibility certificates, the Karp/Lawler Tc lower bound (checked
+against the LP optimum), the rule registry, the ``check_structure``
+compatibility shim and the ``repro lint`` CLI.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.validate import check_structure
+from repro.cli import main
+from repro.core.constraints import ConstraintOptions
+from repro.core.mlp import minimize_cycle_time
+from repro.lang.parser import parse_file
+from repro.lint import (
+    LintRule,
+    Severity,
+    build_constraint_graph,
+    diagnose,
+    find_negative_cycle,
+    get_rule,
+    registered_rules,
+    run_lint,
+    run_rules,
+    tc_lower_bound,
+)
+from repro.lint.rules import rule
+
+
+class TestConstraintGraph:
+    def test_example1_encoding_is_complete(self, ex1):
+        from repro.core.constraints import build_program
+
+        smo = build_program(ex1, ConstraintOptions())
+        cg = build_constraint_graph(smo)
+        assert not cg.skipped, "every SMO row should lower to an edge"
+        assert not cg.contradictions
+        assert "origin" in cg.nodes
+        assert any(n.startswith("start[") for n in cg.nodes)
+        assert any(n.startswith("dep[") for n in cg.nodes)
+        assert cg.tc_floor >= 0.0
+
+    def test_feasibility_threshold_matches_lp(self, ex1):
+        """No negative cycle at the optimum; a negative cycle below it."""
+        from repro.core.constraints import build_program
+
+        smo = build_program(ex1, ConstraintOptions())
+        cg = build_constraint_graph(smo)
+        optimum = minimize_cycle_time(ex1).period
+        assert find_negative_cycle(cg, optimum) is None
+        cycle = find_negative_cycle(cg, optimum - 1.0)
+        assert cycle, "below the optimum the graph must have a negative cycle"
+
+    @pytest.mark.parametrize("fixture", ["ex1", "ex2", "gaas", "fig1"])
+    def test_karp_bound_equals_lp_optimum(self, fixture, request):
+        """On the paper designs the bound is exact: it equals the LP Tc."""
+        from repro.core.constraints import build_program
+
+        graph = request.getfixturevalue(fixture)
+        smo = build_program(graph, ConstraintOptions())
+        cg = build_constraint_graph(smo)
+        bound = tc_lower_bound(cg)
+        assert bound.exact
+        optimum = minimize_cycle_time(graph).period
+        assert bound.value == pytest.approx(optimum, abs=1e-9)
+        assert bound.cycle, "the critical cycle must be reported"
+
+    def test_karp_bound_never_exceeds_lp_on_examples(self):
+        """For every shipped .lcd the bound is a true lower bound."""
+        from repro.core.constraints import build_program
+
+        for path in sorted(glob.glob("examples/*.lcd")):
+            graph = parse_file(path).to_graph()
+            smo = build_program(graph, ConstraintOptions())
+            bound = tc_lower_bound(build_constraint_graph(smo))
+            optimum = minimize_cycle_time(graph).period
+            assert bound.value <= optimum + 1e-9, path
+
+
+class TestDiagnose:
+    def test_period_certificate_names_constraints(self, ex1):
+        diagnostics = diagnose(ex1, ConstraintOptions(max_period=50.0))
+        certificate = diagnostics.certificate
+        assert certificate is not None
+        assert certificate.kind == "period"
+        assert certificate.constraints
+        families = {c.split("[", 1)[0] for c in certificate.constraints}
+        assert families & {"C1", "C2", "C3", "L1", "L2R", "L3"}
+        assert certificate.required_tc is not None
+        assert certificate.required_tc > 50.0
+        assert "XP[Tc]" in (certificate.pinned_by or "")
+
+    def test_feasible_cap_has_no_certificate(self, ex1):
+        diagnostics = diagnose(ex1, ConstraintOptions(max_period=200.0))
+        assert diagnostics.certificate is None
+        assert diagnostics.feasible
+
+    def test_certificate_round_trips_to_dict(self, ex1):
+        diagnostics = diagnose(ex1, ConstraintOptions(max_period=50.0))
+        data = diagnostics.to_dict()
+        assert data["certificate"]["kind"] == "period"
+        assert data["tc_lower_bound"]["value"] == pytest.approx(110.0)
+
+
+class TestRuleRegistry:
+    def test_known_rules_are_registered(self):
+        codes = {r.code for r in registered_rules()}
+        assert {"LINT101", "LINT103", "LINT111", "LINT112",
+                "LINT201", "LINT202", "LINT210"} <= codes
+
+    def test_get_rule_and_metadata(self):
+        r = get_rule("LINT103")
+        assert isinstance(r, LintRule)
+        assert r.severity is Severity.ERROR
+        assert r.legacy
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError):
+            @rule("LINT101", Severity.INFO, "duplicate")
+            def _dup(graph, schedule, options):  # pragma: no cover
+                return []
+
+    def test_run_rules_flags_bad_latch(self):
+        b = CircuitBuilder(phases=["phi1", "phi2"])
+        # setup > delay violates the paper's Delta_DQ >= Delta_DC assumption.
+        b.latch("L1", phase="phi1", setup=5, delay=3)
+        b.latch("L2", phase="phi2", setup=1, delay=3)
+        b.path("L1", "L2", 5)
+        b.path("L2", "L1", 5)
+        report = run_rules(b.build(), None)
+        assert any(f.code == "LINT103" for f in report.findings)
+
+
+class TestCheckStructureCompat:
+    def test_clean_circuit(self, ex1):
+        report = check_structure(ex1)
+        assert report.ok
+        assert not report.errors
+
+    def test_warning_for_unclocked_phase(self):
+        b = CircuitBuilder(phases=["phi1", "phi2", "phi3"])
+        b.latch("L1", phase="phi1", setup=1, delay=1)
+        b.latch("L2", phase="phi2", setup=1, delay=1)
+        b.path("L1", "L2", 5)
+        b.path("L2", "L1", 5)
+        graph = b.build()
+        report = check_structure(graph)
+        assert report.ok
+        assert any("phi3" in w for w in report.warnings)
+
+
+class TestRunLint:
+    def test_clean_design_is_ok(self, ex1):
+        report = run_lint(ex1, source="ex1")
+        assert report.ok
+        assert any(f.code == "LINT310" for f in report.findings)
+        assert report.diagnostics is not None
+
+    def test_infeasible_cap_is_error(self, ex1):
+        report = run_lint(ex1, options=ConstraintOptions(max_period=50.0))
+        assert not report.ok
+        assert any(f.code == "LINT302" for f in report.findings)
+
+    def test_no_graph_diagnostics(self, ex1):
+        report = run_lint(ex1, graph_diagnostics=False)
+        assert report.diagnostics is None
+        assert not any(f.code == "LINT310" for f in report.findings)
+
+
+class TestLintCLI:
+    def test_infeasible_fixture_reports_certificate(self, capsys):
+        rc = main(["lint", "examples/infeasible_demo.lcd"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "LINT302" in out
+        assert "requires Tc >=" in out
+
+    def test_designs_manifest_is_clean(self, capsys):
+        assert main(["lint", "examples/designs.txt"]) == 0
+        out = capsys.readouterr().out
+        assert "Tc lower bound" in out
+
+    def test_json_output(self, capsys):
+        rc = main(["lint", "examples/infeasible_demo.lcd",
+                   "--format", "json"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert any(f["code"] == "LINT302" for f in data["findings"])
+        assert data["diagnostics"]["certificate"]["kind"] == "period"
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["lint", "examples/does_not_exist.lcd"]) == 2
+
+    def test_minimize_preflight_certificate(self, tmp_path, capsys):
+        from repro.designs import example1
+        from repro.lang.writer import write_circuit
+
+        path = tmp_path / "ex1.lcd"
+        path.write_text(write_circuit(example1(80.0)))
+        rc = main(["minimize", str(path), "--max-period", "50"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "lint" in err and "requires Tc >=" in err
+
+    def test_minimize_no_lint_escape_hatch(self, tmp_path, capsys):
+        from repro.designs import example1
+        from repro.lang.writer import write_circuit
+
+        path = tmp_path / "ex1.lcd"
+        path.write_text(write_circuit(example1(80.0)))
+        # With lint disabled, the LP itself reports the infeasibility.
+        rc = main(["minimize", str(path), "--max-period", "50", "--no-lint"])
+        assert rc != 0
+        err = capsys.readouterr().err
+        assert "lint" not in err

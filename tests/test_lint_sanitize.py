@@ -1,0 +1,97 @@
+"""Property and golden tests for the P1 solution sanitizer.
+
+The sanitizer must accept every result Algorithm MLP produces -- across
+random circuits, every available LP backend and both fixpoint kernels --
+and must reject any solution whose departures are perturbed by more than
+its tolerance.  On the paper's three case studies the solved points check
+out clean with slack resolution far below the reporting precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.lint import sanitize_result, sanitize_solution
+from repro.lp.backends import available_backends
+
+try:
+    from repro.circuit.generate import random_multiloop_circuit, random_pipeline
+except ImportError:  # pragma: no cover
+    random_pipeline = None  # type: ignore[assignment]
+
+BACKENDS = available_backends()
+TOL = 1e-6
+
+
+def _random_graph(kind: str, n: int, k: int, seed: int):
+    if kind == "pipeline":
+        return random_pipeline(n, k=k, seed=seed)
+    return random_multiloop_circuit(n, n_extra_arcs=2, k=k, seed=seed)
+
+
+class TestSanitizerAcceptsMLP:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kind=st.sampled_from(["pipeline", "multiloop"]),
+        n=st.integers(min_value=2, max_value=8),
+        k=st.sampled_from([2, 3, 4]),
+        seed=st.integers(min_value=0, max_value=10_000),
+        backend=st.sampled_from(BACKENDS),
+        kernel=st.sampled_from(["dict", "array"]),
+    )
+    def test_accepts_every_mlp_result(self, kind, n, k, seed, backend, kernel):
+        graph = _random_graph(kind, n, k, seed)
+        result = minimize_cycle_time(
+            graph, mlp=MLPOptions(backend=backend, kernel=kernel)
+        )
+        report = sanitize_result(graph, result, tol=TOL)
+        assert report.ok, report.format()
+        assert report.checked > 0
+        assert report.min_slack >= -TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+        sign=st.sampled_from([-1.0, 1.0]),
+        magnitude=st.floats(min_value=1e-3, max_value=10.0),
+    )
+    def test_rejects_perturbed_departures(self, n, seed, sign, magnitude):
+        graph = random_pipeline(n, k=2, seed=seed)
+        result = minimize_cycle_time(graph)
+        victim = next(iter(result.departures))
+        perturbed = dict(result.departures)
+        perturbed[victim] += sign * magnitude
+        report = sanitize_solution(
+            graph, result.schedule, perturbed, tol=TOL
+        )
+        assert not report.ok, (
+            f"perturbing {victim} by {sign * magnitude:g} must be caught"
+        )
+
+    def test_sanitize_flag_end_to_end(self):
+        graph = random_pipeline(4, k=2, seed=7)
+        result = minimize_cycle_time(graph, mlp=MLPOptions(sanitize=True))
+        report = result.extra["sanitize"]
+        assert report.ok
+
+
+class TestPaperCaseStudies:
+    @pytest.mark.parametrize("fixture", ["ex1", "ex2", "gaas"])
+    def test_case_study_is_clean(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        result = minimize_cycle_time(graph, mlp=MLPOptions(sanitize=True))
+        report = result.extra["sanitize"]
+        assert report.ok
+        assert report.min_slack >= -TOL
+        assert report.tightness_residual <= TOL
+        assert "clean" in report.format()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_example1_clean_on_every_backend(self, ex1, backend):
+        result = minimize_cycle_time(ex1, mlp=MLPOptions(backend=backend))
+        report = sanitize_result(ex1, result, tol=TOL)
+        assert report.ok, report.format()

@@ -4,7 +4,13 @@ import pytest
 
 from repro.core.mlp import minimize_cycle_time
 from repro.errors import CircuitError, ParseError
-from repro.netlist.cells import Cell, CellKind, comb_cell, default_library, parse_library
+from repro.netlist.cells import (
+    Cell,
+    CellKind,
+    comb_cell,
+    default_library,
+    parse_library,
+)
 from repro.netlist.extract import extract_timing_graph
 from repro.netlist.netlist import Netlist
 from repro.netlist.sta import PRIMARY, combinational_delays
@@ -27,11 +33,23 @@ class TestCells:
 
     def test_bad_arc_pins_rejected(self):
         with pytest.raises(CircuitError):
-            Cell("G", CellKind.COMB, inputs=("A",), outputs=("Z",), arcs={("X", "Z"): (0, 1)})
+            Cell(
+                "G",
+                CellKind.COMB,
+                inputs=("A",),
+                outputs=("Z",),
+                arcs={("X", "Z"): (0, 1)},
+            )
 
     def test_min_above_max_rejected(self):
         with pytest.raises(CircuitError):
-            Cell("G", CellKind.COMB, inputs=("A",), outputs=("Z",), arcs={("A", "Z"): (2, 1)})
+            Cell(
+                "G",
+                CellKind.COMB,
+                inputs=("A",),
+                outputs=("Z",),
+                arcs={("A", "Z"): (2, 1)},
+            )
 
     def test_sequential_validation(self):
         with pytest.raises(CircuitError):
@@ -51,7 +69,8 @@ class TestCells:
 class TestLibraryParser:
     TEXT = """
     library fast {
-      cell NAND2x { input A B; output Z; delay A -> Z 0.03 0.06; delay B -> Z 0.04 0.07; }
+      cell NAND2x { input A B; output Z;
+        delay A -> Z 0.03 0.06; delay B -> Z 0.04 0.07; }
       latch DLAT { delay 0.04 0.08; setup 0.06; hold 0.02; }
       ff DFFX { delay 0.05 0.1; setup 0.08; hold 0.02; edge fall; }
     }

@@ -48,7 +48,12 @@ class TestFig1Appendix:
         assert fig1.k == 4
 
     def test_phase_assignment(self, fig1):
-        groups = {"phi1": {1, 2, 8}, "phi2": {6, 7, 11}, "phi3": {4, 5, 10}, "phi4": {3, 9}}
+        groups = {
+            "phi1": {1, 2, 8},
+            "phi2": {6, 7, 11},
+            "phi3": {4, 5, 10},
+            "phi4": {3, 9},
+        }
         for phase, members in groups.items():
             for idx in members:
                 assert fig1[f"L{idx}"].phase == phase

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.clocking.library import two_phase_clock, three_phase_clock
+from repro.clocking.library import three_phase_clock, two_phase_clock
 from repro.core.analysis import analyze
 from repro.core.mlp import minimize_cycle_time
 from repro.errors import ReproError

@@ -15,10 +15,7 @@ from repro.lp.basis import Basis
 from repro.lp.expr import var
 from repro.lp.model import LinearProgram
 from repro.lp.result import LPStatus
-from repro.lp.revised_simplex import (
-    RevisedSimplexOptions,
-    solve_revised_simplex,
-)
+from repro.lp.revised_simplex import RevisedSimplexOptions, solve_revised_simplex
 from repro.lp.simplex import solve_simplex
 from repro.lp.standard_form import StandardForm
 
