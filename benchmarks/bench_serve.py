@@ -1,0 +1,198 @@
+"""Service-layer benchmark: latency percentiles, coalescing, store reuse.
+
+Runs the real HTTP server (``repro.serve.http``) against the canonical
+request mix (``examples/loadgen_mix.json``) in four passes and asserts
+the serve layer's core claims:
+
+1. **cold**    -- empty store; every distinct request executes once.
+2. **warm**    -- identical burst; everything is a memory hit, nothing
+   executes, and the latency distribution collapses.
+3. **restart** -- a *new* service process-state over the same SQLite
+   store; results come from the store with **zero LP solves**.
+4. **burst**   -- many concurrent copies of one uncached request;
+   coalescing executes it exactly once.
+
+The emitted report carries client-side p50/p95/p99 latency per pass plus
+the server-side counter deltas (executed / coalesced / memory / store),
+as both a table and machine-readable JSON
+(``benchmarks/out/serve_latency.json`` -- the CI smoke artifact).
+
+Set ``REPRO_BENCH_QUICK=1`` for a reduced request budget.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import threading
+
+from repro.core.reporting import format_comparison
+from repro.serve import AnalysisService, ResultStore, load_mix, run_in_thread, run_load
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REQUESTS = 24 if QUICK else 96
+CONCURRENCY = 4
+BURST = 8 if QUICK else 16
+
+MIX_PATH = pathlib.Path(__file__).parent.parent / "examples" / "loadgen_mix.json"
+OUT_JSON = pathlib.Path(__file__).parent / "out" / "serve_latency.json"
+
+
+def _pass_row(name, report):
+    d = report.to_dict()
+    return {
+        "pass": name,
+        "reqs": d["requests"],
+        "errs": d["errors"],
+        "p50 ms": d["latency_p50_ms"],
+        "p95 ms": d["latency_p95_ms"],
+        "p99 ms": d["latency_p99_ms"],
+        "exec": int(d["server_executed"]),
+        "coal": int(d["server_coalesced"]),
+        "mem": int(d["server_memory_hits"]),
+        "store": int(d["server_store_hits"]),
+        "lp": int(d["server_lp_solves"]),
+    }
+
+
+def run_serve_benchmark():
+    mix = load_mix(str(MIX_PATH))
+    tmp = tempfile.mkdtemp(prefix="bench_serve_")
+    store_path = os.path.join(tmp, "results.sqlite")
+    rows = []
+
+    # Pass 1 + 2: cold then warm against one server instance.
+    store = ResultStore(store_path)
+    handle = run_in_thread(AnalysisService(store=store, workers=CONCURRENCY))
+    try:
+        cold = run_load(
+            handle.url, mix=mix, requests=REQUESTS,
+            concurrency=CONCURRENCY, seed=7,
+        )
+        warm = run_load(
+            handle.url, mix=mix, requests=REQUESTS,
+            concurrency=CONCURRENCY, seed=7,
+        )
+    finally:
+        handle.stop()
+    rows.append(_pass_row("cold", cold))
+    rows.append(_pass_row("warm", warm))
+
+    # Pass 3: a fresh service over the same store -- restart semantics.
+    store = ResultStore(store_path)
+    handle = run_in_thread(AnalysisService(store=store, workers=CONCURRENCY))
+    try:
+        restart = run_load(
+            handle.url, mix=mix, requests=REQUESTS,
+            concurrency=CONCURRENCY, seed=7,
+        )
+    finally:
+        handle.stop()
+    rows.append(_pass_row("restart", restart))
+
+    # Pass 4: concurrent identical uncached requests -- coalescing.
+    handle = run_in_thread(AnalysisService(store=None, workers=CONCURRENCY))
+    try:
+        burst_mix = [
+            {"weight": 1, "request": {"kind": "minimize", "design": "gaas"}}
+        ]
+        burst = _concurrent_burst(handle.url, burst_mix[0]["request"], BURST)
+    finally:
+        handle.stop()
+    rows.append(_pass_row("burst", burst))
+    return rows
+
+
+def _concurrent_burst(url, request, copies):
+    """POST ``copies`` identical jobs truly concurrently (no draw jitter)."""
+    from repro.serve.loadgen import LoadgenReport, _Client, _split_url, parse_metrics_text
+    import time as _time
+
+    host, port = _split_url(url)
+    probe = _Client(host, port, 60.0)
+    report = LoadgenReport()
+    _, before = probe.request("GET", "/metrics")
+    report.counters_before = parse_metrics_text(str(before))
+    lock = threading.Lock()
+    barrier = threading.Barrier(copies)
+
+    def _one():
+        client = _Client(host, port, 60.0)
+        try:
+            barrier.wait(timeout=30)
+            start = _time.perf_counter()
+            status, payload = client.request("POST", "/v1/jobs?wait=1", request)
+            elapsed = _time.perf_counter() - start
+            ok = status == 200 and payload.get("status") == "done"
+            with lock:
+                report.requests += 1
+                report.latencies.append(elapsed)
+                tag = payload.get("status", f"http_{status}")
+                report.statuses[tag] = report.statuses.get(tag, 0) + 1
+                if not ok:
+                    report.errors += 1
+        finally:
+            client.close()
+
+    started = _time.perf_counter()
+    threads = [threading.Thread(target=_one, daemon=True) for _ in range(copies)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.wall_seconds = _time.perf_counter() - started
+    _, after = probe.request("GET", "/metrics")
+    report.counters_after = parse_metrics_text(str(after))
+    probe.close()
+    return report
+
+
+def test_serve_latency_and_reuse(benchmark, emit):
+    rows = benchmark.pedantic(run_serve_benchmark, rounds=1, iterations=1)
+    by_pass = {r["pass"]: r for r in rows}
+
+    for row in rows:
+        assert row["errs"] == 0, f"{row['pass']} pass had errors: {row}"
+
+    cold, warm, restart, burst = (
+        by_pass["cold"], by_pass["warm"], by_pass["restart"], by_pass["burst"]
+    )
+    # Cold executes each distinct mix entry exactly once (7 in the mix).
+    assert cold["exec"] >= 1
+    assert cold["lp"] > 0
+    # Warm repeats are pure memory hits: no execution, no LP work.
+    assert warm["exec"] == 0 and warm["lp"] == 0
+    assert warm["mem"] == warm["reqs"]
+    # A restarted service answers from the persistent store without
+    # solving any LP (the acceptance criterion for the result store).
+    assert restart["lp"] == 0
+    assert restart["exec"] == 0
+    assert restart["store"] >= 1
+    # Concurrent identical requests coalesce onto one execution.
+    assert burst["exec"] == 1
+    assert burst["coal"] == burst["reqs"] - 1
+
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(
+        json.dumps(
+            {
+                "requests_per_pass": REQUESTS,
+                "concurrency": CONCURRENCY,
+                "quick": QUICK,
+                "passes": rows,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    emit(
+        "serve_latency",
+        format_comparison(
+            rows,
+            ["pass", "reqs", "errs", "p50 ms", "p95 ms", "p99 ms",
+             "exec", "coal", "mem", "store", "lp"],
+            "Analysis service: latency percentiles and result reuse"
+            + (" (quick)" if QUICK else ""),
+        ),
+    )

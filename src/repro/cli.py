@@ -9,6 +9,9 @@ Operates on ``.lcd`` circuit description files (see :mod:`repro.lang`)::
     python -m repro tune     circuit.lcd --period 120
     python -m repro baselines circuit.lcd --jobs 4
     python -m repro batch    designs.txt --jobs 4 --cache results.json
+    python -m repro batch    designs.txt --cache results.sqlite
+    python -m repro serve    --port 8350 --store results.sqlite
+    python -m repro loadgen  --url http://127.0.0.1:8350 --requests 64
     python -m repro minimize circuit.lcd --trace run.json
     python -m repro trace summarize run.json
 
@@ -307,6 +310,7 @@ def _batch_files(entries: Sequence[str]) -> list[str]:
 
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine import Engine, MinimizeJob
+    from repro.serve.store import open_cache
 
     files = _batch_files(args.files)
     if not files:
@@ -328,14 +332,23 @@ def cmd_batch(args: argparse.Namespace) -> int:
         batch.append(
             MinimizeJob(graph=graph, options=options, mlp=mlp, label=path)
         )
+    # A *.sqlite cache is the persistent content-addressed store shared
+    # with `repro serve`; any other path keeps the JSON file cache.
+    cache = open_cache(args.cache) if args.cache else None
     engine = Engine(
         jobs=args.jobs,
-        cache_path=args.cache,
+        cache=cache,
         timeout=args.timeout,
         retries=args.retries,
     )
-    results = engine.run_jobs(batch)
-    engine.save_cache()
+    try:
+        results = engine.run_jobs(batch)
+        engine.save_cache()
+        report_text = engine.report.format()
+    finally:
+        store = getattr(engine.cache, "store", None)
+        if store is not None:
+            store.close()
 
     by_label = {result.label: result for result in results}
     width = max(len(path) for path in files)
@@ -352,9 +365,66 @@ def cmd_batch(args: argparse.Namespace) -> int:
             failures += 1
             _emit(f"{path:<{width}}  FAILED: {result.error}")
     _emit()
-    _emit(engine.report.format())
+    _emit(report_text)
     obs.emit("batch.done", files=len(files), failures=failures)
     return 1 if failures else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis service (docs/SERVE.md) until SIGINT/SIGTERM."""
+    import asyncio
+
+    from repro.serve import AnalysisService, HttpServer, ResultStore
+
+    store = ResultStore(args.store) if args.store else None
+    service = AnalysisService(
+        store=store,
+        workers=args.workers,
+        lint=not args.no_lint,
+        trace_jobs=not args.no_job_trace,
+    )
+    server = HttpServer(
+        service, host=args.host, port=args.port,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def _ready(srv: "HttpServer") -> None:
+        where = store.path if store else "in-memory only"
+        _emit(f"serving on {srv.url} (results: {where})")
+        obs.emit("serve.start", url=srv.url, store=str(where))
+
+    try:
+        asyncio.run(server.run(on_ready=_ready))
+    except KeyboardInterrupt:
+        pass  # drained inside run(); exit cleanly
+    _emit("drained; bye")
+    obs.emit("serve.stop")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running service with a weighted request mix and report."""
+    from repro.serve import load_mix, run_load
+
+    mix = load_mix(args.mix) if args.mix else None
+    report = run_load(
+        args.url,
+        mix=mix,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    if args.format == "json":
+        _emit(json.dumps(report.to_dict(), indent=2))
+    else:
+        _emit(report.format())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        _info(f"wrote {args.out}")
+    obs.emit("loadgen.done", requests=report.requests, errors=report.errors)
+    return 1 if report.errors else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -570,6 +640,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run the analysis-as-a-service HTTP server",
+        description="Long-running HTTP+JSON service over the batch engine "
+        "(see docs/SERVE.md): POST /v1/jobs, streamed progress events, "
+        "request coalescing, and a persistent content-addressed SQLite "
+        "result store shared with `repro batch --cache *.sqlite`.  "
+        "SIGINT/SIGTERM drain in-flight jobs before exit.",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8350,
+                   help="TCP port (default 8350; 0 picks a free port)")
+    p.add_argument("--store", default=None, metavar="FILE",
+                   help="persistent SQLite result store "
+                   "(e.g. results.sqlite; omit for in-memory only)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="executor threads for job execution (default 2)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   dest="drain_timeout",
+                   help="seconds to wait for in-flight jobs on shutdown")
+    p.add_argument("--no-lint", action="store_true", dest="no_lint",
+                   help="skip the lint admission pre-flight")
+    p.add_argument("--no-job-trace", action="store_true", dest="no_job_trace",
+                   help="disable per-job span recording (fewer progress "
+                   "events, slightly faster)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        parents=[common],
+        help="drive a running service with a weighted request mix",
+        description="Deterministic load generator for `repro serve`: "
+        "fires a seeded weighted mix of requests (see "
+        "examples/loadgen_mix.json) and reports client latency "
+        "percentiles plus server-side counter deltas from /metrics.",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8350",
+                   help="server base URL (default http://127.0.0.1:8350)")
+    p.add_argument("--mix", default=None, metavar="FILE",
+                   help="request-mix JSON file (default: built-in mix)")
+    p.add_argument("--requests", type=int, default=32,
+                   help="total requests to send (default 32)")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="concurrent client connections (default 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="PRNG seed for the weighted draws (default 0)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-request timeout in seconds (default 60)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format (default text)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the JSON report to FILE")
+    p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
         "trace",
         help="inspect a recorded --trace file",
         description="Offline tools over a trace recorded with --trace: "
@@ -618,6 +744,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as err:
         _error(f"error: {err}")
         obs.emit("run.error", level="error", error=str(err))
+        return code
+    except KeyboardInterrupt:
+        # Ctrl-C or SIGTERM (converted by the worker pool): children are
+        # already torn down; report the conventional 128+SIGINT code.
+        _error("interrupted")
+        obs.emit("run.interrupted", level="warning", command=args.command)
+        code = 130
         return code
     except BrokenPipeError:
         # Downstream consumer (head, less) closed stdout; not an error.

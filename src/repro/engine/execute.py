@@ -259,6 +259,29 @@ def _execute_fault(job: FaultJob, key: str) -> JobResult:
         time.sleep(job.seconds)
     if job.mode == "error":
         raise ReproError("fault injection: soft failure")
+    if job.mode == "siginfo":
+        # Report this process's signal dispositions -- lets tests verify
+        # from *inside* a pool worker that SIGINT is ignored (the master
+        # owns interrupt handling) while SIGTERM stays terminable.
+        import signal as _signal
+
+        return JobResult(
+            key=key,
+            kind=job.kind,
+            ok=True,
+            value=float(os.getpid()),
+            payload={
+                "pid": os.getpid(),
+                "sigint_ignored": (
+                    _signal.getsignal(_signal.SIGINT) is _signal.SIG_IGN
+                ),
+                "sigterm_default": (
+                    _signal.getsignal(_signal.SIGTERM) is _signal.SIG_DFL
+                ),
+            },
+            metrics=job_metrics(wall_seconds=0.0),
+            label=job.label,
+        )
     return JobResult(
         key=key,
         kind=job.kind,

@@ -297,7 +297,9 @@ class FaultJob:
     ``mode`` selects the behavior: ``"ok"`` returns ``value``; ``"error"``
     raises inside the worker (a *soft* failure -- the worker survives);
     ``"crash"`` kills the worker process outright; ``"hang"`` sleeps for
-    ``seconds`` (long enough to trip a per-job timeout).  When
+    ``seconds`` (long enough to trip a per-job timeout); ``"siginfo"``
+    reports the executing process's SIGINT/SIGTERM dispositions (used to
+    verify worker signal setup from inside the pool).  When
     ``crash_once_path`` is set, crash/hang modes succeed on any attempt
     after the file exists -- the first attempt creates it and fails -- which
     is how the retry tests produce a deterministic crash-then-recover run.

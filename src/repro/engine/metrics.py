@@ -120,6 +120,17 @@ class EngineReport:
     cache_hits: int = 0
     cache_misses: int = 0
     workers: int = 1
+    #: pool failover accounting (worker deaths and per-attempt timeouts);
+    #: soft_failures are in-job exceptions the worker survived.
+    crashes: int = 0
+    timeouts: int = 0
+    soft_failures: int = 0
+    #: persistent result-store accounting (zero unless the cache is a
+    #: :class:`repro.serve.store.StoreBackedCache`).
+    store_hits: int = 0
+    store_writes: int = 0
+    store_corrupt_dropped: int = 0
+    store_path: str = ""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -141,6 +152,22 @@ class EngineReport:
             f"lp: {self.lp_solves} solves, {self.lp_iterations} simplex "
             f"pivots; slide: {self.slide_sweeps} sweeps",
         ]
+        if self.crashes or self.timeouts or self.soft_failures:
+            lines.append(
+                f"pool failover: {self.crashes} crashes, "
+                f"{self.timeouts} timeouts, "
+                f"{self.soft_failures} soft failures"
+            )
+        if self.store_path:
+            lines.append(
+                f"store: {self.store_hits} hits, {self.store_writes} writes"
+                + (
+                    f", {self.store_corrupt_dropped} corrupt rows dropped"
+                    if self.store_corrupt_dropped
+                    else ""
+                )
+                + f" ({self.store_path})"
+            )
         if self.warm_start_hits or self.warm_start_misses:
             lines.append(
                 f"warm starts: {self.warm_start_hits} hits / "
@@ -198,6 +225,21 @@ class MetricsAggregator:
 
     def set_workers(self, workers: int) -> None:
         self._report.workers = workers
+
+    def set_pool_stats(self, stats) -> None:
+        """Copy failover counters off a :class:`~repro.engine.pool.PoolStats`."""
+        self._report.crashes = stats.crashes
+        self._report.timeouts = stats.timeouts
+        self._report.soft_failures = stats.soft_failures
+
+    def set_store_stats(
+        self, path: str, hits: int, writes: int, corrupt_dropped: int
+    ) -> None:
+        """Record persistent-store counters (StoreBackedCache engines only)."""
+        self._report.store_path = path
+        self._report.store_hits = hits
+        self._report.store_writes = writes
+        self._report.store_corrupt_dropped = corrupt_dropped
 
     @property
     def report(self) -> EngineReport:

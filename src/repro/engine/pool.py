@@ -27,6 +27,8 @@ which is why fault-injection tests always use the process pool.
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -60,6 +62,16 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
 
 def _worker_main(task_queue, conn, trace_enabled: bool = False) -> None:
     """Worker loop: execute jobs from the queue until the ``None`` sentinel."""
+    # Ctrl-C in a terminal delivers SIGINT to the whole foreground process
+    # group -- master *and* workers.  The master owns interrupt handling
+    # (it drains and terminates workers deliberately); a worker that also
+    # dies from the same keystroke would be misread as a crash and
+    # pointlessly retried during teardown.  SIGTERM keeps its default
+    # disposition so ``Process.terminate()`` still works.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     # A forked worker inherits the parent tracer's open spans and roots;
     # start from a clean per-process tracer either way.  Job spans recorded
     # here become tracer roots, shipped back on each JobResult (see
@@ -124,6 +136,11 @@ class _Worker:
                 self.proc.join(timeout=1.0)
         finally:
             self.conn.close()
+            if not graceful:
+                # Don't block interpreter exit flushing a queue nobody
+                # will ever read (the feeder thread would otherwise be
+                # joined at shutdown while the pipe is full).
+                self.task_queue.cancel_join_thread()
             self.task_queue.close()
 
 
@@ -180,14 +197,53 @@ class WorkerPool:
         )
         results: dict[int, JobResult] = {}
         pool = [_Worker(self._ctx) for _ in range(min(self.workers, total))]
+        previous_term = self._install_term_handler()
+        graceful = True
         try:
             while len(results) < total:
                 self._dispatch(pool, pending)
                 self._collect(pool, pending, results)
+        except BaseException:
+            # Interrupted (KeyboardInterrupt, SIGTERM) or master bug: skip
+            # the queue-drain handshake and terminate workers outright so
+            # no multiprocessing child outlives the batch.
+            graceful = False
+            raise
         finally:
             for worker in pool:
-                worker.shutdown()
+                worker.shutdown(graceful=graceful)
+            self._restore_term_handler(previous_term)
         return [results[i] for i in range(total)]
+
+    @staticmethod
+    def _install_term_handler():
+        """Route SIGTERM through the KeyboardInterrupt teardown path.
+
+        A service manager stopping a batch run sends SIGTERM; the default
+        disposition kills the master instantly and orphans the daemonized
+        workers mid-job.  Converting it to KeyboardInterrupt reuses the
+        exact Ctrl-C path: non-graceful pool shutdown, then the CLI's exit
+        code 130.  Only possible from the main thread; elsewhere (e.g. the
+        serve layer's executor threads) the default disposition stands.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def _raise(signum, frame):
+            raise KeyboardInterrupt(f"terminated by signal {signum}")
+        try:
+            return signal.signal(signal.SIGTERM, _raise)
+        except (ValueError, OSError):  # pragma: no cover
+            return None
+
+    @staticmethod
+    def _restore_term_handler(previous) -> None:
+        if previous is None:
+            return
+        try:
+            signal.signal(signal.SIGTERM, previous)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
 
     def close(self) -> None:
         pass  # workers live only inside run()

@@ -320,6 +320,18 @@ class Engine:
         stats = self.cache.stats
         self._aggregator.set_cache_stats(stats.hits, stats.misses)
         self._aggregator.set_workers(getattr(self.pool, "workers", 1))
+        pool_stats = getattr(self.pool, "stats", None)
+        if pool_stats is not None:
+            self._aggregator.set_pool_stats(pool_stats)
+        store = getattr(self.cache, "store", None)
+        if store is not None:
+            store_stats = store.stats
+            self._aggregator.set_store_stats(
+                path=str(store.path),
+                hits=store_stats.hits,
+                writes=store_stats.writes,
+                corrupt_dropped=store_stats.corrupt_dropped,
+            )
         return self._aggregator.report
 
     def save_cache(self) -> str | None:

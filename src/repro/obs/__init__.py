@@ -50,7 +50,9 @@ from repro.obs.trace import (
     is_enabled,
     new_run_id,
     reset,
+    set_thread_tracer,
     span,
+    use_tracer,
 )
 
 __all__ = [
@@ -79,7 +81,9 @@ __all__ = [
     "remove_logging_bridge",
     "reset",
     "set_log",
+    "set_thread_tracer",
     "span",
+    "use_tracer",
     "summarize",
     "walk",
     "walk_with_ancestors",

@@ -17,6 +17,15 @@ it onto the :class:`~repro.engine.jobspec.JobResult` and the parent engine
 re-attaches it under its live batch span with :func:`attach`, so one trace
 file covers the full tree across processes (spans carry their ``pid``).
 
+Thread awareness: the global tracer is deliberately not thread-safe (the
+engine parallelizes across processes), but a thread may *override* it
+with a private tracer via :func:`set_thread_tracer` / :func:`use_tracer`.
+The serve layer runs each job on an executor thread under its own
+enabled tracer, so concurrent requests record disjoint span trees while
+the rest of the process stays untraced.  The disabled fast path gains
+one thread-local attribute read, which stays far inside the <2% budget
+asserted by ``benchmarks/bench_obs_overhead.py``.
+
 Timestamps are wall-clock epoch seconds (``time.time``) so spans from
 different processes align on one timeline; durations are measured with
 ``time.perf_counter`` for resolution.
@@ -25,6 +34,7 @@ different processes align on one timeline; durations are measured with
 from __future__ import annotations
 
 import os
+import threading
 import time
 import uuid
 from typing import Iterator
@@ -230,16 +240,55 @@ class Tracer:
         self._stack = []
 
 
-#: The process-global tracer every instrumentation site talks to.
+#: The process-global tracer every instrumentation site talks to (unless a
+#: thread has installed a private override, see set_thread_tracer).
 _TRACER = Tracer()
+
+#: Per-thread tracer overrides; reading a missing attribute is the common
+#: case, so the fast path is one getattr with a default.
+_LOCAL = threading.local()
 
 
 def get_tracer() -> Tracer:
-    return _TRACER
+    """The active tracer: this thread's override if set, else the global one."""
+    override = getattr(_LOCAL, "tracer", None)
+    return override if override is not None else _TRACER
+
+
+def set_thread_tracer(tracer: Tracer | None) -> None:
+    """Install (or with ``None`` remove) a tracer override for this thread.
+
+    Instrumentation sites on this thread then record into the override,
+    leaving the process-global tracer untouched.  The serve layer pairs
+    install/remove around each job execution; :func:`use_tracer` wraps the
+    same dance as a context manager.
+    """
+    if tracer is None:
+        if hasattr(_LOCAL, "tracer"):
+            del _LOCAL.tracer
+    else:
+        _LOCAL.tracer = tracer
+
+
+class use_tracer:
+    """Context manager: run this thread's instrumentation under ``tracer``."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = getattr(_LOCAL, "tracer", None)
+        _LOCAL.tracer = self.tracer
+        return self.tracer
+
+    def __exit__(self, *exc) -> bool:
+        set_thread_tracer(self._previous)
+        return False
 
 
 def is_enabled() -> bool:
-    return _TRACER.enabled
+    return get_tracer().enabled
 
 
 def enable(run_id: str | None = None) -> Tracer:
@@ -258,26 +307,28 @@ def reset(enabled: bool = False, run_id: str | None = None) -> None:
 
 
 def span(name: str, **attributes: object) -> Span | NullSpan:
-    """Open a span on the global tracer (NullSpan when tracing is off)."""
-    return _TRACER.span(name, **attributes)
+    """Open a span on the active tracer (NullSpan when tracing is off)."""
+    return get_tracer().span(name, **attributes)
 
 
 def current_span() -> Span | NullSpan:
-    return _TRACER.current
+    return get_tracer().current
 
 
 def add_event(name: str, **attrs: object) -> None:
     """Record an event on the innermost open span (no-op when disabled)."""
-    if _TRACER.enabled and _TRACER._stack:
-        _TRACER._stack[-1].event(name, **attrs)
+    tracer = get_tracer()
+    if tracer.enabled and tracer._stack:
+        tracer._stack[-1].event(name, **attrs)
 
 
 def inc(counter: str, n: int = 1) -> None:
     """Bump a counter on the innermost open span (no-op when disabled)."""
-    if _TRACER.enabled and _TRACER._stack:
-        _TRACER._stack[-1].inc(counter, n)
+    tracer = get_tracer()
+    if tracer.enabled and tracer._stack:
+        tracer._stack[-1].inc(counter, n)
 
 
 def attach(serialized: list[dict]) -> None:
-    """Module-level alias for :meth:`Tracer.attach` on the global tracer."""
-    _TRACER.attach(serialized)
+    """Module-level alias for :meth:`Tracer.attach` on the active tracer."""
+    get_tracer().attach(serialized)

@@ -1,0 +1,102 @@
+"""Bridge the repro.obs span/event stream into job progress events.
+
+Each job executed by the service runs under a private per-thread tracer
+(see :func:`repro.obs.trace.set_thread_tracer`), so its hierarchical span
+tree -- lp_solve spans, cache.lookup events, slide sweeps -- is recorded
+exactly as a ``--trace`` run would record it.  This module flattens that
+tree into the flat, ordered event dicts the server streams to clients as
+server-sent events, alongside the service's own lifecycle events
+(``queued`` / ``started`` / ``finished`` / ...).
+
+The bridge caps the number of events per job: a large sweep records
+thousands of pivot events, and a progress stream that drowns its consumer
+is worse than one that summarizes.  Truncation is explicit -- a final
+``truncated`` event says how much was dropped.
+"""
+
+from __future__ import annotations
+
+from repro.engine.jobspec import JobResult
+from repro.obs.export import walk_with_ancestors
+
+#: Hard cap on bridged span/trace events per job.
+MAX_BRIDGED_EVENTS = 200
+
+
+def span_events(spans: list[dict], limit: int = MAX_BRIDGED_EVENTS) -> list[dict]:
+    """Flatten a span forest into ordered progress-event dicts.
+
+    Every span becomes one ``span`` event (name, duration, key counters);
+    every point-in-time event inside a span becomes a ``trace`` event.
+    Events are ordered depth-first, matching execution order closely
+    enough for a progress feed.
+    """
+    out: list[dict] = []
+    dropped = 0
+    for span, ancestors in walk_with_ancestors(spans):
+        entry: dict = {
+            "event": "span",
+            "name": span.get("name", "?"),
+            "ms": round(1000.0 * float(span.get("dur", 0.0)), 3),
+            "depth": len(ancestors),
+        }
+        counters = span.get("counters") or {}
+        if counters:
+            entry["counters"] = dict(counters)
+        attrs = span.get("attrs") or {}
+        for key in ("backend", "method", "kernel", "feasible", "ok"):
+            if key in attrs:
+                entry[key] = attrs[key]
+        if len(out) < limit:
+            out.append(entry)
+        else:
+            dropped += 1
+        for event in span.get("events") or []:
+            if len(out) >= limit:
+                dropped += 1
+                continue
+            out.append(
+                {
+                    "event": "trace",
+                    "name": event.get("name", "event"),
+                    **{
+                        k: v
+                        for k, v in event.items()
+                        if k not in ("name", "ts")
+                    },
+                }
+            )
+    if dropped:
+        out.append({"event": "truncated", "dropped": dropped})
+    return out
+
+
+def result_events(result: JobResult, spans: list[dict] | None = None) -> list[dict]:
+    """The bridged event list for one finished job result.
+
+    ``spans`` is the span forest recorded by the job's private tracer;
+    when absent (tracing disabled server-side) the bridge degrades to a
+    stage summary synthesized from the result metrics, so streams always
+    carry *some* convergence signal.
+    """
+    events = span_events(spans or [])
+    if not events:
+        stages = (result.metrics or {}).get("stages") or {}
+        events = [
+            {
+                "event": "stage",
+                "name": name,
+                "ms": round(1000.0 * float(seconds), 3),
+            }
+            for name, seconds in stages.items()
+        ]
+    lp_solves = int((result.metrics or {}).get("lp_solves", 0))
+    if lp_solves:
+        events.append(
+            {
+                "event": "lp",
+                "solves": lp_solves,
+                "pivots": int((result.metrics or {}).get("lp_iterations", 0)),
+            }
+        )
+    return events

@@ -1,0 +1,414 @@
+"""A stdlib-asyncio HTTP/1.1 front end for :class:`AnalysisService`.
+
+No web framework: requests are parsed off an ``asyncio.start_server``
+stream directly, which keeps the server dependency-free and small enough
+to audit.  Persistent connections are supported (loadgen reuses one
+connection per worker); event streams use ``text/event-stream`` and close
+the connection when the job finishes.
+
+Routes::
+
+    POST /v1/jobs            submit one job or {"jobs": [...]} (202);
+                             ?wait=1 blocks until completion (200)
+    GET  /v1/jobs            recent job records (summaries)
+    GET  /v1/jobs/{id}       one record, result included when finished
+    GET  /v1/jobs/{id}?stream=1   server-sent progress events (also
+                             selected by "Accept: text/event-stream");
+                             ?since=N resumes after event N
+    GET  /v1/results/{key}   content-addressed lookup (memory + store)
+    GET  /healthz            liveness + drain state
+    GET  /metrics            Prometheus exposition text (obs exporter)
+
+Graceful drain: SIGINT/SIGTERM stop the listener, let in-flight jobs
+finish (bounded by ``drain_timeout``), flush the store, then return from
+:meth:`HttpServer.run`.  A second signal cancels the wait.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.serve.protocol import RequestError
+from repro.serve.service import (
+    AnalysisService,
+    JobRecord,
+    ServiceUnavailableError,
+)
+
+#: Largest accepted request body (a circuit source is kilobytes, not more).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Internal: abort the current request with a status + JSON message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class HttpServer:
+    """One listening socket bound to one :class:`AnalysisService`."""
+
+    def __init__(
+        self,
+        service: AnalysisService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        drain_timeout: float | None = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self._server: asyncio.base_events.Server | None = None
+        self._stop = asyncio.Event()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_stop(self) -> None:
+        """Signal-safe stop request (idempotent)."""
+        self._stop.set()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight jobs, flush and close the store."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain(timeout=self.drain_timeout)
+        # Close idle keep-alive connections so their handler tasks exit via
+        # EOF instead of being cancelled when the loop shuts down.
+        for writer in list(self._writers):
+            writer.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 5.0
+        while self._writers and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if self.service.store is not None:
+            self.service.store.close()
+
+    async def run(self, install_signals: bool = True, on_ready=None) -> None:
+        """Serve until SIGINT/SIGTERM (or :meth:`request_stop`), then drain."""
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        if install_signals and threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, self.request_stop)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        try:
+            await self._stop.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.shutdown()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "").lower() != "close"
+                try:
+                    finished = await self._dispatch(
+                        writer, method, target, headers, body, keep_alive
+                    )
+                except _HttpError as err:
+                    self._write_json(
+                        writer, err.status, {"error": str(err)}, keep_alive
+                    )
+                    finished = True
+                await writer.drain()
+                if not finished or not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict, bytes] | None:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: dict,
+        body: bytes,
+        keep_alive: bool,
+    ) -> bool:
+        """Handle one request; returns False when the connection was taken
+        over by a streaming response (which closes it itself)."""
+        parts = urlsplit(target)
+        path = unquote(parts.path)
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+
+        if path == "/healthz" and method == "GET":
+            self._write_json(writer, 200, self.service.health(), keep_alive)
+            return True
+        if path == "/metrics" and method == "GET":
+            self._write_text(
+                writer, 200, self.service.metrics_text(), keep_alive,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return True
+        if path == "/v1/jobs":
+            if method == "POST":
+                return await self._post_jobs(writer, query, body, keep_alive)
+            if method == "GET":
+                records = self.service.list_records()
+                self._write_json(
+                    writer,
+                    200,
+                    {"jobs": [r.to_dict(include_result=False) for r in records]},
+                    keep_alive,
+                )
+                return True
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            job_id = path[len("/v1/jobs/"):]
+            return await self._get_job(writer, job_id, query, headers, keep_alive)
+        if path.startswith("/v1/results/"):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            key = path[len("/v1/results/"):]
+            result = self.service.lookup_result(key)
+            if result is None:
+                raise _HttpError(404, f"no stored result for key {key!r}")
+            self._write_json(writer, 200, result.to_dict(), keep_alive)
+            return True
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _post_jobs(
+        self, writer: asyncio.StreamWriter, query: dict, body: bytes,
+        keep_alive: bool,
+    ) -> bool:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise _HttpError(400, f"request body is not valid JSON: {err}") from err
+        if payload is None:
+            raise _HttpError(400, "empty request body")
+        batch = isinstance(payload, dict) and "jobs" in payload
+        requests = payload["jobs"] if batch else [payload]
+        if not isinstance(requests, list) or not requests:
+            raise _HttpError(400, "'jobs' must be a non-empty list")
+        wait = query.get("wait") in ("1", "true", "yes")
+        records: list[JobRecord] = []
+        try:
+            for request in requests:
+                records.append(await self.service.submit(request))
+        except RequestError as err:
+            raise _HttpError(400, str(err)) from err
+        except ServiceUnavailableError as err:
+            raise _HttpError(503, str(err)) from err
+        if wait:
+            for record in records:
+                await self.service.wait(record)
+        status = 200 if wait else 202
+        payload_out = [
+            record.to_dict(include_result=wait) | {
+                "href": f"/v1/jobs/{record.id}"
+            }
+            for record in records
+        ]
+        self._write_json(
+            writer,
+            status,
+            {"jobs": payload_out} if batch else payload_out[0],
+            keep_alive,
+        )
+        return True
+
+    async def _get_job(
+        self, writer: asyncio.StreamWriter, job_id: str, query: dict,
+        headers: dict, keep_alive: bool,
+    ) -> bool:
+        record = self.service.get_record(job_id)
+        if record is None:
+            raise _HttpError(404, f"unknown job id {job_id!r}")
+        wants_stream = (
+            query.get("stream") in ("1", "true", "yes")
+            or "text/event-stream" in headers.get("accept", "")
+        )
+        if not wants_stream:
+            if query.get("wait") in ("1", "true", "yes"):
+                await self.service.wait(record)
+            self._write_json(
+                writer, 200,
+                record.to_dict(include_result=True, include_events=True),
+                keep_alive,
+            )
+            return True
+        # Server-sent events: stream progress, then close the connection.
+        since = int(query.get("since", 0) or 0)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        async for event in record.stream_events(since=since):
+            name = str(event.get("event", "message"))
+            blob = json.dumps(event, default=str)
+            writer.write(f"event: {name}\ndata: {blob}\n\n".encode())
+            await writer.drain()
+        writer.write(b"event: end\ndata: {}\n\n")
+        await writer.drain()
+        return False
+
+    # ------------------------------------------------------------------
+    # Response writers
+    # ------------------------------------------------------------------
+    def _write_text(
+        self, writer: asyncio.StreamWriter, status: int, text: str,
+        keep_alive: bool, content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        body = text.encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    def _write_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        self._write_text(
+            writer,
+            status,
+            json.dumps(payload, default=str),
+            keep_alive,
+            content_type="application/json",
+        )
+
+
+class ServerHandle:
+    """A server running on a background thread (tests and benchmarks).
+
+    Owns a private event loop thread; :meth:`stop` requests a graceful
+    drain and joins the thread.  The HTTP endpoint is ``handle.url``.
+    """
+
+    def __init__(self, server: HttpServer, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=timeout)
+
+
+def run_in_thread(
+    service: AnalysisService, host: str = "127.0.0.1", port: int = 0,
+    drain_timeout: float | None = 30.0,
+) -> ServerHandle:
+    """Start a server on a daemon thread and return once it is listening."""
+    server = HttpServer(
+        service, host=host, port=port, drain_timeout=drain_timeout
+    )
+    started = threading.Event()
+    loop_box: list[asyncio.AbstractEventLoop] = []
+
+    def _main() -> None:
+        async def _run() -> None:
+            loop_box.append(asyncio.get_running_loop())
+            await server.start()
+            started.set()
+            await server._stop.wait()
+            await server.shutdown()
+
+        asyncio.run(_run())
+
+    thread = threading.Thread(
+        target=_main, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=30.0):  # pragma: no cover - startup hang
+        raise RuntimeError("HTTP server failed to start within 30s")
+    return ServerHandle(server, thread, loop_box[0])

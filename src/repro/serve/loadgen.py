@@ -1,0 +1,289 @@
+"""A self-contained load generator for the analysis service.
+
+Drives a running server with a weighted, deterministic request mix
+(seeded PRNG -- two runs with the same seed issue the same sequence),
+using one persistent ``http.client`` connection per worker thread.  The
+report combines client-side latency percentiles with server-side counter
+deltas scraped from ``/metrics`` before and after the burst, so a single
+run answers both "how fast" and "how many requests were served from the
+store / coalesced / executed".
+
+Used three ways: the ``repro loadgen`` CLI subcommand, the
+``benchmarks/bench_serve.py`` benchmark, and the CI service smoke job.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+from repro.serve.service import latency_percentiles
+
+#: Default request mix when none is given: one cheap minimize per design.
+DEFAULT_MIX: list[dict] = [
+    {"weight": 1, "request": {"kind": "minimize", "design": "example1"}},
+    {"weight": 1, "request": {"kind": "minimize", "design": "example2"}},
+]
+
+
+class LoadgenError(ReproError):
+    """Load generation failed outright (bad mix file, unreachable server)."""
+
+
+def load_mix(path: str) -> list[dict]:
+    """Read a request-mix JSON file (``examples/loadgen_mix.json`` shape).
+
+    The file is ``{"requests": [{"weight": N, "request": {...}}, ...]}``;
+    weights are relative draw probabilities.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise LoadgenError(f"cannot read mix file {path!r}: {err}") from err
+    entries = data.get("requests") if isinstance(data, Mapping) else None
+    if not isinstance(entries, list) or not entries:
+        raise LoadgenError(
+            f"mix file {path!r} must contain a non-empty 'requests' list"
+        )
+    mix: list[dict] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, Mapping) or "request" not in entry:
+            raise LoadgenError(
+                f"mix entry #{i} must be an object with a 'request' key"
+            )
+        weight = float(entry.get("weight", 1.0))
+        if weight <= 0:
+            raise LoadgenError(f"mix entry #{i} has non-positive weight")
+        mix.append({"weight": weight, "request": dict(entry["request"])})
+    return mix
+
+
+@dataclass
+class LoadgenReport:
+    """Everything one burst measured."""
+
+    requests: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    statuses: dict[str, int] = field(default_factory=dict)
+    counters_before: dict[str, float] = field(default_factory=dict)
+    counters_after: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def percentiles(self) -> dict[str, float]:
+        return latency_percentiles(self.latencies)
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    def counter_delta(self, name: str) -> float:
+        # The obs exporter namespaces everything under ``repro_``; accept
+        # both spellings so callers can use the service counter names.
+        for candidate in (name, f"repro_{name}"):
+            if candidate in self.counters_after or candidate in self.counters_before:
+                return self.counters_after.get(
+                    candidate, 0.0
+                ) - self.counters_before.get(candidate, 0.0)
+        return 0.0
+
+    def to_dict(self) -> dict:
+        pct = self.percentiles
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_rps": round(self.throughput, 2),
+            "latency_p50_ms": round(1000.0 * pct["p50"], 3),
+            "latency_p95_ms": round(1000.0 * pct["p95"], 3),
+            "latency_p99_ms": round(1000.0 * pct["p99"], 3),
+            "statuses": dict(sorted(self.statuses.items())),
+            "server_executed": self.counter_delta("serve_executed_total"),
+            "server_coalesced": self.counter_delta("serve_coalesced_total"),
+            "server_memory_hits": self.counter_delta("serve_memory_hits_total"),
+            "server_store_hits": self.counter_delta("serve_store_hits_total"),
+            "server_lp_solves": self.counter_delta("serve_lp_solves_total"),
+        }
+
+    def format(self) -> str:
+        d = self.to_dict()
+        lines = [
+            f"requests : {d['requests']} ({d['errors']} errors, "
+            f"{d['throughput_rps']:.1f} req/s over {d['wall_seconds']:.2f}s)",
+            f"latency  : p50 {d['latency_p50_ms']:.1f}ms  "
+            f"p95 {d['latency_p95_ms']:.1f}ms  p99 {d['latency_p99_ms']:.1f}ms",
+            f"server   : executed {d['server_executed']:.0f}  "
+            f"coalesced {d['server_coalesced']:.0f}  "
+            f"memory hits {d['server_memory_hits']:.0f}  "
+            f"store hits {d['server_store_hits']:.0f}  "
+            f"lp solves {d['server_lp_solves']:.0f}",
+            "statuses : "
+            + ", ".join(f"{k}={v}" for k, v in d["statuses"].items()),
+        ]
+        return "\n".join(lines)
+
+
+def parse_metrics_text(text: str) -> dict[str, float]:
+    """Parse Prometheus exposition text into ``{metric_name: value}``."""
+    counters: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            counters[name.strip()] = float(value)
+        except ValueError:
+            continue
+    return counters
+
+
+class _Client:
+    """A persistent connection to the server, reopened on failure."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.host, self.port, self.timeout = host, port, timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict | str]:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read().decode("utf-8", "replace")
+                break
+            except (OSError, http.client.HTTPException):
+                self.close()
+                if attempt == 2:
+                    raise
+        content_type = response.getheader("Content-Type", "")
+        if "json" in content_type:
+            try:
+                return response.status, json.loads(raw)
+            except json.JSONDecodeError:
+                pass
+        return response.status, raw
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def _split_url(url: str) -> tuple[str, int]:
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if not parts.hostname or not parts.port:
+        raise LoadgenError(f"server URL {url!r} needs an explicit host:port")
+    return parts.hostname, parts.port
+
+
+def run_load(
+    url: str,
+    mix: list[dict] | None = None,
+    requests: int = 32,
+    concurrency: int = 4,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> LoadgenReport:
+    """Fire ``requests`` weighted draws at the server and measure.
+
+    Workers share nothing but the counter of remaining requests; each
+    holds its own connection and its own deterministic PRNG stream
+    (``seed + worker_index``), so runs are reproducible under any thread
+    interleaving.
+    """
+    host, port = _split_url(url)
+    entries = mix if mix else DEFAULT_MIX
+    weights = [float(e["weight"]) for e in entries]
+    bodies = [dict(e["request"]) for e in entries]
+
+    probe = _Client(host, port, timeout)
+    status, health = probe.request("GET", "/healthz")
+    if status != 200:
+        raise LoadgenError(f"server at {url} unhealthy: {status} {health}")
+    _, before_text = probe.request("GET", "/metrics")
+
+    report = LoadgenReport()
+    report.counters_before = parse_metrics_text(str(before_text))
+    lock = threading.Lock()
+    remaining = [requests]
+
+    def _worker(index: int) -> None:
+        rng = random.Random(seed + index)
+        client = _Client(host, port, timeout)
+        try:
+            while True:
+                with lock:
+                    if remaining[0] <= 0:
+                        return
+                    remaining[0] -= 1
+                body = rng.choices(bodies, weights=weights, k=1)[0]
+                start = time.perf_counter()
+                try:
+                    status, payload = client.request(
+                        "POST", "/v1/jobs?wait=1", body
+                    )
+                except (OSError, http.client.HTTPException):
+                    with lock:
+                        report.errors += 1
+                        report.requests += 1
+                        report.statuses["transport_error"] = (
+                            report.statuses.get("transport_error", 0) + 1
+                        )
+                        report.latencies.append(time.perf_counter() - start)
+                    continue
+                elapsed = time.perf_counter() - start
+                job_status = (
+                    payload.get("status", "?")
+                    if isinstance(payload, dict)
+                    else "?"
+                )
+                ok = status == 200 and job_status == "done"
+                with lock:
+                    report.requests += 1
+                    report.latencies.append(elapsed)
+                    tag = job_status if status == 200 else f"http_{status}"
+                    report.statuses[tag] = report.statuses.get(tag, 0) + 1
+                    if not ok:
+                        report.errors += 1
+        finally:
+            client.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=_worker, args=(i,), daemon=True)
+        for i in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+
+    _, after_text = probe.request("GET", "/metrics")
+    report.counters_after = parse_metrics_text(str(after_text))
+    probe.close()
+    return report

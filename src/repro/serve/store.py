@@ -1,0 +1,326 @@
+"""Persistent content-addressed result store (SQLite, WAL mode).
+
+The store maps canonical job keys (see :func:`repro.engine.jobspec.job_key`)
+to JSON-serialized :class:`~repro.engine.jobspec.JobResult` rows.  It is the
+durable sibling of the in-process :class:`~repro.engine.cache.ResultCache`:
+a server restart -- or a fresh CLI invocation pointed at the same file --
+serves previously solved instances without touching the LP.
+
+Design points:
+
+* **Content addressing.**  The primary key is the sha256 content hash of
+  the job signature, so two processes that solve the same instance write
+  the same row; ``INSERT OR REPLACE`` makes concurrent duplicate writes
+  idempotent rather than conflicting.
+* **WAL mode.**  Readers never block the single writer and vice versa, so
+  a running server and an ad-hoc ``repro batch`` can share one store file.
+  A ``busy_timeout`` absorbs short write collisions between processes.
+* **Schema versioning.**  The store records both its own table layout
+  (:data:`STORE_SCHEMA_VERSION`) and the job-key semantics it was written
+  under (:data:`~repro.engine.jobspec.SIGNATURE_VERSION`).  Opening a
+  store written under different semantics raises
+  :class:`StoreVersionError` -- stale keys must never be *misread* as
+  current ones.
+* **Corrupted-row recovery.**  A row whose JSON payload no longer parses
+  (torn write, manual edit) is dropped and counted, never fatal: content
+  addressing means the row can simply be recomputed.
+
+:class:`StoreBackedCache` layers the engine's LRU in front of a store and
+is a drop-in :class:`~repro.engine.cache.ResultCache`, which is how both
+the server and the CLI ``batch`` path adopt persistence without engine
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobspec import SIGNATURE_VERSION, JobResult
+from repro.errors import ReproError
+
+#: Version of the SQLite table layout itself (not the job-key semantics).
+STORE_SCHEMA_VERSION = 1
+
+#: File extensions routed to the SQLite store by :func:`open_cache`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+class StoreError(ReproError):
+    """A result-store operation failed."""
+
+
+class StoreVersionError(StoreError):
+    """The on-disk store was written under incompatible version semantics."""
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Lookup/write accounting for one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_dropped: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({100.0 * self.hit_rate:.1f}% of {self.lookups} lookups), "
+            f"{self.writes} writes"
+        )
+        if self.corrupt_dropped:
+            text += f", {self.corrupt_dropped} corrupt rows dropped"
+        return text
+
+
+class ResultStore:
+    """A persistent, content-addressed map from job keys to results.
+
+    One instance owns one SQLite connection; all operations are serialized
+    behind an internal lock, so a store can be shared by the asyncio event
+    loop and executor threads.  Cross-*process* sharing goes through
+    SQLite itself (WAL + busy timeout) -- open one instance per process.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        signature_version: int = SIGNATURE_VERSION,
+        busy_timeout: float = 5.0,
+    ) -> None:
+        self.path = path
+        self.signature_version = signature_version
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._corrupt = 0
+        self._closed = False
+        try:
+            self._conn = sqlite3.connect(
+                path, timeout=busy_timeout, check_same_thread=False
+            )
+        except sqlite3.Error as err:  # unreadable file / bad directory
+            raise StoreError(f"cannot open result store {path!r}: {err}") from err
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._init_schema()
+        except sqlite3.DatabaseError as err:
+            self._conn.close()
+            raise StoreError(
+                f"{path!r} is not a usable result store: {err}"
+            ) from err
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def _init_schema(self) -> None:
+        conn = self._conn
+        with conn:  # one transaction: create-or-verify must be atomic
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " key TEXT PRIMARY KEY,"
+                " kind TEXT NOT NULL,"
+                " value REAL,"
+                " payload TEXT NOT NULL,"
+                " created REAL NOT NULL)"
+            )
+            rows = dict(conn.execute("SELECT k, v FROM meta"))
+            if not rows:
+                conn.execute(
+                    "INSERT INTO meta (k, v) VALUES (?, ?), (?, ?)",
+                    (
+                        "store_schema",
+                        str(STORE_SCHEMA_VERSION),
+                        "signature_version",
+                        str(self.signature_version),
+                    ),
+                )
+                return
+        self._check_version(rows, "store_schema", STORE_SCHEMA_VERSION)
+        self._check_version(rows, "signature_version", self.signature_version)
+
+    def _check_version(self, rows: dict, key: str, expected: int) -> None:
+        found = rows.get(key)
+        if found != str(expected):
+            self._conn.close()
+            raise StoreVersionError(
+                f"result store {self.path!r} was written with "
+                f"{key}={found!r}, this build expects {expected}; "
+                "use a fresh store file (keys are not comparable "
+                "across versions)"
+            )
+
+    # ------------------------------------------------------------------
+    # Mapping operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> JobResult | None:
+        """Look up a key; corrupted rows are dropped and count as misses."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self._misses += 1
+                return None
+            try:
+                result = JobResult.from_dict(json.loads(row[0]))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # A torn or hand-mangled row: recovery is deletion -- the
+                # content hash guarantees it can simply be recomputed.
+                self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+                self._conn.commit()
+                self._corrupt += 1
+                self._misses += 1
+                return None
+            self._hits += 1
+            result.cached = True
+            return result
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Insert (or idempotently replace) one result; failures not stored."""
+        if not result.ok:
+            return
+        blob = json.dumps(result.to_dict(), separators=(",", ":"))
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, kind, value, payload, created) VALUES (?, ?, ?, ?, ?)",
+                (key, result.kind, result.value, blob, time.time()),
+            )
+            self._conn.commit()
+            self._writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+        return int(count)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM results ORDER BY created"
+            ).fetchall()
+        return [r[0] for r in rows]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Force a WAL checkpoint so every write is in the main db file."""
+        with self._lock:
+            if self._closed:
+                return  # close() already checkpointed via commit+close
+            self._conn.commit()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._conn.commit()
+            finally:
+                self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            hits=self._hits,
+            misses=self._misses,
+            writes=self._writes,
+            corrupt_dropped=self._corrupt,
+        )
+
+
+class StoreBackedCache(ResultCache):
+    """The engine LRU with a persistent :class:`ResultStore` behind it.
+
+    Lookups fall through memory to the store (promoting store hits into
+    the LRU); writes go to both layers.  A drop-in
+    :class:`~repro.engine.cache.ResultCache`, so ``Engine(cache=...)``
+    gains durable results with no engine changes.  Thread-safe: the serve
+    layer executes sweep jobs on worker threads that share one cache.
+    """
+
+    def __init__(self, store: ResultStore, max_entries: int = 4096) -> None:
+        super().__init__(max_entries=max_entries)
+        self.store = store
+        self.path = store.path  # Engine.save_cache persists via this
+        self._rlock = threading.RLock()
+
+    def get(self, key: str) -> JobResult | None:
+        with self._rlock:
+            hit = super().get(key)
+            if hit is not None:
+                return hit
+            promoted = self.store.get(key)
+            if promoted is None:
+                return None
+            # Reclassify: the combined cache *hit*, even though the memory
+            # layer missed (stats drive the report's hit-rate line).
+            self._misses -= 1
+            self._hits += 1
+            super().put(key, promoted)
+            promoted.cached = True
+            return promoted
+
+    def put(self, key: str, result: JobResult) -> None:
+        with self._rlock:
+            super().put(key, result)
+        self.store.put(key, result)
+
+    def save(self, path: str | None = None) -> str:
+        """Writes are already durable; checkpoint the WAL and report the path."""
+        self.store.flush()
+        return self.store.path
+
+
+def open_cache(
+    path: str | None, max_entries: int = 4096
+) -> ResultCache:
+    """A result cache for ``path``: SQLite-backed for store suffixes, JSON else.
+
+    ``repro batch --cache results.sqlite`` and the server share persistent
+    stores through this helper; a ``.json`` (or suffix-less) path keeps the
+    original load-at-start / save-at-exit JSON behavior.
+    """
+    if path and path.endswith(SQLITE_SUFFIXES):
+        return StoreBackedCache(ResultStore(path), max_entries=max_entries)
+    return ResultCache(max_entries=max_entries, path=path)

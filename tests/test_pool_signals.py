@@ -1,0 +1,129 @@
+"""Signal handling for the worker pool: no orphans, clean interrupt exits.
+
+Two layers of coverage:
+
+* in-process: the ``siginfo`` fault job reports signal dispositions from
+  *inside* a pool worker, proving workers ignore SIGINT (the master owns
+  interrupt handling) while keeping SIGTERM terminable;
+* subprocess: a real master + hung workers receives SIGINT (whole process
+  group, like Ctrl-C) or SIGTERM (master only, like a service manager) and
+  must exit 130 with zero surviving multiprocessing children.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.engine.jobspec import FaultJob, job_key
+from repro.engine.pool import SerialPool, WorkerPool
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="signal tests assume a fork-capable platform",
+)
+
+
+class TestWorkerSignalDispositions:
+    def test_pool_worker_ignores_sigint_keeps_sigterm(self):
+        job = FaultJob(mode="siginfo")
+        pool = WorkerPool(workers=1)
+        result = pool.run([(job, job_key(job))])[0]
+        assert result.ok
+        assert result.payload["sigint_ignored"] is True
+        assert result.payload["sigterm_default"] is True
+        assert result.payload["pid"] != os.getpid()
+
+    def test_serial_pool_leaves_signals_alone(self):
+        # In-process execution must not touch the host's handlers.
+        before = signal.getsignal(signal.SIGINT)
+        job = FaultJob(mode="siginfo")
+        result = SerialPool().run([(job, job_key(job))])[0]
+        assert result.ok
+        assert result.payload["pid"] == os.getpid()
+        assert result.payload["sigint_ignored"] is False
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_master_restores_sigterm_handler(self):
+        before = signal.getsignal(signal.SIGTERM)
+        job = FaultJob(mode="ok", value=1.0)
+        WorkerPool(workers=1).run([(job, job_key(job))])
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+_MASTER_SCRIPT = textwrap.dedent(
+    """
+    import multiprocessing, sys
+    from repro.engine.jobspec import FaultJob, job_key
+    from repro.engine.pool import WorkerPool
+
+    jobs = [FaultJob(mode="hang", seconds=120.0, value=float(i))
+            for i in range(2)]
+    tasks = [(j, job_key(j)) for j in jobs]
+    pool = WorkerPool(workers=2, timeout=None, retries=0)
+    print("READY", flush=True)
+    try:
+        pool.run(tasks)
+    except KeyboardInterrupt:
+        leftover = [p for p in multiprocessing.active_children()
+                    if p.is_alive()]
+        sys.exit(130 if not leftover else 99)
+    sys.exit(0)
+    """
+)
+
+
+def _spawn_master():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _MASTER_SCRIPT],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        start_new_session=True,  # own process group, like a terminal job
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert line.strip() == "READY"
+    time.sleep(1.0)  # let both workers pick up their hang jobs
+    return proc
+
+
+class TestInterruptTeardown:
+    def test_sigint_to_process_group_exits_130_no_orphans(self):
+        """Ctrl-C semantics: SIGINT hits master *and* workers; the workers
+        ignore it, the master tears everything down and exits 130."""
+        proc = _spawn_master()
+        os.killpg(os.getpgid(proc.pid), signal.SIGINT)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 130, f"stdout={out!r} stderr={err!r}"
+
+    def test_sigterm_to_master_exits_130_no_orphans(self):
+        """Service-manager semantics: SIGTERM to the master alone is
+        converted to KeyboardInterrupt and drains through the same path."""
+        proc = _spawn_master()
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 130, f"stdout={out!r} stderr={err!r}"
+
+
+class TestCliInterruptExitCode:
+    def test_batch_interrupt_returns_130(self, tmp_path, capsys):
+        """`repro batch` interrupted mid-run reports the conventional
+        128+SIGINT exit code instead of a traceback."""
+        from unittest import mock
+
+        from repro.cli import main
+
+        with mock.patch(
+            "repro.cli.cmd_batch", side_effect=KeyboardInterrupt
+        ):
+            code = main(["batch", "whatever.lcd"])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err

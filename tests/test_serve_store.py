@@ -1,0 +1,225 @@
+"""Tests for the persistent content-addressed result store (repro.serve.store)."""
+
+import json
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.core.mlp import minimize_cycle_time
+from repro.designs import example1
+from repro.engine import Engine, MinimizeJob
+from repro.engine.jobspec import JobResult, job_key
+from repro.lang.writer import write_circuit
+from repro.serve.store import (
+    ResultStore,
+    StoreBackedCache,
+    StoreVersionError,
+    open_cache,
+)
+
+
+def _result(key: str, value: float = 1.0, ok: bool = True) -> JobResult:
+    return JobResult(
+        key=key,
+        kind="fault",
+        ok=ok,
+        value=value,
+        payload={"value": value},
+        metrics={"wall_seconds": 0.0},
+        label=f"r{value:g}",
+    )
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.sqlite"))
+        store.put("k1", _result("k1", 42.0))
+        hit = store.get("k1")
+        assert hit is not None
+        assert hit.value == 42.0
+        assert hit.cached is True
+        assert hit.payload == {"value": 42.0}
+        assert "k1" in store
+        assert len(store) == 1
+        store.close()
+
+    def test_failed_results_not_stored(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.sqlite"))
+        store.put("bad", _result("bad", ok=False))
+        assert store.get("bad") is None
+        assert len(store) == 0
+        store.close()
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.put("k1", _result("k1", 7.0))
+        with ResultStore(path) as store:
+            hit = store.get("k1")
+            assert hit is not None and hit.value == 7.0
+            assert store.stats.hits == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        with ResultStore(path) as store:
+            store.put("k1", _result("k1"))
+        # A store written under different job-key semantics must refuse to
+        # open: its keys hash different job contents.
+        with pytest.raises(StoreVersionError):
+            ResultStore(path, signature_version=999)
+        # The original version still opens and still has the row.
+        with ResultStore(path) as store:
+            assert store.get("k1") is not None
+
+    def test_corrupted_row_dropped_and_recomputable(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        store = ResultStore(path)
+        store.put("k1", _result("k1", 5.0))
+        store.put("k2", _result("k2", 6.0))
+        store.close()
+        # Corrupt one row's JSON behind the store's back.
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE results SET payload = '{not json' WHERE key = 'k1'"
+        )
+        conn.commit()
+        conn.close()
+        store = ResultStore(path)
+        assert store.get("k1") is None  # dropped, not crashed
+        assert store.stats.corrupt_dropped == 1
+        assert store.get("k2") is not None  # neighbors unaffected
+        assert len(store) == 1  # the bad row is deleted outright
+        store.put("k1", _result("k1", 5.0))  # content addressing: re-put is safe
+        assert store.get("k1").value == 5.0
+        store.close()
+
+
+def _writer_proc(path: str, start: int, count: int) -> None:
+    with ResultStore(path) as store:
+        for i in range(start, start + count):
+            store.put(f"key{i:03d}", _result(f"key{i:03d}", float(i)))
+
+
+class TestConcurrentAccess:
+    def test_two_processes_write_same_store(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        ResultStore(path).close()  # create schema first (no init race)
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(target=_writer_proc, args=(path, 0, 25)),
+            ctx.Process(target=_writer_proc, args=(path, 25, 25)),
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        with ResultStore(path) as store:
+            assert len(store) == 50
+            for i in range(50):
+                hit = store.get(f"key{i:03d}")
+                assert hit is not None and hit.value == float(i)
+
+    def test_two_processes_same_key(self, tmp_path):
+        """Identical keys hold identical content, so last-write-wins is safe."""
+        path = str(tmp_path / "s.sqlite")
+        ResultStore(path).close()
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(target=_writer_proc, args=(path, 0, 10)),
+            ctx.Process(target=_writer_proc, args=(path, 0, 10)),
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        with ResultStore(path) as store:
+            assert len(store) == 10
+            for i in range(10):
+                assert store.get(f"key{i:03d}").value == float(i)
+
+
+class TestStoreBackedCache:
+    def test_memory_layer_promotion(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.sqlite"))
+        cache = StoreBackedCache(store)
+        cache.put("k1", _result("k1", 3.0))
+        # Fresh cache over the same store: first get promotes from disk,
+        # second is a pure memory hit.
+        cache2 = StoreBackedCache(store)
+        assert cache2.get("k1").value == 3.0
+        assert store.stats.hits == 1
+        assert cache2.get("k1").value == 3.0
+        assert store.stats.hits == 1  # memory layer answered
+        assert cache2.stats.hits == 2
+        store.close()
+
+    def test_open_cache_dispatch(self, tmp_path):
+        sq = open_cache(str(tmp_path / "a.sqlite"))
+        assert isinstance(sq, StoreBackedCache)
+        sq.store.close()
+        js = open_cache(str(tmp_path / "a.json"))
+        assert not isinstance(js, StoreBackedCache)
+        assert open_cache(None) is not None
+
+    def test_engine_restart_serves_from_store(self, tmp_path):
+        path = str(tmp_path / "engine.sqlite")
+        job = MinimizeJob(graph=example1())
+        with Engine(jobs=1, cache=open_cache(path)) as engine:
+            first = engine.run_jobs([job])[0]
+            assert first.ok and not first.cached
+            assert engine.report.lp_solves > 0
+            engine.cache.store.close()
+        # Restarted engine: the result comes off disk, zero LP work.
+        with Engine(jobs=1, cache=open_cache(path)) as engine:
+            again = engine.run_jobs([job])[0]
+            assert again.cached
+            assert again.value == first.value
+            assert again.key == job_key(job)
+            report = engine.report
+            assert report.lp_solves == 0
+            assert report.store_hits == 1
+            engine.cache.store.close()
+
+
+class TestBatchCliSqliteCache:
+    @pytest.fixture
+    def ex1_file(self, tmp_path):
+        path = tmp_path / "ex1.lcd"
+        path.write_text(write_circuit(example1(80.0)))
+        return str(path)
+
+    def test_batch_sqlite_cache_round_trip(self, ex1_file, tmp_path, capsys):
+        cache = str(tmp_path / "batch.sqlite")
+        assert main(["batch", ex1_file, "--cache", cache]) == 0
+        out1 = capsys.readouterr().out
+        assert "store: 0 hits, 1 writes" in out1
+        assert main(["batch", ex1_file, "--cache", cache]) == 0
+        out2 = capsys.readouterr().out
+        assert "(cached)" in out2
+        assert "store: 1 hits, 0 writes" in out2
+        assert "lp: 0 solves" in out2
+        # The sqlite store is also readable by the serve layer directly.
+        with ResultStore(cache) as store:
+            assert len(store) == 1
+
+    def test_batch_json_cache_still_works(self, ex1_file, tmp_path, capsys):
+        cache = str(tmp_path / "batch.json")
+        assert main(["batch", ex1_file, "--cache", cache]) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "batch.json").read_text())
+        assert data["entries"]
+        assert main(["batch", ex1_file, "--cache", cache]) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+
+class TestOptimalScheduleSanity:
+    def test_example1_schedule_matches_fixture(self):
+        """Guards examples/loadgen_mix.json: the analyze entry hardcodes
+        the optimal example1 clock; if the optimum moves, the fixture must
+        move with it."""
+        result = minimize_cycle_time(example1())
+        assert result.period == pytest.approx(110.0)
