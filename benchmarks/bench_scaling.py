@@ -5,8 +5,16 @@ The paper argues the number of LP constraints is bounded by
 seconds-scale runtimes for the 91-constraint GaAs model on a DECStation
 3100.  This benchmark sweeps the circuit size, asserts the linear
 constraint growth, and times MLP end to end.
+
+The per-backend columns are driven from the LP backend registry
+(:func:`repro.lp.backends.available_backends`), so a newly registered
+backend shows up here without edits; ``+check`` variants are excluded
+because they deliberately solve twice.
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) for a reduced grid.
 """
 
+import os
 import time
 
 import pytest
@@ -15,10 +23,15 @@ from repro.circuit.generate import random_multiloop_circuit
 from repro.core.constraints import build_maxplus_system, build_program
 from repro.core.mlp import MLPOptions, minimize_cycle_time
 from repro.core.reporting import format_comparison
+from repro.lp.backends import available_backends
 from repro.maxplus.fixpoint import least_fixpoint
 
-SIZES = [8, 16, 32, 64]
-FAST = MLPOptions(verify=False)
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZES = [8, 16] if QUICK else [8, 16, 32, 64]
+
+#: Every registered single-solve backend; "+check" variants solve the
+#: same program twice by design and would only duplicate columns.
+BACKENDS = [b for b in available_backends() if "+" not in b]
 
 
 def _fixpoint_ms(system, kernel):
@@ -36,23 +49,29 @@ def measure():
         circuit = random_multiloop_circuit(n, n_extra_arcs=n // 2, k=2, seed=n)
         smo = build_program(circuit)
         start = time.perf_counter()
-        result = minimize_cycle_time(circuit, mlp=FAST)
+        result = minimize_cycle_time(circuit, mlp=MLPOptions(verify=False))
         elapsed = time.perf_counter() - start
+        row = {
+            "latches": n,
+            "arcs": len(circuit.arcs),
+            "constraints": smo.explicit_constraint_count,
+            "bound 4k+(F+1)l": 4 * circuit.k + (circuit.max_fanin() + 1) * n,
+            "Tc": result.period,
+            "seconds": round(elapsed, 4),
+        }
+        for backend in BACKENDS:
+            fast = MLPOptions(backend=backend, verify=False)
+            out = minimize_cycle_time(circuit, mlp=fast)
+            row[f"Tc ({backend})"] = out.period
+            row[f"lp ms ({backend})"] = round(
+                out.extra["stages"]["lp_solve"] * 1000, 3
+            )
         # Fixpoint kernel comparison at the optimal schedule (the slide's
         # workload; see bench_fixpoint_kernels.py for the full sweep).
         system = build_maxplus_system(circuit, result.schedule)
-        rows.append(
-            {
-                "latches": n,
-                "arcs": len(circuit.arcs),
-                "constraints": smo.explicit_constraint_count,
-                "bound 4k+(F+1)l": 4 * circuit.k + (circuit.max_fanin() + 1) * n,
-                "Tc": result.period,
-                "seconds": round(elapsed, 4),
-                "fix dict ms": _fixpoint_ms(system, "dict"),
-                "fix array ms": _fixpoint_ms(system, "array"),
-            }
-        )
+        row["fix dict ms"] = _fixpoint_ms(system, "dict")
+        row["fix array ms"] = _fixpoint_ms(system, "array")
+        rows.append(row)
     return rows
 
 
@@ -63,6 +82,11 @@ def test_constraint_count_scales_linearly(benchmark, emit):
         # The paper's bound counts the same explicit rows we generate
         # (setup + propagation + clock rows); check it holds.
         assert row["constraints"] <= row["bound 4k+(F+1)l"] + 4 * 2 + 1
+        # Every registered backend reproduces the same optimum.
+        for backend in BACKENDS:
+            assert row[f"Tc ({backend})"] == pytest.approx(
+                row["Tc"], abs=1e-6
+            )
     # Linearity: constraints per latch stays (nearly) constant.
     ratios = [r["constraints"] / r["latches"] for r in rows]
     assert max(ratios) / min(ratios) < 1.6
@@ -83,9 +107,9 @@ def test_constraint_count_scales_linearly(benchmark, emit):
                 "bound 4k+(F+1)l",
                 "Tc",
                 "seconds",
-                "fix dict ms",
-                "fix array ms",
-            ],
+            ]
+            + [f"lp ms ({b})" for b in BACKENDS]
+            + ["fix dict ms", "fix array ms"],
             "Constraint-count and runtime scaling (Section IV claims)",
         ),
     )

@@ -513,7 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="find the optimal cycle time (MLP)")
     p.add_argument("file", help=".lcd circuit description")
     p.add_argument("--backend", default=None,
-                   help="LP backend (simplex|revised|scipy)")
+                   help="LP backend (simplex|revised|scipy|cycle|cycle+check)")
     p.add_argument("--kernel", default="auto",
                    choices=("dict", "array", "auto"),
                    help="fixpoint kernel for the departure slide "
@@ -585,7 +585,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for grid evaluation (default 1)")
     p.add_argument("--backend", default=None,
-                   help="LP backend (simplex|revised|scipy; default revised)")
+                   help="LP backend (simplex|revised|scipy|cycle|cycle+check; "
+                        "default revised)")
     p.add_argument("--kernel", default="auto",
                    choices=("dict", "array", "auto"),
                    help="fixpoint kernel for the departure slide "
@@ -631,7 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=1,
                    help="extra attempts after a worker crash/timeout")
     p.add_argument("--backend", default=None,
-                   help="LP backend (simplex|revised|scipy)")
+                   help="LP backend (simplex|revised|scipy|cycle|cycle+check)")
     p.add_argument("--kernel", default="auto",
                    choices=("dict", "array", "auto"),
                    help="fixpoint kernel for the departure slide "

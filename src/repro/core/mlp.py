@@ -77,6 +77,20 @@ class MLPOptions:
     a solver/kernel bug, not a property of the circuit).  The per-run
     :class:`~repro.lint.sanitize.SanitizeReport` lands in
     ``result.extra["sanitize"]``.
+
+    ``backend`` names the LP backend (see
+    :func:`repro.lp.backends.available_backends`).  The graph-native
+    ``"cycle"`` backend solves the Tc minimization by parametric
+    critical-cycle search over the difference-constraint graph (see
+    :mod:`repro.cycle`) -- no simplex tableau for the hard,
+    free-period solve.  The ``compact`` tie-break pass still runs when
+    enabled (routed to the revised simplex, since its objective is not
+    ``Tc``), keeping the canonical schedule identical across backends;
+    disable ``compact`` to stay entirely on the graph path and take the
+    cycle solver's own schedule -- the shortest-path potentials at the
+    optimum.  ``"cycle+check"`` additionally cross-checks the optimum
+    against the revised simplex *and* forces the sanitizer on,
+    regardless of ``sanitize``.
     """
 
     backend: str | None = None
@@ -152,7 +166,12 @@ def _compact_pass(
     for sync in graph.synchronizers:
         tie_break = tie_break + var(d_var(sync.name))
     smo2.program.minimize(tie_break)
-    result = solve(smo2.program, backend=mlp.backend)
+    # The cycle backends cannot honour a non-Tc objective and would only
+    # fall back; route the tie-break pass straight to the revised simplex.
+    backend = mlp.backend
+    if (backend or "").startswith("cycle"):
+        backend = "revised"
+    result = solve(smo2.program, backend=backend)
     if not result.ok:  # pragma: no cover - the pinned LP is always feasible
         return fallback
     # Restore the cycle-time objective value for downstream consumers.
@@ -197,13 +216,14 @@ def minimize_cycle_time(
     stages["constraint_gen"] = time.perf_counter() - build_start
     basis_in = warm_start if mlp.warm_start else None
     tc_result = solve(
-        smo.program, backend=mlp.backend, warm_start=basis_in
+        smo.program, backend=mlp.backend, warm_start=basis_in, context=smo
     ).raise_for_status()
     lp_solves = 1
     lp_iterations = tc_result.iterations
     lp_seconds = tc_result.solve_seconds
 
     lp_result = tc_result
+    cycle_info = tc_result.extra.get("cycle")
     if mlp.compact:
         lp_result = _compact_pass(
             graph, options, mlp, tc_result.objective, tc_result, stages
@@ -270,8 +290,13 @@ def minimize_cycle_time(
     basis_out = tc_result.extra.get("basis")
     if basis_out is not None:
         result.extra["basis"] = basis_out
+    if isinstance(cycle_info, dict):
+        result.extra["cycle"] = cycle_info
 
-    if mlp.sanitize:
+    # "cycle+check" is the self-verifying mode: LP cross-check happened in
+    # the backend; schedule feasibility is asserted by forcing the
+    # sanitizer on here.
+    if mlp.sanitize or mlp.backend == "cycle+check":
         # Local import: repro.lint imports from this package.
         from repro.lint.sanitize import sanitize_solution
 

@@ -1,0 +1,502 @@
+"""Parametric critical-cycle search and schedule recovery.
+
+The search is Lawler's cycle-ratio iteration with a Howard-style policy
+flavour: at the current period ``t``, a vectorized Bellman-Ford either
+proves feasibility (no negative cycle under weights ``a + b*t``) or
+extracts a negative cycle ``C`` from its predecessor graph; since every
+``b >= 0``, that cycle asserts ``Tc >= -A(C)/B(C) > t``, so ``t`` jumps
+there -- each extracted cycle playing the role of the improved policy.
+Candidate periods range over the finite set of cycle ratios and increase
+strictly, so the iteration terminates at the exact feasibility threshold
+of the encoded system.  Should the jumps ever crawl (adversarial graphs
+with many near-identical ratios), a binary search brackets the optimum
+to a narrow interval first and the ratio jumps finish exactly from
+there.
+
+At the optimal period the final Bellman-Ford potentials (every node
+initialized to 0 -- a virtual source wired everywhere) satisfy all
+encoded difference constraints; shifting them so ``origin = 0`` and
+undoing the event-time substitution yields values for every LP variable.
+The point is then *certified* against every row of the original program
+(including any rows the graph lowering skipped, and sign bounds): since
+the graph optimum is a relaxation lower bound, a certified-feasible
+point at that objective **is** the LP optimum -- no simplex required.
+If certification fails, the graph under-constrained the program and the
+solver transparently falls back to the revised simplex.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.constraints import TC, SMOProgram, d_var, s_var, t_var
+from repro.cycle.compiled import (
+    CompiledCycleGraph,
+    compile_cycle_graph,
+)
+from repro.errors import SolverError
+from repro.lint.graphdiag import (
+    ORIGIN,
+    constraint_graph_for,
+    dep_node,
+    end_node,
+    start_node,
+    structure_fingerprint,
+)
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPResult, LPStatus, attach_slacks
+from repro.obs import trace
+
+if TYPE_CHECKING:
+    from repro.lp.basis import Basis
+
+_I64 = npt.NDArray[np.int64]
+_F64 = npt.NDArray[np.float64]
+
+#: Relative feasibility tolerance of the Bellman-Ford oracle.
+TOL = 1e-9
+#: Tolerance for accepting the decoded point against the original rows.
+CERTIFY_TOL = 1e-7
+#: Ratio jumps before the binary-search bracket kicks in.
+BISECT_AFTER = 24
+#: Backend used when the graph relaxation cannot certify the optimum.
+FALLBACK_BACKEND = "revised"
+
+
+@dataclass(frozen=True)
+class _BFOutcome:
+    """One Bellman-Ford run: a distance vector or a negative cycle."""
+
+    feasible: bool
+    dist: _F64 | None
+    cycle: tuple[int, ...]  #: original-order edge indices, cycle order
+    rounds: int
+
+
+@dataclass(frozen=True)
+class CyclePeriod:
+    """Outcome of the parametric search.
+
+    ``status`` is ``"optimal"`` (``value`` is the minimum feasible period
+    and ``dist`` its witnessing potentials), ``"structural"`` (a negative
+    cycle with ``B == 0`` -- no period is feasible), ``"contradiction"``
+    (a constant row is false), or ``"capped"`` (the cycles force
+    ``Tc >= value`` but a scalar row caps the period below that).
+    ``cycle`` holds the critical (last binding) cycle as edge indices
+    into the compiled graph's original edge order.
+    """
+
+    status: str
+    value: float
+    dist: _F64 | None
+    cycle: tuple[int, ...]
+    jumps: int
+    bisections: int
+    bf_rounds: int
+    message: str = ""
+
+
+def _predecessor_cycle(
+    pred: _I64, in_tail: _I64, n: int
+) -> tuple[int, ...] | None:
+    """A cycle in the predecessor graph, as head-sorted edge slots.
+
+    Classic Bellman-Ford fact: whenever the predecessor pointers contain
+    a cycle (at any point during relaxation), that cycle has negative
+    weight.  Detection is vectorized by pointer doubling over the
+    successor map ``v -> tail(pred[v])`` with an absorbing terminal for
+    rootless nodes; extraction then walks ``n`` predecessor hops from any
+    surviving node, which is guaranteed to land on the cycle.
+    """
+    succ = np.where(pred >= 0, in_tail[np.maximum(pred, 0)], n)
+    chain = np.append(succ, n).astype(np.int64)
+    hops = 1
+    while hops < n:
+        chain = chain[chain]
+        hops *= 2
+    live = np.flatnonzero(chain[:n] != n)
+    if live.size == 0:
+        return None
+    node = int(live[0])
+    for _ in range(n):
+        node = int(in_tail[pred[node]])
+    start = node
+    slots: list[int] = []
+    while True:
+        slot = int(pred[node])
+        slots.append(slot)
+        node = int(in_tail[slot])
+        if node == start:
+            break
+    slots.reverse()
+    return tuple(slots)
+
+
+def _bellman_ford(
+    comp: CompiledCycleGraph, t: float, tol: float = TOL
+) -> _BFOutcome:
+    """Vectorized Bellman-Ford at period ``t`` over the CSR arrays.
+
+    All distances start at 0 (virtual source), so the result is the
+    greatest potential vector ``<= 0`` satisfying every edge -- exactly
+    what schedule recovery needs.  One round is two ``minimum.reduceat``
+    sweeps over the head-sorted edges; a predecessor-graph cycle check
+    runs periodically so infeasible periods are detected long before the
+    |V|-round worst case.
+    """
+    st = comp.structure
+    n = st.n_nodes
+    m = st.n_edges
+    if m == 0:
+        return _BFOutcome(True, np.zeros(n), (), 0)
+    w = comp.a_in + st.b_in * t
+    dist = np.zeros(n)
+    pred = np.full(n, -1, dtype=np.int64)
+    slots = np.arange(m, dtype=np.int64)
+    eps = tol * max(1.0, abs(t))
+    check_every = 32
+    max_rounds = 3 * n + 2
+    for rounds in range(1, max_rounds + 1):
+        cand = dist[st.in_tail] + w
+        seg_min = np.minimum.reduceat(cand, st.red_starts)
+        improved = seg_min < dist[st.red_heads] - eps
+        if not improved.any():
+            return _BFOutcome(True, dist, (), rounds)
+        seg_full = np.repeat(seg_min, st.red_counts)
+        seg_argmin = np.minimum.reduceat(
+            np.where(cand <= seg_full, slots, m), st.red_starts
+        )
+        heads = st.red_heads[improved]
+        dist[heads] = seg_min[improved]
+        pred[heads] = seg_argmin[improved]
+        if rounds % check_every == 0 or rounds >= n:
+            cycle_slots = _predecessor_cycle(pred, st.in_tail, n)
+            if cycle_slots is not None:
+                cycle = tuple(int(st.order[s]) for s in cycle_slots)
+                return _BFOutcome(False, None, cycle, rounds)
+    raise SolverError(  # pragma: no cover - relaxation must settle by 3|V|
+        f"Bellman-Ford did not settle within {max_rounds} rounds at t={t!r}"
+    )
+
+
+def _cycle_totals(
+    comp: CompiledCycleGraph, cycle: tuple[int, ...]
+) -> tuple[float, float]:
+    idx = np.asarray(cycle, dtype=np.int64)
+    return float(comp.a[idx].sum()), float(comp.structure.b[idx].sum())
+
+
+def minimum_feasible_period(
+    comp: CompiledCycleGraph,
+    tol: float = TOL,
+    max_jumps: int = 1000,
+    bisect_after: int = BISECT_AFTER,
+) -> CyclePeriod:
+    """The minimum feasible period of a compiled constraint graph.
+
+    Ratio jumps from the scalar floor; after ``bisect_after`` jumps a
+    feasible upper bound (``floor + sum of negative edge weights``) seeds
+    a binary search that shrinks the bracket before the jumps finish
+    exactly.  Scalar caps and constant-row contradictions are honoured
+    the same way :func:`repro.lint.graphdiag.diagnose` reports them.
+    """
+    cg = comp.graph
+    if cg.contradictions:
+        name, detail = cg.contradictions[0]
+        return CyclePeriod(
+            "contradiction", math.inf, None, (), 0, 0, 0,
+            f"constraint {name} is unsatisfiable: {detail}",
+        )
+    t = comp.tc_floor
+    cap = comp.tc_cap
+    if cap is not None and cap < t - tol * max(1.0, abs(t)):
+        return CyclePeriod(
+            "capped", t, None, (), 0, 0, 0,
+            f"scalar bounds cap Tc at {cap:g} below the floor {t:g}",
+        )
+    hi: float | None = None  # known-feasible period (bisection bracket)
+    jumps = bisections = bf_rounds = 0
+    critical: tuple[int, ...] = ()
+    boost = 1.0
+    while True:
+        out = _bellman_ford(comp, t, tol * boost)
+        bf_rounds += out.rounds
+        if out.feasible:
+            return CyclePeriod(
+                "optimal", t, out.dist, critical,
+                jumps, bisections, bf_rounds,
+            )
+        a_sum, b_sum = _cycle_totals(comp, out.cycle)
+        scale = max(1.0, abs(t))
+        if b_sum <= tol:
+            return CyclePeriod(
+                "structural", math.inf, None, out.cycle,
+                jumps, bisections, bf_rounds,
+                "negative cycle independent of Tc",
+            )
+        candidate = -a_sum / b_sum
+        if candidate <= t + 1e-15 * scale:
+            # Numerical stall: the cycle is negative only within noise of
+            # the current period.  Coarsen the oracle tolerance and retry;
+            # the certification pass downstream still guards the answer.
+            boost *= 10.0
+            if boost > 1e6:  # pragma: no cover - would need degenerate data
+                raise SolverError(
+                    f"cycle-ratio search stalled at t={t!r}"
+                )
+            continue
+        jumps += 1
+        critical = out.cycle
+        t = candidate
+        if cap is not None and t > cap + tol * scale:
+            return CyclePeriod(
+                "capped", t, None, out.cycle,
+                jumps, bisections, bf_rounds,
+                f"cycles require Tc >= {t:g} but scalar bounds cap it at {cap:g}",
+            )
+        if jumps == bisect_after and hi is None:
+            # Feasible upper bound: every cycle has A >= -sum(max(0, -a))
+            # and B >= 1 when Tc-dependent, so this period kills them all.
+            hi = comp.tc_floor + float(
+                np.maximum(-comp.a, 0.0).sum()
+            ) + 1.0
+            lo = t
+            while hi - lo > 1e-6 * max(1.0, abs(hi)):
+                mid = 0.5 * (lo + hi)
+                probe = _bellman_ford(comp, mid, tol)
+                bf_rounds += probe.rounds
+                bisections += 1
+                if probe.feasible:
+                    hi = mid
+                else:
+                    a_mid, b_mid = _cycle_totals(comp, probe.cycle)
+                    if b_mid <= tol:
+                        return CyclePeriod(
+                            "structural", math.inf, None, probe.cycle,
+                            jumps, bisections, bf_rounds,
+                            "negative cycle independent of Tc",
+                        )
+                    lo = max(mid, -a_mid / b_mid)
+                    critical = probe.cycle
+            t = lo
+        if jumps > max_jumps:  # pragma: no cover - finite ratio set
+            raise SolverError("cycle-ratio search did not converge")
+
+
+# ----------------------------------------------------------------------
+# Schedule recovery and certification
+# ----------------------------------------------------------------------
+def _recover_values(
+    comp: CompiledCycleGraph, smo: SMOProgram, t: float, dist: _F64
+) -> dict[str, float]:
+    """Undo the event-time substitution at the optimal potentials."""
+    st = comp.structure
+    index = st.index
+    x = dist - dist[index[ORIGIN]]
+    values: dict[str, float] = {TC: t}
+    for phase in smo.graph.phase_names:
+        xs = float(x[index[start_node(phase)]])
+        xe = float(x[index[end_node(phase)]])
+        values[s_var(phase)] = xs
+        values[t_var(phase)] = xe - xs
+    for sync in smo.graph.synchronizers:
+        xd = float(x[index[dep_node(sync.name)]])
+        values[d_var(sync.name)] = xd - float(
+            x[index[start_node(sync.phase)]]
+        )
+    for var in smo.program.variables:
+        values.setdefault(var, 0.0)
+    return values
+
+
+def _max_violation(
+    program: LinearProgram, values: dict[str, float]
+) -> tuple[float, str]:
+    """Worst violation of the point across all rows and sign bounds."""
+    worst, name = 0.0, ""
+    free = program.free_variables
+    for var in program.variables:
+        if var not in free:
+            below = -values.get(var, 0.0)
+            if below > worst:
+                worst, name = below, f"bound[{var}]"
+    for con in program.constraints:
+        violation = con.violation(values)
+        if violation > worst:
+            worst, name = violation, con.name
+    return worst, name
+
+
+def _tc_objective_coeff(program: LinearProgram) -> float | None:
+    """The coefficient ``c`` when the objective is ``c*Tc + const``."""
+    terms = program.objective.terms
+    if set(terms) == {TC} and terms[TC] > 0.0:
+        return terms[TC]
+    return None
+
+
+# ----------------------------------------------------------------------
+# The backend entry point
+# ----------------------------------------------------------------------
+def solve_cycle(
+    program: LinearProgram,
+    warm_start: "Basis | None" = None,
+    context: object | None = None,
+    check: bool = False,
+    tol: float = TOL,
+) -> LPResult:
+    """Solve ``min Tc`` by parametric critical-cycle search.
+
+    ``context`` must be the :class:`SMOProgram` that owns ``program`` --
+    the event-time substitution needs the timing graph and cannot be
+    recovered from the bare LP.  Whenever the graph route cannot *prove*
+    its answer optimal -- missing context, a non-Tc objective, or a
+    decoded schedule that violates a row the lowering skipped -- the
+    call transparently falls back to the revised simplex, so
+    ``backend="cycle"`` is always correct, merely sometimes no faster.
+    With ``check=True`` (the ``"cycle+check"`` backend) the LP reference
+    is solved unconditionally and any disagreement beyond ``1e-9``
+    relative raises :class:`SolverError`.
+    """
+    smo = context if isinstance(context, SMOProgram) else None
+    reason: str | None = None
+    period: CyclePeriod | None = None
+    objective_coeff = _tc_objective_coeff(program)
+    if smo is None:
+        reason = "no SMOProgram context supplied"
+    elif smo.program is not program:
+        reason = "program is not the context's SMO program"
+    elif objective_coeff is None:
+        reason = "objective is not a positive multiple of Tc"
+
+    result: LPResult | None = None
+    if reason is None:
+        assert smo is not None and objective_coeff is not None
+        cg = constraint_graph_for(smo)
+        comp = compile_cycle_graph(cg, key=structure_fingerprint(smo))
+        period = minimum_feasible_period(comp, tol=tol)
+        if period.status != "optimal":
+            # The graph is a relaxation of the LP: if *it* is infeasible,
+            # the LP certainly is -- report that without any fallback.
+            result = LPResult(
+                status=LPStatus.INFEASIBLE,
+                backend="cycle",
+                iterations=period.jumps,
+                extra={
+                    "cycle": {
+                        "used": True,
+                        "status": period.status,
+                        "message": period.message,
+                        "jumps": period.jumps,
+                        "bisections": period.bisections,
+                        "bf_rounds": period.bf_rounds,
+                        "cycle_constraints": [
+                            comp.structure.constraints[i]
+                            for i in period.cycle
+                        ],
+                    }
+                },
+            )
+        else:
+            assert period.dist is not None
+            values = _recover_values(comp, smo, period.value, period.dist)
+            worst, worst_row = _max_violation(program, values)
+            scale = max(1.0, abs(period.value))
+            if worst <= CERTIFY_TOL * scale:
+                result = LPResult(
+                    status=LPStatus.OPTIMAL,
+                    objective=objective_coeff * period.value
+                    + program.objective.constant,
+                    values=values,
+                    iterations=period.jumps,
+                    backend="cycle",
+                    extra={
+                        "cycle": {
+                            "used": True,
+                            "tc": period.value,
+                            "jumps": period.jumps,
+                            "bisections": period.bisections,
+                            "bf_rounds": period.bf_rounds,
+                            "certified_rows": len(program.constraints),
+                            "max_violation": worst,
+                            "critical_cycle": [
+                                comp.structure.constraints[i]
+                                for i in period.cycle
+                            ],
+                            "skipped_rows": list(cg.skipped),
+                        }
+                    },
+                )
+                attach_slacks(result, program)
+            else:
+                reason = (
+                    f"decoded schedule violates {worst_row} by {worst:.3g}: "
+                    f"the cycle bound {period.value!r} under-constrains the LP"
+                )
+
+    if result is None:
+        # Graceful fallback: the graph route could not certify an answer.
+        from repro.lp.backends import solve as lp_solve
+
+        with trace.span("cycle_fallback", reason=reason or ""):
+            result = lp_solve(
+                program, backend=FALLBACK_BACKEND, warm_start=warm_start
+            )
+        fallback_info: dict[str, object] = {
+            "used": False,
+            "reason": reason,
+            "fallback_backend": FALLBACK_BACKEND,
+        }
+        if period is not None:
+            fallback_info["bound"] = period.value
+        result.extra["cycle"] = fallback_info
+
+    if check:
+        _cross_check(program, result, warm_start, tol)
+    return result
+
+
+def _cross_check(
+    program: LinearProgram,
+    result: LPResult,
+    warm_start: "Basis | None",
+    tol: float,
+) -> None:
+    """Solve the LP reference and assert agreement (``cycle+check``)."""
+    from repro.lp.backends import solve as lp_solve
+
+    info = result.extra.setdefault("cycle", {})
+    if not info.get("used", False):
+        # Fallback already *is* the LP answer; nothing to cross-check.
+        info["check"] = {"backend": FALLBACK_BACKEND, "delta": 0.0}
+        return
+    with trace.span("cycle_check", backend=FALLBACK_BACKEND):
+        reference = lp_solve(
+            program, backend=FALLBACK_BACKEND, warm_start=warm_start
+        )
+    if result.status is not reference.status:
+        raise SolverError(
+            f"cycle/LP status disagreement: cycle={result.status.value} "
+            f"vs {FALLBACK_BACKEND}={reference.status.value}"
+        )
+    delta = 0.0
+    if result.status is LPStatus.OPTIMAL:
+        delta = abs(result.objective - reference.objective)
+        scale = max(1.0, abs(reference.objective))
+        if delta > 1e-9 * scale:
+            raise SolverError(
+                f"cycle optimum {result.objective!r} disagrees with "
+                f"{FALLBACK_BACKEND} optimum {reference.objective!r} "
+                f"(delta {delta:.3g})"
+            )
+    info["check"] = {
+        "backend": FALLBACK_BACKEND,
+        "objective": reference.objective,
+        "delta": delta,
+        "pivots": reference.iterations,
+    }

@@ -121,12 +121,18 @@ def mlp_signature(mlp: MLPOptions | None) -> dict | None:
     ``kernel`` and ``sanitize`` are deliberately excluded: the fixpoint
     kernel is a pure performance device and the sanitizer a pure
     verification device -- neither changes a reported optimum, so neither
-    may split the cache.
+    may split the cache.  For the same reason the self-checking
+    ``"cycle+check"`` backend hashes as plain ``"cycle"``: the LP
+    cross-check and forced sanitize only ever *raise*, they never change
+    what the job returns, so both spellings must share one cache entry.
     """
     if mlp is None:
         return None
+    backend = mlp.backend
+    if backend == "cycle+check":
+        backend = "cycle"
     return {
-        "backend": mlp.backend,
+        "backend": backend,
         "iteration": mlp.iteration,
         "verify": mlp.verify,
         "compact": mlp.compact,

@@ -22,10 +22,14 @@ from repro.lint.graphdiag import (
     InfeasibilityCertificate,
     TcBound,
     build_constraint_graph,
+    clear_graph_cache,
+    constraint_graph_for,
     diagnose,
     find_negative_cycle,
+    graph_cache_stats,
     karp_min_cycle_mean,
     structural_negative_cycle,
+    structure_fingerprint,
     tc_lower_bound,
 )
 from repro.lint.report import LintFinding, LintReport, Severity
@@ -51,10 +55,14 @@ __all__ = [
     "Severity",
     "TcBound",
     "build_constraint_graph",
+    "clear_graph_cache",
+    "constraint_graph_for",
     "diagnose",
     "find_negative_cycle",
     "get_rule",
+    "graph_cache_stats",
     "karp_min_cycle_mean",
+    "structure_fingerprint",
     "registered_rules",
     "run_lint",
     "run_rules",

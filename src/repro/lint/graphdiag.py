@@ -28,13 +28,26 @@ coefficients, or rows over unknown variables such as a setup-slack column)
 are recorded in :attr:`ConstraintGraph.skipped`; dropping constraints only
 enlarges the feasible set, so the reported bound remains a valid lower
 bound and certificates remain sound either way.
+
+Graph construction is split into a *skeleton* (which edges exist, their
+endpoints and ``b`` coefficients -- everything except the ``a`` values,
+which come from constraint right-hand sides) and a cheap *materialize*
+step that fills the numbers in.  Skeletons are cached in a bounded LRU
+keyed by :func:`structure_fingerprint`, mirroring the compiled-kernel
+structure cache of :mod:`repro.maxplus.compiled`, so the parametric
+re-cost path (``with_rhs``/``recost_arc_delay``) and repeated diagnostics
+over the same circuit never re-derive the substitution.  Callers that may
+see the same program repeatedly should use :func:`constraint_graph_for`;
+:func:`build_constraint_graph` is the uncached spelling.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, cast
 
 from repro.circuit.graph import TimingGraph
 from repro.core.constraints import (
@@ -222,10 +235,48 @@ class TcBound:
 
 
 # ----------------------------------------------------------------------
-# Graph construction
+# Graph construction: skeleton (structure-cached) + materialize (cheap)
 # ----------------------------------------------------------------------
-def build_constraint_graph(smo: SMOProgram) -> ConstraintGraph:
-    """Lower an SMO program to its parametric difference-constraint graph."""
+@dataclass(frozen=True)
+class _EdgeTemplate:
+    """A :class:`DiffEdge` minus its ``a`` value.
+
+    ``row`` indexes the program constraint whose rhs supplies ``a`` (as
+    ``sign * rhs``); implicit bounds (``row == -1``) have ``a == 0``.
+    """
+
+    tail: str
+    head: str
+    b: float
+    constraint: str
+    family: str
+    row: int
+    sign: float
+
+
+@dataclass(frozen=True)
+class _ScalarTemplate:
+    """A constant row ``tc_coeff * Tc <= sign * rhs[row]``."""
+
+    row: int
+    sign: float
+    tc_coeff: float
+    name: str
+
+
+@dataclass(frozen=True)
+class GraphSkeleton:
+    """Everything about a constraint graph except the rhs-derived numbers."""
+
+    nodes: tuple[str, ...]
+    edges: tuple[_EdgeTemplate, ...]
+    scalars: tuple[_ScalarTemplate, ...]
+    tc_nonneg: bool
+    skipped: tuple[str, ...]
+
+
+def _build_skeleton(smo: SMOProgram) -> GraphSkeleton:
+    """Derive the event-time substitution and classify every row once."""
     graph = smo.graph
     nodes = [ORIGIN]
     substitution: dict[str, tuple[tuple[str, float], ...]] = {}
@@ -245,10 +296,14 @@ def build_constraint_graph(smo: SMOProgram) -> ConstraintGraph:
     family_of = {
         name: tag for tag, names in smo.families.items() for name in names
     }
-    cg = ConstraintGraph(nodes=nodes, edges=[])
+    edges: list[_EdgeTemplate] = []
+    scalars: list[_ScalarTemplate] = []
+    skipped: list[str] = []
 
-    def add_le_row(name: str, terms: dict[str, float], rhs: float) -> None:
-        """One ``sum(terms) <= rhs`` row -> an edge or a scalar Tc bound."""
+    def add_le_row(
+        name: str, terms: dict[str, float], row: int, sign: float
+    ) -> None:
+        """One ``sign * row <= sign * rhs`` half -> edge or scalar template."""
         family = family_of.get(name, "?")
         coeffs: dict[str, float] = {}
         tc_coeff = 0.0
@@ -258,67 +313,185 @@ def build_constraint_graph(smo: SMOProgram) -> ConstraintGraph:
                 continue
             nodes_of = substitution.get(lp_var)
             if nodes_of is None:
-                cg.skipped.append(name)
+                skipped.append(name)
                 return
-            for node, sign in nodes_of:
-                coeffs[node] = coeffs.get(node, 0.0) + coeff * sign
+            for node, node_sign in nodes_of:
+                coeffs[node] = coeffs.get(node, 0.0) + coeff * node_sign
         coeffs = {n: c for n, c in coeffs.items() if c != 0.0}
-        a, b = rhs, -tc_coeff
         if not coeffs:
-            # Constant row: tc_coeff * Tc <= rhs.
-            if tc_coeff > 0.0:
-                cg.tc_upper.append((rhs / tc_coeff, name))
-            elif tc_coeff < 0.0:
-                cg.tc_lower.append((rhs / tc_coeff, name))
-            elif rhs < 0.0:
-                cg.contradictions.append((name, f"0 <= {rhs:g} is false"))
+            # Constant row: tc_coeff * Tc <= sign * rhs.
+            scalars.append(_ScalarTemplate(row, sign, tc_coeff, name))
             return
         heads = [n for n, c in coeffs.items() if c == 1.0]
         tails = [n for n, c in coeffs.items() if c == -1.0]
         if len(heads) + len(tails) != len(coeffs) or len(heads) > 1 or len(tails) > 1:
-            cg.skipped.append(name)
+            skipped.append(name)
             return
         head = heads[0] if heads else ORIGIN
         tail = tails[0] if tails else ORIGIN
-        cg.edges.append(
-            DiffEdge(tail=tail, head=head, a=a, b=b,
-                     constraint=name, family=family)
+        edges.append(
+            _EdgeTemplate(tail=tail, head=head, b=-tc_coeff,
+                          constraint=name, family=family, row=row, sign=sign)
         )
 
-    for con in smo.program.constraints:
+    for row, con in enumerate(smo.program.constraints):
         terms = dict(con.lhs.terms)
         if con.sense is Sense.LE:
-            add_le_row(con.name, terms, con.rhs)
+            add_le_row(con.name, terms, row, 1.0)
         elif con.sense is Sense.GE:
-            add_le_row(con.name, {v: -c for v, c in terms.items()}, -con.rhs)
+            add_le_row(
+                con.name, {v: -c for v, c in terms.items()}, row, -1.0
+            )
         else:  # EQ: both directions
-            add_le_row(con.name, terms, con.rhs)
-            add_le_row(con.name, {v: -c for v, c in terms.items()}, -con.rhs)
+            add_le_row(con.name, terms, row, 1.0)
+            add_le_row(
+                con.name, {v: -c for v, c in terms.items()}, row, -1.0
+            )
 
     # Implicit nonnegativity bounds: C4 (Tc, s_i, T_i) and L3 (D_i).
     free = smo.program.free_variables
-    if TC not in free:
-        cg.tc_lower.append((0.0, f"C4[{TC}]"))
     for phase in graph.phase_names:
         if s_var(phase) not in free:
-            cg.edges.append(
-                DiffEdge(tail=start_node(phase), head=ORIGIN, a=0.0, b=0.0,
-                         constraint=f"C4[{s_var(phase)}]", family="C4")
+            edges.append(
+                _EdgeTemplate(tail=start_node(phase), head=ORIGIN, b=0.0,
+                              constraint=f"C4[{s_var(phase)}]", family="C4",
+                              row=-1, sign=0.0)
             )
         if t_var(phase) not in free:
-            cg.edges.append(
-                DiffEdge(tail=end_node(phase), head=start_node(phase),
-                         a=0.0, b=0.0,
-                         constraint=f"C4[{t_var(phase)}]", family="C4")
+            edges.append(
+                _EdgeTemplate(tail=end_node(phase), head=start_node(phase),
+                              b=0.0, constraint=f"C4[{t_var(phase)}]",
+                              family="C4", row=-1, sign=0.0)
             )
     for sync in graph.synchronizers:
         if d_var(sync.name) not in free:
-            cg.edges.append(
-                DiffEdge(tail=dep_node(sync.name),
-                         head=start_node(sync.phase), a=0.0, b=0.0,
-                         constraint=f"L3[{d_var(sync.name)}]", family="L3")
+            edges.append(
+                _EdgeTemplate(tail=dep_node(sync.name),
+                              head=start_node(sync.phase), b=0.0,
+                              constraint=f"L3[{d_var(sync.name)}]",
+                              family="L3", row=-1, sign=0.0)
             )
+    return GraphSkeleton(
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        scalars=tuple(scalars),
+        tc_nonneg=TC not in free,
+        skipped=tuple(skipped),
+    )
+
+
+def _materialize(skeleton: GraphSkeleton, smo: SMOProgram) -> ConstraintGraph:
+    """Fill a skeleton's ``a`` values from the program's current rhs."""
+    constraints = smo.program.constraints
+    cg = ConstraintGraph(nodes=list(skeleton.nodes), edges=[])
+    for tpl in skeleton.edges:
+        a = tpl.sign * constraints[tpl.row].rhs if tpl.row >= 0 else 0.0
+        cg.edges.append(
+            DiffEdge(tail=tpl.tail, head=tpl.head, a=a, b=tpl.b,
+                     constraint=tpl.constraint, family=tpl.family)
+        )
+    for sc in skeleton.scalars:
+        rhs = sc.sign * constraints[sc.row].rhs
+        if sc.tc_coeff > 0.0:
+            cg.tc_upper.append((rhs / sc.tc_coeff, sc.name))
+        elif sc.tc_coeff < 0.0:
+            cg.tc_lower.append((rhs / sc.tc_coeff, sc.name))
+        elif rhs < 0.0:
+            cg.contradictions.append((sc.name, f"0 <= {rhs:g} is false"))
+    if skeleton.tc_nonneg:
+        cg.tc_lower.append((0.0, f"C4[{TC}]"))
+    cg.skipped = list(skeleton.skipped)
     return cg
+
+
+def build_constraint_graph(smo: SMOProgram) -> ConstraintGraph:
+    """Lower an SMO program to its parametric difference-constraint graph."""
+    return _materialize(_build_skeleton(smo), smo)
+
+
+_FINGERPRINT_KEY = "diffgraph_fingerprint"
+
+
+def structure_fingerprint(smo: SMOProgram) -> str:
+    """A digest of everything the graph *skeleton* depends on.
+
+    Covers the timing graph's phase and synchronizer identities, every
+    constraint's name, sense and coefficients, and the free-variable set --
+    but **no** right-hand sides, so a re-cost copy (``with_rhs``) keeps the
+    same fingerprint and hits the same cached skeleton.  The digest is
+    memoized in :attr:`LinearProgram.structure_memo`, which mutation
+    invalidates and ``with_rhs`` inherits.
+    """
+    program = smo.program
+    cached = program.structure_memo.get(_FINGERPRINT_KEY)
+    if isinstance(cached, str):
+        return cached
+    graph = smo.graph
+    digest = hashlib.sha256()
+    digest.update(",".join(graph.phase_names).encode())
+    digest.update(b"\x00")
+    for sync in graph.synchronizers:
+        digest.update(f"{sync.name}|{sync.phase};".encode())
+    digest.update(b"\x00")
+    for con in program.constraints:
+        digest.update(f"{con.name}|{con.sense.value}|".encode())
+        for var, coeff in con.lhs.terms.items():
+            digest.update(f"{var}={coeff!r},".encode())
+        digest.update(b";")
+    digest.update(b"\x00")
+    for var in sorted(program.free_variables):
+        digest.update(f"{var},".encode())
+    key = digest.hexdigest()
+    program.structure_memo[_FINGERPRINT_KEY] = key
+    return key
+
+
+_SKELETON_CACHE_SIZE = 128
+_SKELETONS: "OrderedDict[str, GraphSkeleton]" = OrderedDict()
+_GRAPH_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def constraint_graph_for(smo: SMOProgram) -> ConstraintGraph:
+    """Memoized :func:`build_constraint_graph`.
+
+    Two cache layers, mirroring :mod:`repro.maxplus.compiled`: the
+    materialized graph is memoized on the ``smo`` instance (guarded by the
+    program's row count, so appending rows invalidates it), and the
+    skeleton is shared across instances through a bounded LRU keyed by
+    :func:`structure_fingerprint` -- sweeps and re-cost copies pay only the
+    O(edges) materialize step.
+    """
+    n_rows = len(smo.program.constraints)
+    memo = smo.__dict__.get("_graph_memo")
+    if memo is not None and memo[0] == n_rows:
+        return cast(ConstraintGraph, memo[1])
+    key = structure_fingerprint(smo)
+    skeleton = _SKELETONS.get(key)
+    if skeleton is None:
+        _GRAPH_STATS["misses"] += 1
+        skeleton = _build_skeleton(smo)
+        _SKELETONS[key] = skeleton
+        if len(_SKELETONS) > _SKELETON_CACHE_SIZE:
+            _SKELETONS.popitem(last=False)
+            _GRAPH_STATS["evictions"] += 1
+    else:
+        _GRAPH_STATS["hits"] += 1
+        _SKELETONS.move_to_end(key)
+    cg = _materialize(skeleton, smo)
+    smo.__dict__["_graph_memo"] = (n_rows, cg)
+    return cg
+
+
+def graph_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters plus current size of the skeleton cache."""
+    return dict(_GRAPH_STATS, size=len(_SKELETONS))
+
+
+def clear_graph_cache() -> None:
+    """Drop all cached skeletons and reset the counters (for tests)."""
+    _SKELETONS.clear()
+    for counter in _GRAPH_STATS:
+        _GRAPH_STATS[counter] = 0
 
 
 # ----------------------------------------------------------------------
@@ -562,7 +735,7 @@ def diagnose(
     """
     if smo is None:
         smo = build_program(graph, options or ConstraintOptions())
-    cg = build_constraint_graph(smo)
+    cg = constraint_graph_for(smo)
     cap = cg.tc_cap
 
     if cg.contradictions:

@@ -1,20 +1,26 @@
-"""Backend registry: route LPs to the simplex, revised-simplex or scipy solver.
+"""Backend registry: route LPs to a simplex, scipy, or the cycle solver.
 
 All backends answer the same question and must produce identical optima;
 they differ in speed and capabilities:
 
-* ``"simplex"`` -- the from-scratch dense tableau solver (the default, and
-  the paper's own choice);
+* ``"simplex"`` -- the from-scratch dense tableau solver (the default,
+  and the paper's own choice);
 * ``"revised"`` -- the revised simplex with explicit basis objects; the
   only backend that accepts a **warm start**, which repeated-solve paths
   (sweeps, batches) use to skip phase 1 between structurally identical
   programs;
 * ``"scipy"``   -- :func:`scipy.optimize.linprog` (HiGHS), registered when
-  scipy is importable.
+  scipy is importable;
+* ``"cycle"``   -- the graph-native parametric critical-cycle solver of
+  :mod:`repro.cycle`: no tableau at all, but it needs the originating
+  :class:`~repro.core.constraints.SMOProgram` as ``context`` and falls
+  back to the revised simplex whenever it cannot certify its answer;
+* ``"cycle+check"`` -- ``"cycle"`` plus an unconditional revised-simplex
+  cross-check asserting agreement to 1e-9 (the CI trust anchor).
 
-``solve(program, backend=..., warm_start=...)`` is the single entry
-point.  A warm start is silently ignored by backends that cannot use one,
-so callers can thread a basis unconditionally.
+``solve(program, backend=..., warm_start=..., context=...)`` is the
+single entry point.  A warm start or context is silently dropped for
+backends that cannot use it, so callers can thread both unconditionally.
 """
 
 from __future__ import annotations
@@ -40,13 +46,38 @@ def _solve_revised(program: LinearProgram, warm_start: Basis | None = None) -> L
     return solve_revised_simplex(program, warm_start=warm_start)
 
 
-#: name -> (solver, accepts_warm_start)
-_BACKENDS: dict[str, tuple[Callable[..., LPResult], bool]] = {
-    "simplex": (solve_simplex, False),
-    "revised": (_solve_revised, True),
+def _solve_cycle(
+    program: LinearProgram,
+    warm_start: Basis | None = None,
+    context: object | None = None,
+) -> LPResult:
+    # Imported lazily: repro.cycle itself falls back through this module.
+    from repro.cycle.solver import solve_cycle
+
+    return solve_cycle(program, warm_start=warm_start, context=context)
+
+
+def _solve_cycle_check(
+    program: LinearProgram,
+    warm_start: Basis | None = None,
+    context: object | None = None,
+) -> LPResult:
+    from repro.cycle.solver import solve_cycle
+
+    return solve_cycle(
+        program, warm_start=warm_start, context=context, check=True
+    )
+
+
+#: name -> (solver, accepts_warm_start, accepts_context)
+_BACKENDS: dict[str, tuple[Callable[..., LPResult], bool, bool]] = {
+    "simplex": (solve_simplex, False, False),
+    "revised": (_solve_revised, True, False),
+    "cycle": (_solve_cycle, True, True),
+    "cycle+check": (_solve_cycle_check, True, True),
 }
 if HAVE_SCIPY:
-    _BACKENDS["scipy"] = (solve_scipy, False)
+    _BACKENDS["scipy"] = (solve_scipy, False, False)
 
 
 def available_backends() -> list[str]:
@@ -55,9 +86,20 @@ def available_backends() -> list[str]:
 
 
 def supports_warm_start(name: str | None = None) -> bool:
-    """True when the named backend (default: the default one) takes a basis."""
+    """True when the named backend (default: the default one) takes a basis.
+
+    The cycle backends report True because a supplied basis still warm
+    starts their revised-simplex fallback and cross-check solves; they
+    never *emit* a basis, so chains simply go cold through them.
+    """
     entry = _BACKENDS.get(name or DEFAULT_BACKEND)
     return bool(entry and entry[1])
+
+
+def supports_context(name: str | None = None) -> bool:
+    """True when the named backend consumes the SMO ``context`` object."""
+    entry = _BACKENDS.get(name or DEFAULT_BACKEND)
+    return bool(entry and entry[2])
 
 
 def register_backend(
@@ -65,42 +107,52 @@ def register_backend(
 ) -> None:
     """Register a custom solver callable under ``name``.
 
-    A solver whose signature accepts a ``warm_start`` keyword is handed the
-    caller's basis; any other callable is invoked as ``solver(program)``.
+    A solver whose signature accepts a ``warm_start`` (resp. ``context``)
+    keyword is handed the caller's basis (resp. SMO program); any other
+    callable is invoked as ``solver(program)``.
     """
     try:
-        accepts_warm = "warm_start" in inspect.signature(solver).parameters
+        parameters = inspect.signature(solver).parameters
+        accepts_warm = "warm_start" in parameters
+        accepts_context = "context" in parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins, C callables
         accepts_warm = False
-    _BACKENDS[name] = (solver, accepts_warm)
+        accepts_context = False
+    _BACKENDS[name] = (solver, accepts_warm, accepts_context)
 
 
 def solve(
     program: LinearProgram,
     backend: str | None = None,
     warm_start: Basis | None = None,
+    context: object | None = None,
 ) -> LPResult:
     """Solve a program with the named backend (default: from-scratch simplex).
 
     ``warm_start`` optionally supplies the optimal basis of a structurally
     identical, previously solved program; it is forwarded to backends that
-    support it (currently ``"revised"``) and ignored by the rest.  Warm
-    starting never changes the reported optimum -- an unusable basis falls
-    back to a cold start inside the solver.
+    support it (currently ``"revised"`` and, for their LP fallback, the
+    cycle backends) and ignored by the rest.  ``context`` optionally
+    supplies the :class:`~repro.core.constraints.SMOProgram` the program
+    was generated from; the graph-native ``"cycle"``/``"cycle+check"``
+    backends require it to recover event times and fall back to the LP
+    without it.  Neither option ever changes the reported optimum.
     """
     name = backend or DEFAULT_BACKEND
     try:
-        solver, accepts_warm = _BACKENDS[name]
+        solver, accepts_warm, accepts_context = _BACKENDS[name]
     except KeyError:
         raise SolverError(
             f"unknown LP backend {name!r}; available: {available_backends()}"
         ) from None
     with trace.span("lp_solve", backend=name) as span:
         start = time.perf_counter()
+        kwargs: dict[str, object] = {}
         if accepts_warm:
-            result = solver(program, warm_start=warm_start)
-        else:
-            result = solver(program)
+            kwargs["warm_start"] = warm_start
+        if accepts_context:
+            kwargs["context"] = context
+        result = solver(program, **kwargs)
         elapsed = time.perf_counter() - start
         if not result.solve_seconds:
             result.solve_seconds = elapsed
@@ -109,4 +161,7 @@ def solve(
         outcome = result.extra.get("warm_start")
         if outcome is not None:
             span.set("warm_start", outcome)
+        cycle_info = result.extra.get("cycle")
+        if isinstance(cycle_info, dict):
+            span.set("cycle_used", bool(cycle_info.get("used")))
     return result

@@ -69,6 +69,12 @@ class LinearProgram:
         self._constraint_names: set[str] = set()
         self._free: set[str] = set()
         self._declared: dict[str, None] = {}  # insertion-ordered variable set
+        #: Scratch space for *structural* fingerprints computed over this
+        #: program (constraint names, senses and coefficients -- never rhs
+        #: values).  :meth:`with_rhs` copies it into the clone, so rhs-only
+        #: re-cost copies keep their cached fingerprints; any structural
+        #: mutation clears it.
+        self.structure_memo: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Building
@@ -106,6 +112,7 @@ class LinearProgram:
         self._constraint_names.add(constraint.name)
         self._constraints.append(constraint)
         self._touch(constraint.lhs)
+        self.structure_memo.clear()
         return constraint
 
     def add_row(
@@ -136,6 +143,7 @@ class LinearProgram:
         self._constraints.append(constraint)
         for v in terms:
             self._declared.setdefault(v, None)
+        self.structure_memo.clear()
         return constraint
 
     def add_le(self, lhs, rhs, name: str | None = None) -> Constraint:
@@ -155,6 +163,7 @@ class LinearProgram:
         """Mark a variable as unrestricted in sign."""
         self.declare(name)
         self._free.add(name)
+        self.structure_memo.clear()
 
     def _touch(self, expr: LinExpr) -> None:
         for v in expr.terms:
@@ -224,6 +233,7 @@ class LinearProgram:
         clone._constraint_names = set(self._constraint_names)
         clone._free = set(self._free)
         clone._declared = dict(self._declared)
+        clone.structure_memo = dict(self.structure_memo)
         return clone
 
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ from repro.engine.jobspec import (
     SweepJob,
 )
 from repro.errors import ReproError
+from repro.lp.backends import available_backends
 
 #: Version of the request/response wire format.
 PROTOCOL_VERSION = 1
@@ -158,6 +159,14 @@ def mlp_from_request(data: object) -> MLPOptions | None:
         return None
     mapping = _require_mapping(data, "'mlp'")
     _reject_unknown(mapping, _MLP_KEYS, "'mlp'")
+    backend = mapping.get("backend")
+    if backend is not None and backend not in available_backends():
+        # Admission-time rejection (HTTP 400) instead of a soft-failed job
+        # result after the request was accepted and scheduled.
+        raise RequestError(
+            f"unknown LP backend {backend!r}; available: "
+            f"{available_backends()}"
+        )
     try:
         return MLPOptions(**mapping)
     except (TypeError, ValueError) as err:
