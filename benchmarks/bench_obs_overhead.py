@@ -1,19 +1,22 @@
-"""Disabled-tracing overhead budget on the Fig. 7 sweep workload.
+"""Observability overhead budgets on the Fig. 7 sweep workload.
 
-The repro.obs instrumentation lives permanently inside the hot paths:
-every LP solve opens a span, every pivot and slide sweep hits an
-``is_enabled`` guard.  The deal that makes this acceptable is that the
-*disabled* path (the default) must cost less than 2% of the untraced
-``bench_fig7_sweep`` workload.
+The repro.obs instrumentation (spans *and* metrics) lives permanently
+inside the hot paths: every LP solve opens a span and records a latency
+observation, every pivot and slide sweep hits an ``is_enabled`` guard.
+The deal that makes this acceptable is that the *disabled* path (the
+default) must cost less than 2% of the untraced ``bench_fig7_sweep``
+workload, and fully *enabled* metrics must stay under 5%.
 
 A direct A/B against uninstrumented code is impossible (the hooks are the
-code now), so the budget is asserted from above: run the workload traced
-once to count exactly how many spans and events the instrumentation
-produces, microbenchmark the disabled cost of one no-op span and one
-``is_enabled`` check, and charge every counted site that worst-case
-price.  The resulting estimate deliberately over-counts -- hoisted guards
-(one check per solve, not per pivot) are charged per event anyway -- and
-must still land under 2% of the measured untraced wall time.
+code now), so the budgets are asserted from above: run the workload
+instrumented once to count exactly how many spans/events/metric updates
+the instrumentation produces, microbenchmark the per-call cost of each
+site kind (no-op span, ``is_enabled`` check, null-metric update, enabled
+counter inc, enabled histogram observe), and charge every counted site
+that worst-case price.  The resulting estimate deliberately over-counts
+-- hoisted guards (one check per solve, not per pivot) are charged per
+event anyway -- and must still land under budget against the measured
+uninstrumented wall time.
 
 Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) for a reduced grid.
 """
@@ -24,14 +27,16 @@ import time
 from repro.core.mlp import MLPOptions
 from repro.core.parametric import sweep_delay
 from repro.designs import example1
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 GRID = [float(x) for x in (range(0, 145, 15) if QUICK else range(0, 145, 5))]
 FAST = MLPOptions(verify=False)
 
-#: The contract: tracing off costs < 2% on bench_fig7_sweep's workload.
+#: The contract: tracing (or metrics) off costs < 2% on bench_fig7_sweep.
 OVERHEAD_BUDGET = 0.02
+#: Metrics fully on must stay under 5% of the same workload.
+ENABLED_BUDGET = 0.05
 
 
 def _workload():
@@ -101,4 +106,119 @@ def test_obs_disabled_overhead(emit):
     assert ratio < OVERHEAD_BUDGET, (
         f"disabled tracing overhead {100.0 * ratio:.3f}% exceeds the "
         f"{100.0 * OVERHEAD_BUDGET:.0f}% budget on bench_fig7_sweep"
+    )
+
+
+def _count_metric_updates() -> int:
+    """Run the workload with metrics on; count every recorded update.
+
+    Counter values are increment counts (every site incs by 1) and
+    histogram counts are observation counts, so summing them counts the
+    number of instrumentation calls the workload actually executes.
+    """
+    metrics.reset(enabled=True)
+    try:
+        _workload()
+        updates = 0
+        for metric in metrics.get_registry().collect():
+            if metric.kind == "counter":
+                updates += int(metric.value)
+            elif metric.kind == "histogram":
+                updates += int(metric.count)
+            else:  # gauge: charge one update per set
+                updates += 1
+        return updates
+    finally:
+        metrics.reset(enabled=False)
+
+
+def _per_call_disabled_metric(n: int = 200_000) -> float:
+    """Disabled-path cost of one module-level metrics update call."""
+    observe = metrics.observe  # the fast path instrumented code uses
+    start = time.perf_counter()
+    for _ in range(n):
+        observe("bench_noop_seconds", 0.001)
+    return (time.perf_counter() - start) / n
+
+
+def _per_call_enabled_updates(n: int = 100_000) -> tuple[float, float]:
+    """Enabled-path cost of (counter inc, histogram observe), per call."""
+    registry = metrics.MetricsRegistry(enabled=True)
+    counter = registry.counter("bench_total", site="a")
+    start = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+    c_inc = (time.perf_counter() - start) / n
+    histogram = registry.histogram("bench_seconds", site="a")
+    start = time.perf_counter()
+    for _ in range(n):
+        histogram.observe(0.001)
+    c_obs = (time.perf_counter() - start) / n
+    return c_inc, c_obs
+
+
+def test_metrics_disabled_overhead(emit):
+    """Metrics off must cost < 2%: guards + null-metric updates."""
+    metrics.reset(enabled=False)
+    trace.reset(enabled=False)
+    _workload()
+    t_off = _best_of(_workload)
+
+    sites = _count_metric_updates()
+    c_update = _per_call_disabled_metric()
+    c_check = _per_call_enabled_check()
+    # Each update site pays (generously) one is_enabled guard plus one
+    # disabled module-level call, even though guarded blocks skip the
+    # call entirely when disabled.
+    estimate = sites * (c_update + c_check)
+    ratio = estimate / t_off
+
+    lines = [
+        f"unmetered workload (best of 3): {1000.0 * t_off:.2f} ms",
+        f"metric update sites: {sites}",
+        f"disabled cost/site: update {1e9 * c_update:.1f} ns, "
+        f"guard {1e9 * c_check:.1f} ns",
+        f"estimated disabled overhead: {1e6 * estimate:.1f} us "
+        f"({100.0 * ratio:.4f}% of workload, budget "
+        f"{100.0 * OVERHEAD_BUDGET:.0f}%)",
+    ]
+    emit("metrics_disabled_overhead", "\n".join(lines))
+
+    assert ratio < OVERHEAD_BUDGET, (
+        f"disabled metrics overhead {100.0 * ratio:.3f}% exceeds the "
+        f"{100.0 * OVERHEAD_BUDGET:.0f}% budget on bench_fig7_sweep"
+    )
+
+
+def test_metrics_enabled_overhead(emit):
+    """Metrics fully on must cost < 5%: live counter/histogram updates."""
+    metrics.reset(enabled=False)
+    trace.reset(enabled=False)
+    _workload()
+    t_off = _best_of(_workload)
+
+    sites = _count_metric_updates()
+    c_inc, c_obs = _per_call_enabled_updates()
+    c_check = _per_call_enabled_check()
+    # Worst case: every update is a histogram observe (bisect + two float
+    # adds -- strictly costlier than a counter inc) behind one guard and
+    # one labeled instrument lookup, approximated by a second observe.
+    c_site = max(c_inc, c_obs) * 2.0 + c_check
+    estimate = sites * c_site
+    ratio = estimate / t_off
+
+    lines = [
+        f"unmetered workload (best of 3): {1000.0 * t_off:.2f} ms",
+        f"metric update sites: {sites}",
+        f"enabled cost/call: inc {1e9 * c_inc:.1f} ns, "
+        f"observe {1e9 * c_obs:.1f} ns",
+        f"estimated enabled overhead: {1e6 * estimate:.1f} us "
+        f"({100.0 * ratio:.4f}% of workload, budget "
+        f"{100.0 * ENABLED_BUDGET:.0f}%)",
+    ]
+    emit("metrics_enabled_overhead", "\n".join(lines))
+
+    assert ratio < ENABLED_BUDGET, (
+        f"enabled metrics overhead {100.0 * ratio:.3f}% exceeds the "
+        f"{100.0 * ENABLED_BUDGET:.0f}% budget on bench_fig7_sweep"
     )

@@ -14,6 +14,9 @@ Operates on ``.lcd`` circuit description files (see :mod:`repro.lang`)::
     python -m repro loadgen  --url http://127.0.0.1:8350 --requests 64
     python -m repro minimize circuit.lcd --trace run.json
     python -m repro trace summarize run.json
+    python -m repro top      --url http://127.0.0.1:8350
+    python -m repro bench    record BENCH_local.json --label HEAD
+    python -m repro bench    compare BENCH_local.json --warn-only
 
 Every subcommand accepts the global observability flags (see
 ``docs/OBSERVABILITY.md``): ``--trace FILE`` records a hierarchical span
@@ -486,6 +489,52 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running service's /metrics."""
+    from repro.obs.top import run_top
+
+    frames = run_top(
+        args.url,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+    obs.emit("top.done", url=args.url, frames=frames)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """The ``repro bench`` family: record/compare a perf trajectory."""
+    from repro.obs import bench
+
+    if args.bench_cmd == "record":
+        entry = bench.record(
+            args.file,
+            label=args.label,
+            only=args.only or None,
+            repeats=args.repeats,
+        )
+        _emit(f"recorded {len(entry['results'])} benchmark(s) to {args.file}"
+              + (f" (label {args.label!r})" if args.label else ""))
+        for name, res in sorted(entry["results"].items()):
+            _emit(f"  {name:<28} {1000.0 * res['seconds']:9.2f} ms  "
+                  f"(check {res['check']:g})")
+        obs.emit("bench.record", file=args.file,
+                 benchmarks=len(entry["results"]))
+        return 0
+    # "compare" -- membership enforced by argparse choices
+    report = bench.compare(args.file, threshold=args.threshold)
+    _emit(report.format())
+    obs.emit("bench.compare", file=args.file,
+             regressions=len(report.regressions), ok=report.ok)
+    if not report.ok:
+        if args.warn_only:
+            _error("warning: benchmark regressions detected (warn-only)")
+            return 0
+        return 1
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """The ``repro trace`` family: offline tools over recorded trace files."""
     try:
@@ -695,6 +744,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="FILE",
                    help="also write the JSON report to FILE")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "top",
+        parents=[common],
+        help="live terminal dashboard over a service's /metrics",
+        description="Poll the Prometheus exposition endpoint of a running "
+        "`repro serve` and render request rate, error %, latency "
+        "quantiles (derived from histogram buckets), cache hit ratio and "
+        "queue depth, refreshed every --interval seconds until Ctrl-C.",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8350",
+                   help="server base URL (default http://127.0.0.1:8350)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between scrapes (default 2)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N frames (default: run until Ctrl-C)")
+    p.add_argument("--no-clear", action="store_true", dest="no_clear",
+                   help="append frames instead of clearing the screen")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "bench",
+        help="record/compare a benchmark trajectory (perf regression gate)",
+        description="'record' runs a quick deterministic workload suite "
+        "and appends best-of-N timings to a versioned BENCH_*.json "
+        "trajectory; 'compare' diffs two entries (default: the last two) "
+        "and flags workloads slower than --threshold.  CI runs compare "
+        "--warn-only as the perf-regression gate.",
+    )
+    bsub = p.add_subparsers(dest="bench_cmd", required=True)
+    bp = bsub.add_parser("record", parents=[common])
+    bp.add_argument("file", nargs="?", default="BENCH_local.json",
+                    help="trajectory JSON file (default BENCH_local.json)")
+    bp.add_argument("--label", default="",
+                    help="entry label (e.g. a commit hash)")
+    bp.add_argument("--repeats", type=int, default=3,
+                    help="timed runs per workload; best is kept (default 3)")
+    bp.add_argument("--only", action="append", default=None,
+                    metavar="NAME", help="run only this workload (repeatable)")
+    bp.set_defaults(func=cmd_bench)
+    bp = bsub.add_parser("compare", parents=[common])
+    bp.add_argument("file", nargs="?", default="BENCH_local.json",
+                    help="trajectory JSON file (default BENCH_local.json)")
+    bp.add_argument("--threshold", type=float, default=0.20,
+                    help="regression threshold as a fraction (default 0.20)")
+    bp.add_argument("--warn-only", action="store_true", dest="warn_only",
+                    help="report regressions but exit 0 (CI soft gate)")
+    bp.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "trace",

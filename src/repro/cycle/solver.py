@@ -50,7 +50,7 @@ from repro.lint.graphdiag import (
 )
 from repro.lp.model import LinearProgram
 from repro.lp.result import LPResult, LPStatus, attach_slacks
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 if TYPE_CHECKING:
     from repro.lp.basis import Basis
@@ -456,9 +456,45 @@ def solve_cycle(
             fallback_info["bound"] = period.value
         result.extra["cycle"] = fallback_info
 
+    if metrics.is_enabled():
+        _record_cycle_metrics(result, period)
     if check:
         _cross_check(program, result, warm_start, tol)
     return result
+
+
+def _record_cycle_metrics(result: LPResult, period: CyclePeriod | None) -> None:
+    """Fold one cycle solve into the metrics registry.
+
+    ``outcome`` is the certification verdict: ``certified`` (the graph
+    answer was proven optimal), ``infeasible`` (the graph proved no
+    feasible period exists), or ``fallback`` (the revised simplex had to
+    answer).  The iteration-count histograms record only actual graph
+    searches, so fallbacks without a parametric pass don't pollute them.
+    """
+    info = result.extra.get("cycle")
+    used = isinstance(info, dict) and bool(info.get("used"))
+    if used:
+        outcome = (
+            "certified" if result.status is LPStatus.OPTIMAL else "infeasible"
+        )
+    else:
+        outcome = "fallback"
+    metrics.inc("cycle_solves_total", outcome=outcome)
+    if period is not None:
+        metrics.observe(
+            "cycle_jumps", float(period.jumps), buckets=metrics.COUNT_BUCKETS
+        )
+        metrics.observe(
+            "cycle_bisections",
+            float(period.bisections),
+            buckets=metrics.COUNT_BUCKETS,
+        )
+        metrics.observe(
+            "cycle_bf_rounds",
+            float(period.bf_rounds),
+            buckets=metrics.COUNT_BUCKETS,
+        )
 
 
 def _cross_check(

@@ -22,7 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.engine.jobspec import JobResult
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 #: Disk-format version; mismatching stores are ignored rather than misread.
 STORE_VERSION = 1
@@ -84,6 +84,10 @@ class ResultCache:
         entry = self._entries.get(key)
         if trace.is_enabled():
             trace.add_event("cache.lookup", key=key[:12], hit=entry is not None)
+        metrics.inc(
+            "engine_cache_lookups_total",
+            result="hit" if entry is not None else "miss",
+        )
         if entry is None:
             self._misses += 1
             return None

@@ -32,7 +32,7 @@ from repro.engine.jobspec import (
 from repro.engine.metrics import StageTimer, job_metrics
 from repro.errors import ReproError
 from repro.lint.graphdiag import diagnose
-from repro.obs import emit, trace
+from repro.obs import emit, metrics, trace
 
 
 def execute_job(job: Job, key: str | None = None) -> JobResult:
@@ -71,6 +71,15 @@ def execute_job(job: Job, key: str | None = None) -> JobResult:
         result.spans = [job_span.to_dict()]
     result.metrics.setdefault("stages", {})
     result.metrics["wall_seconds"] = time.perf_counter() - start
+    if metrics.is_enabled():
+        metrics.inc(
+            "engine_jobs_total",
+            kind=result.kind,
+            ok="true" if result.ok else "false",
+        )
+        metrics.observe(
+            "engine_job_seconds", result.metrics["wall_seconds"], kind=result.kind
+        )
     return result
 
 

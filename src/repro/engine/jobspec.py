@@ -368,6 +368,12 @@ class JobResult:
     #: excluded from :meth:`to_dict` so cached/duplicated results never
     #: replay another run's spans.
     spans: list = field(default_factory=list)
+    #: Metrics-registry snapshot drained by the pool worker that executed
+    #: this job (see :mod:`repro.obs.metrics`).  Transport-only like
+    #: ``spans``: excluded from :meth:`to_dict` so cached/duplicated
+    #: results never double-merge another run's counts -- which also makes
+    #: crash-retry merges exactly-once (a crashed attempt never ships).
+    obs_metrics: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 
 #: Canonical stage ordering for reports.
@@ -54,8 +55,10 @@ class StageTimer:
             return self
 
         def __exit__(self, *exc) -> None:
-            self.timer.add(self.stage, time.perf_counter() - self.start)
+            elapsed = time.perf_counter() - self.start
+            self.timer.add(self.stage, elapsed)
             self._obs.__exit__(None, None, None)
+            obs_metrics.observe("engine_stage_seconds", elapsed, stage=self.stage)
 
     def span(self, stage: str) -> "StageTimer._Span":
         """Context manager timing one stage: ``with timer.span("lp_solve"):``."""

@@ -36,7 +36,7 @@ from multiprocessing.connection import wait as _wait_connections
 
 from repro.engine.execute import execute_job
 from repro.engine.jobspec import Job, JobResult
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 #: How long (seconds) the master sleeps between health checks when no
 #: result arrives and no deadline is pending.
@@ -60,7 +60,12 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _worker_main(task_queue, conn, trace_enabled: bool = False) -> None:
+def _worker_main(
+    task_queue,
+    conn,
+    trace_enabled: bool = False,
+    metrics_enabled: bool = False,
+) -> None:
     """Worker loop: execute jobs from the queue until the ``None`` sentinel."""
     # Ctrl-C in a terminal delivers SIGINT to the whole foreground process
     # group -- master *and* workers.  The master owns interrupt handling
@@ -77,6 +82,10 @@ def _worker_main(task_queue, conn, trace_enabled: bool = False) -> None:
     # here become tracer roots, shipped back on each JobResult (see
     # repro.engine.execute.execute_job).
     trace.reset(enabled=trace_enabled)
+    # Same story for metrics: a forked worker inherits the parent's live
+    # registry values; start from zero so the per-job drain below ships
+    # only this worker's own deltas.
+    metrics.reset(enabled=metrics_enabled)
     while True:
         item = task_queue.get()
         if item is None:
@@ -92,6 +101,12 @@ def _worker_main(task_queue, conn, trace_enabled: bool = False) -> None:
                 error=f"unhandled {type(err).__name__}: {err}",
                 label=getattr(job, "label", ""),
             )
+        if metrics_enabled:
+            # Drain (snapshot + zero) so each result carries exactly the
+            # metrics recorded since the previous send; the parent merges
+            # them on receipt (repro.engine.runner), and a crashed attempt
+            # never sends, so a retried job merges exactly once.
+            result.obs_metrics = metrics.drain()
         conn.send((idx, result))
 
 
@@ -112,7 +127,12 @@ class _Worker:
         self.conn, child_conn = ctx.Pipe(duplex=False)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(self.task_queue, child_conn, trace.is_enabled()),
+            args=(
+                self.task_queue,
+                child_conn,
+                trace.is_enabled(),
+                metrics.is_enabled(),
+            ),
             daemon=True,
         )
         self.proc.start()
@@ -200,9 +220,16 @@ class WorkerPool:
         previous_term = self._install_term_handler()
         graceful = True
         try:
+            metered = metrics.is_enabled()
             while len(results) < total:
                 self._dispatch(pool, pending)
+                if metered:
+                    # Jobs waiting for a worker slot right now -- the USE
+                    # saturation signal for pool sizing.
+                    metrics.set_gauge("engine_pool_queue_depth", len(pending))
                 self._collect(pool, pending, results)
+            if metered:
+                metrics.set_gauge("engine_pool_queue_depth", 0)
         except BaseException:
             # Interrupted (KeyboardInterrupt, SIGTERM) or master bug: skip
             # the queue-drain handshake and terminate workers outright so

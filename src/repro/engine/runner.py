@@ -32,7 +32,7 @@ from repro.engine.pool import make_pool
 from repro.errors import ReproError
 from repro.lp.backends import supports_warm_start
 from repro.lp.basis import Basis
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 
 class Engine:
@@ -101,10 +101,14 @@ class Engine:
             executed = self.pool.run(to_run)
             for (job, key), result in zip(to_run, executed):
                 # Graft span trees recorded by pool workers under the live
-                # batch span (serial execution nested them directly).
+                # batch span (serial execution nested them directly), and
+                # fold worker metric snapshots into the live registry.
                 if result.spans:
                     trace.attach(result.spans)
                     result.spans = []
+                if result.obs_metrics:
+                    metrics.merge(result.obs_metrics)
+                    result.obs_metrics = []
                 self.cache.put(key, result)
                 results[first_index[key]] = result
             batch_span.set("executed", len(to_run))

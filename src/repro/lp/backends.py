@@ -36,7 +36,7 @@ from repro.lp.result import LPResult
 from repro.lp.revised_simplex import solve_revised_simplex
 from repro.lp.scipy_backend import HAVE_SCIPY, solve_scipy
 from repro.lp.simplex import solve_simplex
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 #: Name of the backend used when the caller does not specify one.
 DEFAULT_BACKEND = "simplex"
@@ -164,4 +164,13 @@ def solve(
         cycle_info = result.extra.get("cycle")
         if isinstance(cycle_info, dict):
             span.set("cycle_used", bool(cycle_info.get("used")))
+    if metrics.is_enabled():
+        metrics.inc("lp_solves_total", backend=name, status=result.status.name)
+        metrics.observe("lp_solve_seconds", elapsed, backend=name)
+        metrics.observe(
+            "lp_pivots",
+            float(result.iterations),
+            buckets=metrics.COUNT_BUCKETS,
+            backend=name,
+        )
     return result

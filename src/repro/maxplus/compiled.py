@@ -46,7 +46,7 @@ import numpy as np
 
 from repro.maxplus.fixpoint import FixpointResult, _raise_divergent, _record_slide
 from repro.maxplus.system import MaxPlusSystem
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 _NEG_INF = float("-inf")
 
@@ -193,6 +193,7 @@ def compile_system(system: MaxPlusSystem) -> CompiledMaxPlus:
         structure = _STRUCTURES.get(key)
         if structure is None:
             _STATS["structure_misses"] += 1
+            metrics.inc("maxplus_structure_cache_total", result="miss")
             structure = _build_structure(system)
             _STRUCTURES[key] = structure
             while len(_STRUCTURES) > _STRUCTURE_CACHE_SIZE:
@@ -201,6 +202,7 @@ def compile_system(system: MaxPlusSystem) -> CompiledMaxPlus:
                 span.set("structure_cache", "miss")
         else:
             _STATS["structure_hits"] += 1
+            metrics.inc("maxplus_structure_cache_total", result="hit")
             _STRUCTURES.move_to_end(key)
             if traced:
                 span.set("structure_cache", "hit")

@@ -32,7 +32,7 @@ from typing import Mapping
 from repro.errors import AnalysisError, DivergentTimingError
 from repro.maxplus.cycles import find_positive_cycle
 from repro.maxplus.system import MaxPlusSystem
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 _METHODS = ("jacobi", "gauss-seidel", "event")
 _KERNELS = ("dict", "array", "auto")
@@ -276,6 +276,12 @@ def _record_slide(
     residuals: list[float] | None,
 ) -> None:
     """Attach convergence telemetry to the enclosing span when tracing."""
+    if metrics.is_enabled():
+        metrics.observe(
+            "maxplus_fixpoint_sweeps",
+            float(iterations),
+            buckets=metrics.COUNT_BUCKETS,
+        )
     if not traced:
         return
     span = trace.current_span()

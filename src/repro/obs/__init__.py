@@ -7,13 +7,16 @@ Three cooperating layers (see ``docs/OBSERVABILITY.md`` for the tour):
   the parent engine, which reassembles them under the batch root);
 * :mod:`repro.obs.events` -- a per-run JSONL event log with levels and a
   stdlib-``logging`` bridge;
+* :mod:`repro.obs.metrics` -- labeled counters, gauges and log-bucketed
+  histograms with cross-process snapshot/merge and native Prometheus
+  histogram exposition (``_bucket``/``_sum``/``_count``);
 * :mod:`repro.obs.export` -- Chrome-trace/Perfetto JSON and a
   Prometheus-style flat text dump, plus the ``repro trace summarize``
   renderer.
 
-Tracing is off by default and costs <2% when disabled (asserted by
-``benchmarks/bench_obs_overhead.py``), so the instrumentation lives
-permanently in the hot paths.
+Tracing and metrics are off by default and cost <2% when disabled
+(asserted by ``benchmarks/bench_obs_overhead.py``), so the
+instrumentation lives permanently in the hot paths.
 """
 
 from repro.obs.events import (
@@ -36,6 +39,18 @@ from repro.obs.export import (
     walk_with_ancestors,
     write_chrome_trace,
 )
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetric,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    use_registry,
+)
 from repro.obs.trace import (
     NullSpan,
     Span,
@@ -56,9 +71,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
     "EventLog",
     "EventLogHandler",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
     "LEVELS",
+    "MetricsRegistry",
+    "NullMetric",
     "NullSpan",
     "Span",
     "TRACE_VERSION",
@@ -77,12 +99,15 @@ __all__ = [
     "is_enabled",
     "load_trace",
     "new_run_id",
+    "parse_prometheus_text",
     "prometheus_text",
+    "quantile_from_buckets",
     "remove_logging_bridge",
     "reset",
     "set_log",
     "set_thread_tracer",
     "span",
+    "use_registry",
     "use_tracer",
     "summarize",
     "walk",

@@ -1,0 +1,338 @@
+"""``repro bench`` -- a versioned perf trajectory with regression gating.
+
+``repro bench record`` runs a small suite of quick, deterministic
+workloads (single minimize solves on the paper designs, the cycle
+backend on a generated multiloop circuit, an adaptive sweep, and an
+in-process serve round trip), takes the best-of-N wall time per
+workload, and *appends* an entry to a ``BENCH_*.json`` file -- so the
+file accumulates a trajectory across commits.  ``repro bench compare``
+diffs two entries of that trajectory (by default the last two) and
+flags any workload whose time grew beyond a noise threshold (default
+20%), which CI runs warn-only as the perf-regression gate.
+
+Each workload also returns a scalar ``check`` value (the optimal period
+it computed); compare verifies checks agree before trusting the timing
+diff, so an "improvement" that changed the answer is reported as an
+error, not a win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReproError
+
+#: Schema version of the BENCH_*.json trajectory files.
+BENCH_VERSION = 1
+
+#: Default regression threshold: a workload must slow down by more than
+#: this fraction before compare flags it (noise floor for quick benches).
+DEFAULT_THRESHOLD = 0.20
+
+#: Default trajectory file name (committed CI artifacts use BENCH_ci.json).
+DEFAULT_FILE = "BENCH_local.json"
+
+
+class BenchError(ReproError):
+    """Recording or comparing benchmark entries failed."""
+
+
+# ----------------------------------------------------------------------
+# The quick workload suite
+# ----------------------------------------------------------------------
+def _minimize_example1() -> float:
+    from repro.core.mlp import MLPOptions, minimize_cycle_time
+    from repro.designs import example1
+
+    return minimize_cycle_time(
+        example1(), mlp=MLPOptions(verify=False)
+    ).period
+
+
+def _minimize_example2_revised() -> float:
+    from repro.core.mlp import MLPOptions, minimize_cycle_time
+    from repro.designs import example2
+
+    return minimize_cycle_time(
+        example2(), mlp=MLPOptions(verify=False, backend="revised")
+    ).period
+
+
+def _cycle_multiloop() -> float:
+    from repro.circuit.generate import random_multiloop_circuit
+    from repro.core.mlp import MLPOptions, minimize_cycle_time
+
+    graph = random_multiloop_circuit(64, n_extra_arcs=32, seed=7)
+    return minimize_cycle_time(
+        graph, mlp=MLPOptions(verify=False, backend="cycle")
+    ).period
+
+
+def _sweep_example1() -> float:
+    from repro.core.mlp import MLPOptions
+    from repro.core.parametric import sweep_delay
+    from repro.designs import example1
+
+    grid = [float(x) for x in range(0, 145, 30)]
+    result = sweep_delay(
+        example1(), "L4", "L1", grid=grid, mlp=MLPOptions(verify=False)
+    )
+    return result.points[0].period
+
+
+def _serve_roundtrip() -> float:
+    import asyncio
+
+    from repro.serve.service import AnalysisService
+
+    async def _drive() -> float:
+        service = AnalysisService(workers=1, trace_jobs=False)
+        try:
+            value = 0.0
+            for design in ("example1", "example2", "example1"):
+                record = await service.submit_and_wait(
+                    {"kind": "minimize", "design": design}
+                )
+                if record.result is None or not record.result.ok:
+                    raise BenchError(f"serve workload failed: {record.error}")
+                value = float(record.result.value or 0.0)
+            return value
+        finally:
+            await service.close()
+
+    return asyncio.run(_drive())
+
+
+#: name -> zero-arg workload returning its scalar check value.
+SUITE: dict[str, Callable[[], float]] = {
+    "minimize_example1": _minimize_example1,
+    "minimize_example2_revised": _minimize_example2_revised,
+    "cycle_multiloop_64": _cycle_multiloop,
+    "sweep_example1": _sweep_example1,
+    "serve_roundtrip": _serve_roundtrip,
+}
+
+
+def run_suite(
+    only: list[str] | None = None, repeats: int = 3
+) -> dict[str, dict]:
+    """Time each workload (best of ``repeats``) after one warmup run."""
+    names = list(SUITE) if not only else only
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        raise BenchError(
+            f"unknown benchmark(s) {unknown}; available: {sorted(SUITE)}"
+        )
+    results: dict[str, dict] = {}
+    for name in names:
+        workload = SUITE[name]
+        check = workload()  # warmup; also the check value
+        runs: list[float] = []
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            workload()
+            runs.append(time.perf_counter() - start)
+        results[name] = {
+            "seconds": min(runs),
+            "runs": [round(r, 6) for r in runs],
+            "check": check,
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Trajectory file I/O
+# ----------------------------------------------------------------------
+def load_trajectory(path: str) -> dict:
+    """Read (or initialize) a BENCH_*.json trajectory document."""
+    if not os.path.exists(path):
+        return {"version": BENCH_VERSION, "entries": []}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        raise BenchError(f"cannot read trajectory {path!r}: {err}") from err
+    if not isinstance(data, dict) or data.get("version") != BENCH_VERSION:
+        raise BenchError(
+            f"{path!r} is not a version-{BENCH_VERSION} bench trajectory"
+        )
+    if not isinstance(data.get("entries"), list):
+        raise BenchError(f"{path!r} has no entries list")
+    return data
+
+
+def _write_trajectory(path: str, data: dict) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def record(
+    path: str,
+    label: str = "",
+    only: list[str] | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Run the suite and append one entry to the trajectory; returns it."""
+    data = load_trajectory(path)
+    entry = {
+        "label": label,
+        "timestamp": time.time(),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "results": run_suite(only=only, repeats=repeats),
+    }
+    data["entries"].append(entry)
+    _write_trajectory(path, data)
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Comparison / regression gating
+# ----------------------------------------------------------------------
+@dataclass
+class BenchDelta:
+    """One workload's change between two trajectory entries."""
+
+    name: str
+    baseline_seconds: float
+    candidate_seconds: float
+    check_mismatch: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_seconds <= 0:
+            return 1.0
+        return self.candidate_seconds / self.baseline_seconds
+
+
+@dataclass
+class CompareReport:
+    """The verdict of ``repro bench compare``."""
+
+    baseline_label: str
+    candidate_label: str
+    threshold: float
+    deltas: list[BenchDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [
+            d
+            for d in self.deltas
+            if d.check_mismatch or d.ratio > 1.0 + self.threshold
+        ]
+
+    @property
+    def improvements(self) -> list[BenchDelta]:
+        return [
+            d
+            for d in self.deltas
+            if not d.check_mismatch and d.ratio < 1.0 - self.threshold
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [
+            f"bench compare: {self.baseline_label or 'baseline'} -> "
+            f"{self.candidate_label or 'candidate'} "
+            f"(threshold {100.0 * self.threshold:.0f}%)"
+        ]
+        for d in sorted(self.deltas, key=lambda d: -d.ratio):
+            change = 100.0 * (d.ratio - 1.0)
+            if d.check_mismatch:
+                flag = "CHECK MISMATCH"
+            elif d.ratio > 1.0 + self.threshold:
+                flag = "REGRESSION"
+            elif d.ratio < 1.0 - self.threshold:
+                flag = "improved"
+            else:
+                flag = "ok"
+            lines.append(
+                f"  {d.name:<28} {1000.0 * d.baseline_seconds:9.2f} ms -> "
+                f"{1000.0 * d.candidate_seconds:9.2f} ms  "
+                f"({change:+6.1f}%)  {flag}"
+            )
+        verdict = (
+            "no regressions"
+            if self.ok
+            else f"{len(self.regressions)} regression(s)"
+        )
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def compare_entries(
+    baseline: dict, candidate: dict, threshold: float = DEFAULT_THRESHOLD
+) -> CompareReport:
+    """Diff two trajectory entries workload-by-workload."""
+    report = CompareReport(
+        baseline_label=str(baseline.get("label", "")),
+        candidate_label=str(candidate.get("label", "")),
+        threshold=threshold,
+    )
+    base_results = baseline.get("results") or {}
+    cand_results = candidate.get("results") or {}
+    for name in sorted(set(base_results) & set(cand_results)):
+        base = base_results[name]
+        cand = cand_results[name]
+        base_check = base.get("check")
+        cand_check = cand.get("check")
+        mismatch = (
+            base_check is not None
+            and cand_check is not None
+            and abs(float(base_check) - float(cand_check))
+            > 1e-6 * max(1.0, abs(float(base_check)))
+        )
+        report.deltas.append(
+            BenchDelta(
+                name=name,
+                baseline_seconds=float(base.get("seconds", 0.0)),
+                candidate_seconds=float(cand.get("seconds", 0.0)),
+                check_mismatch=mismatch,
+            )
+        )
+    return report
+
+
+def compare(
+    path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    baseline_index: int = -2,
+    candidate_index: int = -1,
+) -> CompareReport:
+    """Compare two entries of a trajectory file (default: last two)."""
+    data = load_trajectory(path)
+    entries = data["entries"]
+    if len(entries) < 2:
+        raise BenchError(
+            f"{path!r} has {len(entries)} entr{'y' if len(entries) == 1 else 'ies'};"
+            " need at least two to compare (run `repro bench record` twice)"
+        )
+    try:
+        baseline = entries[baseline_index]
+        candidate = entries[candidate_index]
+    except IndexError as err:
+        raise BenchError(
+            f"entry index out of range for {len(entries)} entries"
+        ) from err
+    return compare_entries(baseline, candidate, threshold=threshold)

@@ -71,7 +71,14 @@ def chrome_trace(spans: list[dict], run_id: str | None = None) -> dict:
             }
         )
         for event in span.get("events") or []:
-            eargs = {k: v for k, v in event.items() if k not in ("name", "ts")}
+            # Placement uses the wall-clock "ts" stamp (cross-process
+            # alignment); the monotonic "mono" stamp is for interval
+            # arithmetic only and stays out of the rendered args.
+            eargs = {
+                k: v
+                for k, v in event.items()
+                if k not in ("name", "ts", "mono")
+            }
             trace_events.append(
                 {
                     "name": event.get("name", "event"),

@@ -1,0 +1,626 @@
+"""Labeled metrics for the whole stack: counters, gauges, histograms.
+
+The metrics registry is the quantitative sibling of the span tracer
+(:mod:`repro.obs.trace`): where a trace answers "what happened during
+*this* run", the registry answers "how is the process doing over time" --
+request rates, error ratios, latency distributions, cache hit ratios,
+queue depth.  It follows the same engineering contract:
+
+* **off by default, near-free when off** -- every module-level hook
+  (:func:`inc`, :func:`observe`, :func:`set_gauge`) is one ``enabled``
+  check away from returning, and :meth:`MetricsRegistry.counter` and
+  friends return a shared :class:`NullMetric` singleton while disabled,
+  so instrumentation lives permanently in the hot paths.  The budget,
+  asserted by ``benchmarks/bench_obs_overhead.py``, is <2% disabled and
+  <5% fully enabled on the Fig. 7 sweep workload;
+* **process-aware** -- pool workers record into their own registry
+  (reset at worker start, see :mod:`repro.engine.pool`), drain it onto
+  each :class:`~repro.engine.jobspec.JobResult` as a plain-data snapshot,
+  and the parent engine merges the snapshot into its live registry --
+  the exact shape of PR 3's span reassembly.  A crashed attempt never
+  sends a result, so its partial snapshot dies with the worker and a
+  retried job merges exactly once;
+* **thread-aware** -- a thread may override the process-global registry
+  via :func:`set_thread_registry` / :func:`use_registry`, mirroring
+  ``trace.use_tracer``.
+
+Metric names are bare (``lp_solve_seconds``); the Prometheus exposition
+(:meth:`MetricsRegistry.to_prometheus`) prefixes ``repro_`` and renders
+histograms as cumulative ``_bucket``/``_sum``/``_count`` series.
+Histograms are **log-bucketed**: :data:`LATENCY_BUCKETS` spans 10us to
+10s at four buckets per decade, :data:`COUNT_BUCKETS` covers iteration
+counts in powers of two.  Quantiles are derived from the buckets by
+linear interpolation (:meth:`Histogram.quantile`), the same estimate
+Prometheus's ``histogram_quantile`` computes server-side.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterator, Sequence
+
+#: Snapshot schema version (bumped when the plain-data shape changes).
+SNAPSHOT_VERSION = 1
+
+#: Upper bounds (seconds) for latency histograms: 1e-5 .. 10 s, four
+#: buckets per decade (ratio ~1.78x), plus the implicit +Inf bucket.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    round(10.0 ** (-5 + i / 4.0), 10) for i in range(0, 25)
+)
+
+#: Upper bounds for iteration-count histograms (pivots, sweeps, jumps):
+#: powers of two up to 65536, plus the implicit +Inf bucket.
+COUNT_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(0, 17))
+
+
+class NullMetric:
+    """Shared no-op metric returned by every registry call while disabled."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0) -> None:
+        pass
+
+    def dec(self, value: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NULL_METRIC = NullMetric()
+
+
+class Counter:
+    """A monotonically increasing value (requests, cache hits, errors)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        self.value += value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A point-in-time value that can go up and down (queue depth)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, value: float = 1.0) -> None:
+        self.value += value
+
+    def dec(self, value: float = 1.0) -> None:
+        self.value -= value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A log-bucketed distribution of observations (latencies, pivots).
+
+    ``bounds`` are the *upper* edges of the finite buckets in increasing
+    order; one extra overflow bucket catches everything beyond the last
+    bound (rendered as ``le="+Inf"``).  Observation is one bisect plus
+    three scalar updates, cheap enough for per-solve instrumentation.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        bounds: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation within buckets.
+
+        The same estimate ``histogram_quantile`` computes from the
+        exposition: find the bucket holding rank ``q * count`` and assume
+        observations are uniform inside it.  The overflow bucket has no
+        upper edge, so its quantiles clamp to the last finite bound --
+        one reason to size :data:`LATENCY_BUCKETS` past the workload.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):  # overflow bucket: clamp
+                    return self.bounds[-1] if self.bounds else lower
+                upper = self.bounds[i]
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+            cumulative += bucket_count
+        return self.bounds[-1] if self.bounds else 0.0
+
+    def bucket_width_at(self, q: float) -> float:
+        """Width of the bucket the q-quantile falls in (error bound)."""
+        if self.count == 0 or not self.bounds:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if cumulative + bucket_count >= rank and bucket_count:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[min(i, len(self.bounds) - 1)]
+                return max(upper - lower, 0.0)
+            cumulative += bucket_count
+        return self.bounds[-1] - (self.bounds[-2] if len(self.bounds) > 1 else 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """A per-process family of named, labeled metrics.
+
+    Metric *creation* is serialized by a lock (the serve layer records
+    from executor threads); *updates* are plain attribute arithmetic --
+    under CPython's GIL a lost increment needs a mid-statement preemption
+    race, an acceptable trade for telemetry that keeps the enabled hot
+    path lock-free.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument lookup ----------------------------------------------
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, key[1], **kwargs)
+                    self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter | NullMetric:
+        if not self.enabled:
+            return _NULL_METRIC
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge | NullMetric:
+        if not self.enabled:
+            return _NULL_METRIC
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        **labels: object,
+    ) -> Histogram | NullMetric:
+        if not self.enabled:
+            return _NULL_METRIC
+        return self._get_or_create(Histogram, name, labels, bounds=buckets)
+
+    def collect(self) -> Iterator[Metric]:
+        """Every live metric, ordered by (name, labels) for stable output."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def find(self, name: str, **labels: object) -> Metric | None:
+        """Look up one metric without creating it (tests, introspection)."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    # -- cross-process transport ----------------------------------------
+    def snapshot(self) -> list[dict]:
+        """The registry as plain data (JSON/pickle-safe), for transport."""
+        return [m.to_dict() for m in self.collect()]
+
+    def drain(self) -> list[dict]:
+        """Snapshot, then zero every value (per-job deltas in workers).
+
+        Instruments survive -- only their recorded values reset -- so a
+        long-lived worker keeps stable metric identities across jobs.
+        """
+        snap = self.snapshot()
+        with self._lock:
+            for metric in self._metrics.values():
+                if isinstance(metric, Histogram):
+                    metric.counts = [0] * len(metric.counts)
+                    metric.sum = 0.0
+                    metric.count = 0
+                else:
+                    metric.value = 0.0
+        return snap
+
+    def merge(self, snapshot: Sequence[dict]) -> None:
+        """Fold a plain-data snapshot (from a worker) into this registry.
+
+        Counters and histograms add; gauges take the incoming value
+        (last-writer-wins -- gauges describe *a* process, not a sum).
+        A histogram whose bucket bounds differ from the local instrument
+        (version skew) degrades gracefully: its buckets are re-observed
+        at their upper bounds, preserving counts and approximate shape.
+        """
+        for entry in snapshot:
+            name = entry.get("name")
+            kind = entry.get("type")
+            labels = dict(entry.get("labels") or {})
+            if not name or not kind:
+                continue
+            if kind == "counter":
+                self._get_or_create(Counter, name, labels).inc(
+                    float(entry.get("value", 0.0))
+                )
+            elif kind == "gauge":
+                self._get_or_create(Gauge, name, labels).set(
+                    float(entry.get("value", 0.0))
+                )
+            elif kind == "histogram":
+                bounds = [float(b) for b in entry.get("bounds") or []]
+                counts = [int(c) for c in entry.get("counts") or []]
+                local = self._get_or_create(
+                    Histogram, name, labels, bounds=bounds or LATENCY_BUCKETS
+                )
+                assert isinstance(local, Histogram)
+                if list(local.bounds) == bounds and len(local.counts) == len(
+                    counts
+                ):
+                    for i, c in enumerate(counts):
+                        local.counts[i] += c
+                    local.sum += float(entry.get("sum", 0.0))
+                    local.count += int(entry.get("count", 0))
+                else:  # bound skew: re-observe at upper edges
+                    edges = bounds + [bounds[-1] if bounds else 0.0]
+                    for edge, c in zip(edges, counts):
+                        for _ in range(c):
+                            local.observe(edge)
+
+    def reset(self, enabled: bool | None = None) -> None:
+        """Drop every metric; optionally flip the enabled bit."""
+        if enabled is not None:
+            self.enabled = enabled
+        with self._lock:
+            self._metrics = {}
+
+    # -- exposition ------------------------------------------------------
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus exposition text for every metric in the registry.
+
+        Histograms render as cumulative ``_bucket{le=...}`` series plus
+        ``_sum``/``_count``, exactly the exposition ``histogram_quantile``
+        expects; counters get the conventional ``_total``-as-written name
+        (instrument names already carry their unit/``_total`` suffixes).
+        """
+        lines: list[str] = []
+        typed: set[str] = set()
+        for metric in self.collect():
+            full = prefix + metric.name
+            if full not in typed:
+                typed.add(full)
+                lines.append(f"# TYPE {full} {metric.kind}")
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{full}_bucket"
+                        f"{_render_labels(metric.labels, ('le', _format_bound(bound)))}"
+                        f" {cumulative}"
+                    )
+                cumulative += metric.counts[-1]
+                lines.append(
+                    f"{full}_bucket"
+                    f"{_render_labels(metric.labels, ('le', '+Inf'))}"
+                    f" {cumulative}"
+                )
+                lines.append(
+                    f"{full}_sum{_render_labels(metric.labels)}"
+                    f" {metric.sum:.9g}"
+                )
+                lines.append(
+                    f"{full}_count{_render_labels(metric.labels)}"
+                    f" {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{full}{_render_labels(metric.labels)} {metric.value:g}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_bound(bound: float) -> str:
+    text = f"{bound:.10g}"
+    return text
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(
+    labels: tuple[tuple[str, str], ...], *extra: tuple[str, str]
+) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+# ----------------------------------------------------------------------
+# Exposition parsing (repro top, tests)
+# ----------------------------------------------------------------------
+def parse_prometheus_text(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Parse exposition text into ``(name, labels, value)`` samples.
+
+    Tolerant of foreign series: comment lines and unparsable values are
+    skipped.  Label values containing escaped quotes round-trip.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, raw_value = line.rpartition(" ")
+        if not body:
+            continue
+        try:
+            value = float(raw_value)
+        except ValueError:
+            continue
+        name, labels = _split_series(body)
+        samples.append((name, labels, value))
+    return samples
+
+
+def _split_series(body: str) -> tuple[str, dict[str, str]]:
+    brace = body.find("{")
+    if brace < 0:
+        return body, {}
+    name = body[:brace]
+    labels: dict[str, str] = {}
+    inner = body[brace + 1 : body.rfind("}")]
+    i = 0
+    while i < len(inner):
+        eq = inner.find("=", i)
+        if eq < 0:
+            break
+        key = inner[i:eq].strip().lstrip(",").strip()
+        j = eq + 2  # skip ="
+        out: list[str] = []
+        while j < len(inner):
+            ch = inner[j]
+            if ch == "\\" and j + 1 < len(inner):
+                nxt = inner[j + 1]
+                out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            out.append(ch)
+            j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+    return name, labels
+
+
+def quantile_from_buckets(
+    buckets: list[tuple[float, float]], q: float
+) -> float:
+    """``histogram_quantile`` over parsed ``(le, cumulative_count)`` pairs.
+
+    ``buckets`` must include the ``+Inf`` entry (pass ``float("inf")``).
+    Used by ``repro top`` to estimate p50/p95/p99 from a scraped
+    ``_bucket`` series without the raw observations.
+    """
+    buckets = sorted(buckets)
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    previous_edge = 0.0
+    previous_cum = 0.0
+    for edge, cumulative in buckets:
+        if cumulative >= rank:
+            in_bucket = cumulative - previous_cum
+            if edge == float("inf"):
+                return previous_edge
+            if in_bucket <= 0:
+                return edge
+            fraction = (rank - previous_cum) / in_bucket
+            return previous_edge + (edge - previous_edge) * min(
+                1.0, max(0.0, fraction)
+            )
+        previous_edge, previous_cum = edge, cumulative
+    return previous_edge
+
+
+# ----------------------------------------------------------------------
+# Module-level registry (mirrors repro.obs.trace's tracer plumbing)
+# ----------------------------------------------------------------------
+#: The process-global registry every instrumentation site records into
+#: (unless a thread has installed a private override).
+_REGISTRY = MetricsRegistry()
+
+_LOCAL = threading.local()
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry: this thread's override if set, else the global."""
+    override = getattr(_LOCAL, "registry", None)
+    return override if override is not None else _REGISTRY
+
+
+def set_thread_registry(registry: MetricsRegistry | None) -> None:
+    """Install (or with ``None`` remove) a registry override for this thread."""
+    if registry is None:
+        if hasattr(_LOCAL, "registry"):
+            del _LOCAL.registry
+    else:
+        _LOCAL.registry = registry
+
+
+class use_registry:
+    """Context manager: record this thread's metrics into ``registry``."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = getattr(_LOCAL, "registry", None)
+        _LOCAL.registry = self.registry
+        return self.registry
+
+    def __exit__(self, *exc) -> bool:
+        set_thread_registry(self._previous)
+        return False
+
+
+def is_enabled() -> bool:
+    return get_registry().enabled
+
+
+def enable() -> MetricsRegistry:
+    """Turn metrics on (keeping recorded values) and return the registry.
+
+    Unlike ``trace.enable`` this does *not* clear state: metrics are
+    cumulative process counters, and a service re-enabling them must not
+    zero another instance's series.  Use :func:`reset` for a clean slate.
+    """
+    _REGISTRY.enabled = True
+    return _REGISTRY
+
+
+def disable() -> None:
+    _REGISTRY.enabled = False
+
+
+def reset(enabled: bool = False) -> None:
+    """Reset the global registry (worker startup, test isolation)."""
+    _REGISTRY.reset(enabled=enabled)
+
+
+def counter(name: str, **labels: object) -> Counter | NullMetric:
+    return get_registry().counter(name, **labels)
+
+
+def gauge(name: str, **labels: object) -> Gauge | NullMetric:
+    return get_registry().gauge(name, **labels)
+
+
+def histogram(
+    name: str, buckets: Sequence[float] = LATENCY_BUCKETS, **labels: object
+) -> Histogram | NullMetric:
+    return get_registry().histogram(name, buckets=buckets, **labels)
+
+
+def inc(name: str, value: float = 1.0, **labels: object) -> None:
+    """Bump a counter on the active registry (no-op when disabled)."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(name, **labels).inc(value)
+
+
+def observe(
+    name: str,
+    value: float,
+    buckets: Sequence[float] = LATENCY_BUCKETS,
+    **labels: object,
+) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.histogram(name, buckets=buckets, **labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    """Set a gauge on the active registry (no-op when disabled)."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.gauge(name, **labels).set(value)
+
+
+def snapshot() -> list[dict]:
+    return get_registry().snapshot()
+
+
+def drain() -> list[dict]:
+    return get_registry().drain()
+
+
+def merge(entries: Sequence[dict]) -> None:
+    """Merge a worker snapshot into the active registry (no-op when disabled)."""
+    registry = get_registry()
+    if registry.enabled and entries:
+        registry.merge(entries)

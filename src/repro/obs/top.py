@@ -1,0 +1,258 @@
+"""``repro top`` -- a live terminal dashboard over a service's /metrics.
+
+Polls the Prometheus exposition endpoint of a running ``repro serve``
+instance and renders the RED view a dashboard would: request rate, error
+percentage, latency quantiles (derived client-side from the
+``serve_job_seconds`` ``_bucket`` series -- no raw samples needed), cache
+hit ratio, queue depth, and a per-job-kind breakdown.  Rates and the
+latency window are computed from the *delta* between consecutive scrapes,
+so the numbers describe the last interval, not the process lifetime
+(lifetime quantiles are shown alongside).
+
+Everything is plain functions over parsed samples so tests can feed
+canned exposition text through :class:`MetricsView` and
+:func:`render_dashboard` without a server or a terminal.
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+from repro.obs.metrics import parse_prometheus_text, quantile_from_buckets
+
+#: Label keys that parameterize histogram series but not their identity.
+_BUCKET_LABEL = "le"
+
+
+class TopError(ReproError):
+    """The dashboard could not reach or parse the metrics endpoint."""
+
+
+class MetricsView:
+    """One scrape, indexed for aggregation queries.
+
+    ``name`` lookups accept both the bare instrument name
+    (``serve_requests_total``) and the exposed one
+    (``repro_serve_requests_total``).
+    """
+
+    def __init__(self, text: str, wall: float | None = None) -> None:
+        self.wall = time.time() if wall is None else wall
+        self.samples = parse_prometheus_text(text)
+        self._index: dict[str, list[tuple[dict[str, str], float]]] = {}
+        for name, labels, value in self.samples:
+            self._index.setdefault(name, []).append((labels, value))
+
+    def _series(self, name: str) -> list[tuple[dict[str, str], float]]:
+        return self._index.get(name) or self._index.get(f"repro_{name}") or []
+
+    def total(self, name: str, **match: str) -> float:
+        """Sum of every series of ``name`` whose labels include ``match``."""
+        out = 0.0
+        for labels, value in self._series(name):
+            if all(labels.get(k) == v for k, v in match.items()):
+                out += value
+        return out
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        series = self._series(name)
+        return series[0][1] if series else default
+
+    def label_values(self, name: str, key: str) -> list[str]:
+        seen: dict[str, None] = {}
+        for labels, _ in self._series(name):
+            if key in labels:
+                seen.setdefault(labels[key])
+        return list(seen)
+
+    def buckets(self, name: str, **match: str) -> list[tuple[float, float]]:
+        """Cumulative ``(le, count)`` pairs summed across matching series."""
+        merged: dict[float, float] = {}
+        for labels, value in self._series(f"{name}_bucket"):
+            if not all(labels.get(k) == v for k, v in match.items()):
+                continue
+            edge_text = labels.get(_BUCKET_LABEL)
+            if edge_text is None:
+                continue
+            edge = float("inf") if edge_text == "+Inf" else float(edge_text)
+            merged[edge] = merged.get(edge, 0.0) + value
+        return sorted(merged.items())
+
+
+def bucket_delta(
+    current: list[tuple[float, float]], previous: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Per-bucket difference of two cumulative scrapes (the rate window)."""
+    before = dict(previous)
+    return [(edge, count - before.get(edge, 0.0)) for edge, count in current]
+
+
+def _fmt_seconds(value: float) -> str:
+    if value <= 0:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:.1f}/s" if value < 100 else f"{value:.0f}/s"
+
+
+def _quantiles(buckets: list[tuple[float, float]]) -> dict[str, float]:
+    return {
+        "p50": quantile_from_buckets(buckets, 0.50),
+        "p95": quantile_from_buckets(buckets, 0.95),
+        "p99": quantile_from_buckets(buckets, 0.99),
+    }
+
+
+def render_dashboard(
+    current: MetricsView, previous: MetricsView | None
+) -> str:
+    """The dashboard text for one scrape pair (previous may be None)."""
+    elapsed = (
+        max(current.wall - previous.wall, 1e-9) if previous is not None else 0.0
+    )
+
+    def delta(name: str, **match: str) -> float:
+        if previous is None:
+            return 0.0
+        return current.total(name, **match) - previous.total(name, **match)
+
+    requests = delta("serve_requests_total")
+    rate = requests / elapsed if elapsed else 0.0
+    finished = delta("serve_completed_total") + delta("serve_failed_total")
+    errors = delta("serve_failed_total") + delta("serve_rejected_total")
+    error_pct = 100.0 * errors / max(finished + delta("serve_rejected_total"), 1.0)
+    hits = delta("serve_memory_hits_total") + delta("serve_store_hits_total")
+    lookups = hits + delta("serve_executed_total")
+    hit_pct = 100.0 * hits / lookups if lookups else 0.0
+
+    lifetime = _quantiles(current.buckets("serve_job_seconds"))
+    if previous is not None:
+        window_buckets = bucket_delta(
+            current.buckets("serve_job_seconds"),
+            previous.buckets("serve_job_seconds"),
+        )
+        window = (
+            _quantiles(window_buckets)
+            if window_buckets and window_buckets[-1][1] > 0
+            else lifetime
+        )
+    else:
+        window = lifetime
+
+    lines = [
+        "repro top -- serve RED metrics"
+        + (f" (window {elapsed:.1f}s)" if elapsed else " (first scrape)"),
+        "",
+        f"  rate      {_fmt_rate(rate):>10}    errors  {error_pct:5.1f}%    "
+        f"cache hit {hit_pct:5.1f}%",
+        f"  latency   p50 {_fmt_seconds(window['p50']):>8}  "
+        f"p95 {_fmt_seconds(window['p95']):>8}  "
+        f"p99 {_fmt_seconds(window['p99']):>8}   (window)",
+        f"            p50 {_fmt_seconds(lifetime['p50']):>8}  "
+        f"p95 {_fmt_seconds(lifetime['p95']):>8}  "
+        f"p99 {_fmt_seconds(lifetime['p99']):>8}   (lifetime)",
+        f"  inflight  {current.gauge('serve_inflight'):>10.0f}    "
+        f"pool queue {current.gauge('engine_pool_queue_depth'):>6.0f}    "
+        f"uptime {current.gauge('serve_uptime_seconds'):8.0f}s",
+    ]
+
+    kinds = sorted(current.label_values("serve_jobs_total", "kind"))
+    if kinds:
+        lines += [
+            "",
+            f"  {'kind':<10} {'done':>8} {'err':>6} {'rate':>9} "
+            f"{'p50':>9} {'p95':>9} {'p99':>9}",
+        ]
+        for kind in kinds:
+            done = current.total("serve_jobs_total", kind=kind, status="ok")
+            kind_errors = current.total(
+                "serve_jobs_total", kind=kind, status="error"
+            ) + current.total("serve_jobs_total", kind=kind, status="rejected")
+            kind_rate = (
+                delta("serve_jobs_total", kind=kind) / elapsed if elapsed else 0.0
+            )
+            q = _quantiles(current.buckets("serve_job_seconds", kind=kind))
+            lines.append(
+                f"  {kind:<10} {done:>8.0f} {kind_errors:>6.0f} "
+                f"{_fmt_rate(kind_rate):>9} "
+                f"{_fmt_seconds(q['p50']):>9} {_fmt_seconds(q['p95']):>9} "
+                f"{_fmt_seconds(q['p99']):>9}"
+            )
+
+    solves = current.total("lp_solves_total")
+    if solves:
+        lp_q = _quantiles(current.buckets("lp_solve_seconds"))
+        lines += [
+            "",
+            f"  lp solves {solves:>10.0f}    "
+            f"p50 {_fmt_seconds(lp_q['p50']):>8}  "
+            f"p95 {_fmt_seconds(lp_q['p95']):>8}",
+        ]
+    return "\n".join(lines)
+
+
+def fetch_metrics(url: str, timeout: float = 5.0) -> str:
+    """GET the /metrics exposition text from a server URL."""
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if not parts.hostname or not parts.port:
+        raise TopError(f"server URL {url!r} needs an explicit host:port")
+    conn = http.client.HTTPConnection(
+        parts.hostname, parts.port, timeout=timeout
+    )
+    try:
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8", "replace")
+    except (OSError, http.client.HTTPException) as err:
+        raise TopError(f"cannot scrape {url}/metrics: {err}") from err
+    finally:
+        conn.close()
+    if response.status != 200:
+        raise TopError(f"{url}/metrics returned HTTP {response.status}")
+    return body
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    write=None,
+    fetch=None,
+    clear: bool = True,
+) -> int:
+    """Poll /metrics and render the dashboard until interrupted.
+
+    ``iterations`` bounds the number of scrapes (None = run until
+    Ctrl-C); ``fetch``/``write`` are injectable for tests.  Returns the
+    number of frames rendered.
+    """
+    import sys
+
+    fetch = fetch or (lambda: fetch_metrics(url))
+    write = write or sys.stdout.write
+    previous: MetricsView | None = None
+    frames = 0
+    while iterations is None or frames < iterations:
+        current = MetricsView(fetch())
+        frame = render_dashboard(current, previous)
+        if clear:
+            write("\x1b[2J\x1b[H")
+        write(frame + "\n")
+        previous = current
+        frames += 1
+        if iterations is not None and frames >= iterations:
+            break
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            break
+    return frames

@@ -26,9 +26,17 @@ the rest of the process stays untraced.  The disabled fast path gains
 one thread-local attribute read, which stays far inside the <2% budget
 asserted by ``benchmarks/bench_obs_overhead.py``.
 
-Timestamps are wall-clock epoch seconds (``time.time``) so spans from
-different processes align on one timeline; durations are measured with
-``time.perf_counter`` for resolution.
+Clocks: two timebases coexist, deliberately.  Span start stamps (``t0``)
+and event ``ts`` stamps are wall-clock epoch seconds (``time.time``) so
+spans recorded in *different processes* align on one timeline -- the
+Chrome-trace exporter (:func:`repro.obs.export.chrome_trace`) places
+spans and instant events by these wall stamps.  Durations (``duration``)
+are measured on the monotonic ``time.perf_counter`` clock, immune to NTP
+steps -- the Prometheus exporter, ``repro trace summarize`` and the
+metrics histograms consume only these.  Events additionally carry a
+``mono`` stamp (``perf_counter``) so intervals *between events within
+one process* can be measured without wall-clock jitter; exporters that
+don't know the key ignore it.
 """
 
 from __future__ import annotations
@@ -109,8 +117,19 @@ class Span:
         self.counters[counter] = self.counters.get(counter, 0) + n
 
     def event(self, name: str, **attrs: object) -> None:
-        """Record a point-in-time event inside this span."""
-        self.events.append({"name": name, "ts": time.time(), **attrs})
+        """Record a point-in-time event inside this span.
+
+        Stamped with both clocks: ``ts`` (wall, cross-process alignment)
+        and ``mono`` (perf_counter, intra-process interval arithmetic).
+        """
+        self.events.append(
+            {
+                "name": name,
+                "ts": time.time(),
+                "mono": time.perf_counter(),
+                **attrs,
+            }
+        )
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "Span":

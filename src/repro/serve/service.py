@@ -36,7 +36,7 @@ import asyncio
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 
 from repro.core.parametric import BasisChain
 from repro.engine.cache import ResultCache
@@ -48,6 +48,8 @@ from repro.lint import diagnose, run_rules
 from repro.lp.backends import supports_warm_start
 from repro.lp.basis import Basis
 from repro.obs import prometheus_text
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.trace import Tracer, use_tracer
 from repro.serve.events import result_events
 from repro.serve.protocol import job_from_request
@@ -59,35 +61,79 @@ class ServiceUnavailableError(ReproError):
 
 
 def latency_percentiles(seconds: list[float]) -> dict[str, float]:
-    """p50/p95/p99 of a latency sample (nearest-rank on the sorted list)."""
+    """p50/p95/p99 of a latency sample, by linear interpolation.
+
+    The histogram-less fallback for the /metrics percentiles (used until
+    the ``serve_job_seconds`` histogram has observations).  Linear
+    interpolation between the two straddling order statistics -- the
+    earlier nearest-rank rounding (``int(round(q * last))``) collapsed
+    p95/p99 onto the max for any sample smaller than ~10 points.
+    """
     if not seconds:
         return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
     ordered = sorted(seconds)
     last = len(ordered) - 1
 
     def rank(q: float) -> float:
-        return ordered[min(last, int(round(q * last)))]
+        position = q * last
+        lower = int(position)
+        upper = min(last, lower + 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
     return {"p50": rank(0.50), "p95": rank(0.95), "p99": rank(0.99)}
 
 
-@dataclass
 class ServiceStats:
-    """Monotonic counters for one service instance (the /metrics payload)."""
+    """Monotonic counters for one service instance, backed by a registry.
 
-    requests: int = 0
-    rejected: int = 0
-    executed: int = 0
-    coalesced: int = 0
-    memory_hits: int = 0
-    store_hits: int = 0
-    completed: int = 0
-    failed: int = 0
-    lp_solves: int = 0
-    lp_pivots: int = 0
-    job_seconds_sum: float = 0.0
-    #: Rolling window of recent end-to-end job latencies (seconds).
-    latencies: deque = field(default_factory=lambda: deque(maxlen=512))
+    Formerly a plain dataclass of ints; the storage now lives in a
+    private :class:`~repro.obs.metrics.MetricsRegistry` so the /metrics
+    exposition, the flat :meth:`AnalysisService.counters` dict and these
+    attributes all read the same values.  Attribute syntax is preserved
+    (``stats.requests += 1`` still works) via ``__getattr__``/
+    ``__setattr__`` mapping each stat onto its registry counter.
+    """
+
+    #: attribute -> registry counter name (also the exposition name).
+    _COUNTERS = {
+        "requests": "serve_requests_total",
+        "rejected": "serve_rejected_total",
+        "executed": "serve_executed_total",
+        "coalesced": "serve_coalesced_total",
+        "memory_hits": "serve_memory_hits_total",
+        "store_hits": "serve_store_hits_total",
+        "completed": "serve_completed_total",
+        "failed": "serve_failed_total",
+        "lp_solves": "serve_lp_solves_total",
+        "lp_pivots": "serve_lp_pivots_total",
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        object.__setattr__(
+            self, "registry", registry or MetricsRegistry(enabled=True)
+        )
+        #: Wall seconds summed over finished jobs (the histogram's _sum
+        #: twin; kept as a plain attribute so the exposition has exactly
+        #: one serve_job_seconds_sum series -- the histogram's).
+        object.__setattr__(self, "job_seconds_sum", 0.0)
+        #: Rolling window of recent end-to-end job latencies (seconds):
+        #: the histogram-less percentile fallback.
+        object.__setattr__(self, "latencies", deque(maxlen=512))
+
+    def __getattr__(self, name: str):
+        metric_name = ServiceStats._COUNTERS.get(name)
+        if metric_name is None:
+            raise AttributeError(name)
+        metric = self.registry.find(metric_name)
+        return int(metric.value) if metric is not None else 0
+
+    def __setattr__(self, name: str, value) -> None:
+        metric_name = ServiceStats._COUNTERS.get(name)
+        if metric_name is None:
+            object.__setattr__(self, name, value)
+            return
+        self.registry.counter(metric_name).value = float(value)
 
 
 #: Terminal job statuses.
@@ -203,6 +249,14 @@ class AnalysisService:
         self.trace_jobs = trace_jobs
         self.retain_records = max(1, retain_records)
         self.stats = ServiceStats()
+        #: Private registry holding the serve-layer series (stat counters,
+        #: RED metrics per job kind) -- per-instance so concurrent services
+        #: in one process report disjoint numbers.
+        self.registry: MetricsRegistry = self.stats.registry
+        # The compute layers (lp, cycle, maxplus, engine) record into the
+        # *process-global* registry from the executor threads; turn it on
+        # so /metrics can expose their solve-latency histograms too.
+        obs_metrics.enable()
         self.started_at = time.time()
         self.draining = False
         self._memory = ResultCache(max_entries=memory_entries)
@@ -235,6 +289,9 @@ class AnalysisService:
         findings = self._admission_findings(job)
         if findings:
             self.stats.rejected += 1
+            self.registry.counter(
+                "serve_jobs_total", kind=job.kind, status="rejected"
+            ).inc()
             record.fail(
                 "; ".join(f"lint: {f}" for f in findings), status="rejected"
             )
@@ -314,10 +371,12 @@ class AnalysisService:
             result, source = await self._obtain(record, job)
         except asyncio.CancelledError:
             record.fail("cancelled")
+            self._finish_metrics(record, job.kind, "error")
             raise
         except Exception as err:  # noqa: BLE001 - a record must terminate
             self.stats.failed += 1
             record.fail(f"{type(err).__name__}: {err}")
+            self._finish_metrics(record, job.kind, "error")
             return
         if source == "executed":
             self.stats.executed += 1
@@ -330,7 +389,30 @@ class AnalysisService:
         elapsed = time.time() - record.created
         self.stats.job_seconds_sum += elapsed
         self.stats.latencies.append(elapsed)
+        self._finish_metrics(
+            record, job.kind, "ok" if result.ok else "error", source=source
+        )
         record.finish(result, source)
+
+    def _finish_metrics(
+        self,
+        record: JobRecord,
+        kind: str,
+        status: str,
+        source: str | None = None,
+    ) -> None:
+        """RED accounting for one finished job: rate, errors, duration."""
+        self.registry.counter(
+            "serve_jobs_total", kind=kind, status=status
+        ).inc()
+        if source is not None:
+            self.registry.counter(
+                "serve_results_total", kind=kind, source=source
+            ).inc()
+        elapsed = time.time() - record.created
+        self.registry.histogram(
+            "serve_job_seconds", kind=kind
+        ).observe(elapsed)
 
     async def _obtain(
         self, record: JobRecord, job: Job
@@ -498,12 +580,12 @@ class AnalysisService:
             "serve_failed_total": stats.failed,
             "serve_lp_solves_total": stats.lp_solves,
             "serve_lp_pivots_total": stats.lp_pivots,
-            "serve_job_seconds_sum": round(stats.job_seconds_sum, 6),
+            "serve_job_seconds_wall_sum": round(stats.job_seconds_sum, 6),
             "serve_inflight": self.inflight,
             "serve_memory_entries": len(self._memory),
             "serve_uptime_seconds": round(time.time() - self.started_at, 3),
         }
-        for name, value in latency_percentiles(list(stats.latencies)).items():
+        for name, value in self.latency_summary().items():
             out[f"serve_latency_seconds_{name}"] = round(value, 6)
         if self.store is not None:
             store = self.store.stats
@@ -513,9 +595,74 @@ class AnalysisService:
             out["serve_store_entries"] = len(self.store)
         return out
 
+    def job_latency_histogram(self) -> Histogram | None:
+        """The ``serve_job_seconds`` histogram aggregated across job kinds.
+
+        Per-kind instruments share one bucket scheme, so aggregation is a
+        vector add -- the same ``sum by (le)`` a Prometheus server would
+        compute from the exposition.
+        """
+        merged: Histogram | None = None
+        for metric in self.registry.collect():
+            if metric.name != "serve_job_seconds" or not isinstance(
+                metric, Histogram
+            ):
+                continue
+            if merged is None:
+                merged = Histogram("serve_job_seconds", (), bounds=metric.bounds)
+            for i, count in enumerate(metric.counts):
+                merged.counts[i] += count
+            merged.sum += metric.sum
+            merged.count += metric.count
+        return merged
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 job latency, bucket-derived when possible.
+
+        Quantiles come from the ``serve_job_seconds`` histogram (accurate
+        to one bucket width, covers the full history); the sorted-deque
+        :func:`latency_percentiles` remains as the histogram-less
+        fallback (e.g. a registry reset mid-flight).
+        """
+        merged = self.job_latency_histogram()
+        if merged is not None and merged.count:
+            return {
+                "p50": merged.quantile(0.50),
+                "p95": merged.quantile(0.95),
+                "p99": merged.quantile(0.99),
+            }
+        return latency_percentiles(list(self.stats.latencies))
+
     def metrics_text(self) -> str:
-        """Prometheus exposition text (via the obs exporter)."""
-        return prometheus_text([], extra=self.counters())
+        """Prometheus exposition: native histograms plus the flat counters.
+
+        Three blocks, in order: the service's private registry (stat
+        counters, RED series, the ``serve_job_seconds{kind=...}``
+        ``_bucket``/``_sum``/``_count`` histograms), the process-global
+        registry (``lp_solve_seconds``, ``cycle_*``, ``engine_*``,
+        ``maxplus_*`` recorded by the compute layers on the executor
+        threads), and the legacy flat counters -- minus any name the
+        registries already rendered, so every series appears exactly once.
+        """
+        rendered = {metric.name for metric in self.registry.collect()}
+        rendered.update(
+            metric.name for metric in obs_metrics.get_registry().collect()
+        )
+        extra = {
+            key: value
+            for key, value in self.counters().items()
+            if key not in rendered
+        }
+        blocks = [
+            self.registry.to_prometheus(),
+            obs_metrics.get_registry().to_prometheus(),
+            prometheus_text([], extra=extra),
+        ]
+        return "".join(
+            block if block.endswith("\n") else block + "\n"
+            for block in blocks
+            if block
+        )
 
     async def drain(self, timeout: float | None = None) -> None:
         """Stop admitting jobs, finish in-flight work, flush the store."""

@@ -15,16 +15,18 @@ from repro.designs import example1
 from repro.engine import Engine, FaultJob, MinimizeJob
 from repro.engine.metrics import MetricsAggregator
 from repro.lang.writer import write_circuit
-from repro.obs import trace
+from repro.obs import metrics, trace
 
 
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
-    """Every test starts and ends with tracing off and no global log."""
+    """Every test starts and ends with tracing and metrics off, no log."""
     trace.reset(enabled=False)
+    metrics.reset(enabled=False)
     obs.set_log(None)
     yield
     trace.reset(enabled=False)
+    metrics.reset(enabled=False)
     obs.set_log(None)
 
 
@@ -232,6 +234,57 @@ class TestEngineTracing:
         assert labels == ["crashy", "ok"]
         batch = next(s for s in walked if s.name == "engine.run_jobs")
         assert any(e["name"] == "pool.failover" for e in batch.events)
+
+    def test_worker_metrics_merge_into_parent_registry(self, ex1, ex2):
+        metrics.reset(enabled=True)
+        jobs = [
+            MinimizeJob(graph=ex1, mlp=MLPOptions(verify=False), label="e1"),
+            MinimizeJob(graph=ex2, mlp=MLPOptions(verify=False), label="e2"),
+        ]
+        results = Engine(jobs=2).run_jobs(jobs)
+        assert all(r.ok for r in results)
+        # snapshots were consumed by the merge, like span grafting
+        assert all(r.obs_metrics == [] for r in results)
+        registry = metrics.get_registry()
+        executed = sum(
+            m.value
+            for m in registry.collect()
+            if m.name == "engine_jobs_total"
+        )
+        assert executed == 2.0
+        latency = registry.find("engine_job_seconds", kind="minimize")
+        assert latency is not None and latency.count == 2
+        # the compute layers' series crossed the process boundary too
+        assert sum(
+            m.value
+            for m in registry.collect()
+            if m.name == "lp_solves_total"
+        ) >= 2.0
+
+    def test_crash_retry_merges_metrics_exactly_once(self, tmp_path):
+        """A retried job's snapshot merges once: the crashed attempt's
+        worker dies before sending its result, so only the surviving
+        attempt contributes counts."""
+        metrics.reset(enabled=True)
+        flag = str(tmp_path / "armed")
+        jobs = [
+            FaultJob(mode="ok", value=1.0, label="ok"),
+            FaultJob(mode="crash", value=2.0, crash_once_path=flag,
+                     label="crashy"),
+        ]
+        results = Engine(jobs=2, retries=1).run_jobs(jobs)
+        assert [r.ok for r in results] == [True, True]
+        assert results[1].attempts == 2
+        registry = metrics.get_registry()
+        executed = sum(
+            m.value
+            for m in registry.collect()
+            if m.name == "engine_jobs_total"
+        )
+        # exactly one count per job -- not one per attempt
+        assert executed == 2.0
+        latency = registry.find("engine_job_seconds", kind="fault")
+        assert latency is not None and latency.count == 2
 
     def test_cached_results_carry_no_spans(self, ex1):
         trace.enable()
