@@ -90,6 +90,16 @@ def _constraint_options(args: argparse.Namespace) -> ConstraintOptions:
     )
 
 
+def _backend_help(default: str | None = None) -> str:
+    """The --backend help line, built from the live backend registry."""
+    from repro.lp.backends import available_backends
+
+    names = "|".join(available_backends())
+    if default is None:
+        return f"LP backend ({names})"
+    return f"LP backend ({names}; default {default})"
+
+
 def _add_common_constraints(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--min-width", type=float, default=0.0, dest="min_width",
                         help="minimum active width for every phase")
@@ -561,8 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("minimize", parents=[common],
                        help="find the optimal cycle time (MLP)")
     p.add_argument("file", help=".lcd circuit description")
-    p.add_argument("--backend", default=None,
-                   help="LP backend (simplex|revised|scipy|cycle|cycle+check)")
+    p.add_argument("--backend", default=None, help=_backend_help())
     p.add_argument("--kernel", default="auto",
                    choices=("dict", "array", "auto"),
                    help="fixpoint kernel for the departure slide "
@@ -634,8 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for grid evaluation (default 1)")
     p.add_argument("--backend", default=None,
-                   help="LP backend (simplex|revised|scipy|cycle|cycle+check; "
-                        "default revised)")
+                   help=_backend_help(default="revised"))
     p.add_argument("--kernel", default="auto",
                    choices=("dict", "array", "auto"),
                    help="fixpoint kernel for the departure slide "
@@ -680,8 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock limit in seconds")
     p.add_argument("--retries", type=int, default=1,
                    help="extra attempts after a worker crash/timeout")
-    p.add_argument("--backend", default=None,
-                   help="LP backend (simplex|revised|scipy|cycle|cycle+check)")
+    p.add_argument("--backend", default=None, help=_backend_help())
     p.add_argument("--kernel", default="auto",
                    choices=("dict", "array", "auto"),
                    help="fixpoint kernel for the departure slide "

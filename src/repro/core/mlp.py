@@ -29,7 +29,7 @@ from repro.core.constraints import (
     t_var,
 )
 from repro.errors import ReproError
-from repro.lp.backends import solve
+from repro.lp.backends import AUTO_SPARSE_ROWS, solve
 from repro.lp.expr import LinExpr, var
 from repro.lp.result import LPResult
 from repro.maxplus.fixpoint import slide
@@ -167,10 +167,20 @@ def _compact_pass(
         tie_break = tie_break + var(d_var(sync.name))
     smo2.program.minimize(tie_break)
     # The cycle backends cannot honour a non-Tc objective and would only
-    # fall back; route the tie-break pass straight to the revised simplex.
+    # fall back; route the tie-break pass straight to a simplex -- the
+    # dense revised solver at paper scale (bit-stable against the
+    # existing golden schedules), the sparse revised solver above the
+    # dense-materialization threshold.  The sparse backend is routed the
+    # same way: the tie-break LP can still have alternate optima, and at
+    # paper scale the dense revised solver is the canonical vertex
+    # picker, keeping the reported schedule backend-independent.
     backend = mlp.backend
-    if (backend or "").startswith("cycle"):
-        backend = "revised"
+    if (backend or "").startswith(("cycle", "sparse")):
+        backend = (
+            "revised"
+            if len(smo2.program) <= AUTO_SPARSE_ROWS
+            else "sparse"
+        )
     result = solve(smo2.program, backend=backend)
     if not result.ok:  # pragma: no cover - the pinned LP is always feasible
         return fallback

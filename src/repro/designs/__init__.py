@@ -6,7 +6,10 @@
 * :mod:`repro.designs.fig1` -- the 11-latch, four-phase circuit of Fig. 1,
   whose full constraint listing appears in the paper's Appendix;
 * :mod:`repro.designs.gaas` -- the GaAs MIPS datapath case study of
-  Fig. 10/11 and Table I (reconstructed timing model).
+  Fig. 10/11 and Table I (reconstructed timing model);
+* :mod:`repro.designs.generators` -- parameterized large-design families
+  (deep lane-mixed pipelines, SRAM-style banked arrays) scaling to
+  10^4+ latches for the sparse-LP benchmarks.
 """
 
 from repro.designs.example1 import (
@@ -22,8 +25,11 @@ from repro.designs.gaas import (
     TRANSISTOR_COUNTS,
     gaas_datapath,
 )
+from repro.designs.generators import banked_array, pipeline
 
 __all__ = [
+    "banked_array",
+    "pipeline",
     "example1",
     "example1_optimal_period",
     "example1_nrip_period",

@@ -1,0 +1,156 @@
+"""Parameterized large-design generators: pipelines and banked arrays.
+
+Where :mod:`repro.circuit.generate` makes *random* circuits for property
+tests, these two families are *structured* -- deterministic, realistic
+topologies modeled on the designs the roadmap names (deep FPU-style
+pipelines, SRAM-style banked memories), scalable from paper-sized to
+10^4+ latches.  They are the workloads of the sparse-LP scaling grid in
+``benchmarks/bench_scaling.py`` and of the shipped
+``examples/pipeline64x2.lcd`` / ``examples/banked8x512.lcd`` designs.
+
+* :func:`pipeline` -- a ``depth x width`` feed-forward datapath with
+  lane mixing: stage ``s`` holds ``width`` latches on phase ``s mod k``,
+  and every latch feeds its own lane plus the neighbouring lanes of the
+  next stage.  Deterministic per-arc delay variation creates long
+  time-borrowing chains (some stage crossings are slow, the following
+  ones fast), the behaviour Section IV's level-sensitive analysis
+  exists to exploit.  Being loop-free, its minimum Tc is set by the
+  heaviest single stage crossing -- and the design stays cheap to lint
+  (no simple cycles at all).
+* :func:`banked_array` -- an SRAM-style closed system: one address
+  latch fans out to ``banks`` parallel chains of ``depth`` latches
+  (alternating phases, word-line -> bit-line -> sense stages in
+  miniature), which merge into an output latch that feeds back to the
+  address latch.  Exactly ``banks`` simple feedback loops, each
+  crossing every phase, so the loop-compliance lint stays linear.
+
+Delays are pure integer arithmetic in the latch coordinates -- no RNG --
+so a given parameterization is byte-identical everywhere (the ``.lcd``
+exports under ``examples/`` are regenerable artifacts).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.graph import TimingGraph
+from repro.errors import CircuitError
+
+#: Latch setup and propagation delay shared by both families (ns).
+LATCH_DELAY = 10.0
+
+#: Base combinational delay of a stage crossing (ns).
+BASE_DELAY = 20.0
+
+#: Peak-to-peak deterministic delay variation (ns); spread across a
+#: 5-step pattern keyed on the latch coordinates so borrowing chains of
+#: several consecutive slow stages occur at every size.
+DELAY_SPREAD = 30.0
+
+
+def _phases(k: int) -> list[str]:
+    return [f"phi{i + 1}" for i in range(k)]
+
+
+def _stage_delay(s: int, w: int) -> float:
+    """Deterministic delay for the crossing out of latch (stage s, lane w)."""
+    return BASE_DELAY + DELAY_SPREAD * ((s * 7 + w * 3) % 5) / 4.0
+
+
+def pipeline(
+    depth: int,
+    width: int = 1,
+    k: int = 2,
+) -> TimingGraph:
+    """A ``depth x width`` feed-forward pipeline with lane mixing.
+
+    ``depth * width`` latches: stage ``s`` (0-based) holds latches
+    ``P{s}_{w}`` on phase ``s mod k``.  Every latch drives lane ``w`` of
+    the next stage plus its existing neighbours ``w - 1`` and ``w + 1``
+    (shuffle/bypass networks in real datapaths), so interior latches
+    have fan-in and fan-out 3.  Arc count is just under ``3 * depth *
+    width`` -- linear, as the sparse-LP scaling grid requires.
+    """
+    if depth < 2:
+        raise CircuitError(f"pipeline needs depth >= 2, got {depth}")
+    if width < 1:
+        raise CircuitError(f"pipeline needs width >= 1, got {width}")
+    if k < 2:
+        raise CircuitError("pipeline needs k >= 2 phases")
+    phases = _phases(k)
+    builder = CircuitBuilder(phases)
+    for s in range(depth):
+        for w in range(width):
+            builder.latch(
+                f"P{s}_{w}",
+                phase=phases[s % k],
+                setup=LATCH_DELAY,
+                delay=LATCH_DELAY,
+            )
+    for s in range(depth - 1):
+        for w in range(width):
+            for dst in (w - 1, w, w + 1):
+                if 0 <= dst < width:
+                    builder.path(
+                        f"P{s}_{w}",
+                        f"P{s + 1}_{dst}",
+                        delay=_stage_delay(s, w),
+                    )
+    return builder.build()
+
+
+def banked_array(
+    banks: int,
+    depth: int,
+    k: int = 2,
+) -> TimingGraph:
+    """An SRAM-style banked array: fan-out, parallel chains, merge, loop.
+
+    One address latch ``A`` (phase 1) drives ``banks`` chains
+    ``B{b}_{d}`` of ``depth`` latches each; a latch at distance ``d``
+    from ``A`` sits on phase ``d mod k``.  The chain tails merge into an
+    output latch ``O``, which closes the access loop back to ``A``.
+    Total ``banks * depth + 2`` latches and exactly ``banks`` simple
+    feedback loops, each of length ``depth + 2``.
+
+    Loop compliance requires the wrap to land back on ``A``'s phase:
+    ``(depth + 2) % k == 0`` (for the default two-phase clock, any even
+    ``depth``).
+    """
+    if banks < 1:
+        raise CircuitError(f"banked_array needs banks >= 1, got {banks}")
+    if depth < 1:
+        raise CircuitError(f"banked_array needs depth >= 1, got {depth}")
+    if k < 2:
+        raise CircuitError("banked_array needs k >= 2 phases")
+    if (depth + 2) % k != 0:
+        raise CircuitError(
+            f"banked_array loop length {depth + 2} must be a multiple of "
+            f"k={k} so the feedback arc lands on the address latch's phase"
+        )
+    phases = _phases(k)
+    builder = CircuitBuilder(phases)
+    builder.latch("A", phase=phases[0], setup=LATCH_DELAY, delay=LATCH_DELAY)
+    builder.latch(
+        "O",
+        phase=phases[(depth + 1) % k],
+        setup=LATCH_DELAY,
+        delay=LATCH_DELAY,
+    )
+    for b in range(banks):
+        for d in range(depth):
+            builder.latch(
+                f"B{b}_{d}",
+                phase=phases[(d + 1) % k],
+                setup=LATCH_DELAY,
+                delay=LATCH_DELAY,
+            )
+        builder.path("A", f"B{b}_0", delay=_stage_delay(0, b))
+        for d in range(depth - 1):
+            builder.path(
+                f"B{b}_{d}",
+                f"B{b}_{d + 1}",
+                delay=_stage_delay(d + 1, b),
+            )
+        builder.path(f"B{b}_{depth - 1}", "O", delay=_stage_delay(depth, b))
+    builder.path("O", "A", delay=BASE_DELAY)
+    return builder.build()

@@ -26,6 +26,7 @@ from repro.circuit.graph import TimingGraph
 from repro.clocking.schedule import ClockSchedule
 from repro.core.constraints import ConstraintOptions
 from repro.core.mlp import MLPOptions
+from repro.lp.backends import canonical_backend
 from repro.errors import ReproError
 from repro.lp.basis import Basis
 
@@ -121,16 +122,15 @@ def mlp_signature(mlp: MLPOptions | None) -> dict | None:
     ``kernel`` and ``sanitize`` are deliberately excluded: the fixpoint
     kernel is a pure performance device and the sanitizer a pure
     verification device -- neither changes a reported optimum, so neither
-    may split the cache.  For the same reason the self-checking
-    ``"cycle+check"`` backend hashes as plain ``"cycle"``: the LP
-    cross-check and forced sanitize only ever *raise*, they never change
-    what the job returns, so both spellings must share one cache entry.
+    may split the cache.  For the same reason decorated backend spellings
+    hash as their registry-canonical name (``"cycle+check"`` as plain
+    ``"cycle"``): the LP cross-check and forced sanitize only ever
+    *raise*, they never change what the job returns, so both spellings
+    must share one cache entry.
     """
     if mlp is None:
         return None
-    backend = mlp.backend
-    if backend == "cycle+check":
-        backend = "cycle"
+    backend = None if mlp.backend is None else canonical_backend(mlp.backend)
     return {
         "backend": backend,
         "iteration": mlp.iteration,

@@ -15,6 +15,10 @@ such programs:
 * :mod:`repro.lp.revised_simplex` -- a revised simplex with explicit
   :mod:`basis <repro.lp.basis>` objects and warm-start support, the fast
   path for repeated solves (sweeps, batches);
+* :mod:`repro.lp.sparse` / :mod:`repro.lp.sparse_lu` /
+  :mod:`repro.lp.sparse_simplex` -- CSR/CSC constraint storage, sparse
+  LU + eta-file basis factorization, and the sparse revised simplex
+  built on them: O(nnz) memory, the backend for 10k+ latch designs;
 * :mod:`repro.lp.scipy_backend` -- an optional cross-checking backend on
   top of :func:`scipy.optimize.linprog`;
 * :mod:`repro.lp.sensitivity` -- binding-constraint and shadow-price
@@ -23,14 +27,21 @@ such programs:
 See ``docs/LP.md`` for the solver architecture tour.
 """
 
-from repro.lp.backends import available_backends, solve, supports_warm_start
+from repro.lp.backends import (
+    available_backends,
+    canonical_backend,
+    solve,
+    supports_warm_start,
+)
 from repro.lp.basis import Basis
 from repro.lp.expr import LinExpr, var
-from repro.lp.model import Constraint, LinearProgram, Sense
+from repro.lp.model import Constraint, LinearProgram, LPCSRArrays, Sense
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.revised_simplex import RevisedSimplexOptions, solve_revised_simplex
 from repro.lp.sensitivity import SensitivityReport, sensitivity
 from repro.lp.simplex import SimplexOptions, solve_simplex
+from repro.lp.sparse import CSCMatrix, CSRMatrix
+from repro.lp.sparse_simplex import SparseSimplexOptions, solve_sparse_simplex
 from repro.lp.standard_form import StandardForm
 
 __all__ = [
@@ -39,15 +50,21 @@ __all__ = [
     "var",
     "Constraint",
     "LinearProgram",
+    "LPCSRArrays",
+    "CSRMatrix",
+    "CSCMatrix",
     "Sense",
     "LPResult",
     "LPStatus",
     "RevisedSimplexOptions",
     "SimplexOptions",
+    "SparseSimplexOptions",
     "StandardForm",
     "solve_revised_simplex",
     "solve_simplex",
+    "solve_sparse_simplex",
     "available_backends",
+    "canonical_backend",
     "supports_warm_start",
     "solve",
     "SensitivityReport",

@@ -5,10 +5,14 @@ they differ in speed and capabilities:
 
 * ``"simplex"`` -- the from-scratch dense tableau solver (the default,
   and the paper's own choice);
-* ``"revised"`` -- the revised simplex with explicit basis objects; the
-  only backend that accepts a **warm start**, which repeated-solve paths
-  (sweeps, batches) use to skip phase 1 between structurally identical
-  programs;
+* ``"revised"`` -- the revised simplex with explicit basis objects; it
+  accepts a **warm start**, which repeated-solve paths (sweeps, batches)
+  use to skip phase 1 between structurally identical programs;
+* ``"sparse"``  -- the sparse revised simplex (:mod:`repro.lp.sparse_simplex`):
+  pivot-for-pivot the revised solver, but with CSC constraint storage and
+  an LU + eta-file basis factorization -- O(nnz) memory instead of O(m^2),
+  the backend that scales to 10k+ latches.  Emits and accepts the same
+  :class:`~repro.lp.basis.Basis` objects as ``"revised"``;
 * ``"scipy"``   -- :func:`scipy.optimize.linprog` (HiGHS), registered when
   scipy is importable;
 * ``"cycle"``   -- the graph-native parametric critical-cycle solver of
@@ -36,14 +40,25 @@ from repro.lp.result import LPResult
 from repro.lp.revised_simplex import solve_revised_simplex
 from repro.lp.scipy_backend import HAVE_SCIPY, solve_scipy
 from repro.lp.simplex import solve_simplex
+from repro.lp.sparse_simplex import solve_sparse_simplex
 from repro.obs import metrics, trace
 
 #: Name of the backend used when the caller does not specify one.
 DEFAULT_BACKEND = "simplex"
 
+#: Programs with more constraint rows than this are auto-routed from the
+#: dense default to the sparse revised simplex when the caller passes
+#: ``backend=None``: the dense tableau above this size is both slow and a
+#: counted dense-materialization event (see :mod:`repro.lp.sparse`).
+AUTO_SPARSE_ROWS = 2000
+
 
 def _solve_revised(program: LinearProgram, warm_start: Basis | None = None) -> LPResult:
     return solve_revised_simplex(program, warm_start=warm_start)
+
+
+def _solve_sparse(program: LinearProgram, warm_start: Basis | None = None) -> LPResult:
+    return solve_sparse_simplex(program, warm_start=warm_start)
 
 
 def _solve_cycle(
@@ -73,6 +88,7 @@ def _solve_cycle_check(
 _BACKENDS: dict[str, tuple[Callable[..., LPResult], bool, bool]] = {
     "simplex": (solve_simplex, False, False),
     "revised": (_solve_revised, True, False),
+    "sparse": (_solve_sparse, True, False),
     "cycle": (_solve_cycle, True, True),
     "cycle+check": (_solve_cycle_check, True, True),
 }
@@ -100,6 +116,19 @@ def supports_context(name: str | None = None) -> bool:
     """True when the named backend consumes the SMO ``context`` object."""
     entry = _BACKENDS.get(name or DEFAULT_BACKEND)
     return bool(entry and entry[2])
+
+
+def canonical_backend(name: str | None) -> str:
+    """The registry name that actually answers for ``name``.
+
+    Strips decoration suffixes (``"cycle+check"`` -> ``"cycle"``), so
+    cache keys and signatures built from the canonical name hit across
+    checked and unchecked variants of the same backend.  Unknown names
+    pass through unchanged -- validation stays with :func:`solve`.
+    """
+    full = name or DEFAULT_BACKEND
+    base = full.split("+", 1)[0]
+    return base if base in _BACKENDS else full
 
 
 def register_backend(
@@ -131,14 +160,21 @@ def solve(
 
     ``warm_start`` optionally supplies the optimal basis of a structurally
     identical, previously solved program; it is forwarded to backends that
-    support it (currently ``"revised"`` and, for their LP fallback, the
-    cycle backends) and ignored by the rest.  ``context`` optionally
+    support it (``"revised"``, ``"sparse"`` and, for their LP fallback,
+    the cycle backends) and ignored by the rest.  ``context`` optionally
     supplies the :class:`~repro.core.constraints.SMOProgram` the program
     was generated from; the graph-native ``"cycle"``/``"cycle+check"``
     backends require it to recover event times and fall back to the LP
     without it.  Neither option ever changes the reported optimum.
+
+    When no backend is named, programs above :data:`AUTO_SPARSE_ROWS`
+    rows route to ``"sparse"`` instead of the dense default: at that
+    size the dense tableau is an O(m x n) allocation the sparse solver
+    answers identically without.
     """
     name = backend or DEFAULT_BACKEND
+    if backend is None and len(program) > AUTO_SPARSE_ROWS:
+        name = "sparse"
     try:
         solver, accepts_warm, accepts_context = _BACKENDS[name]
     except KeyError:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
@@ -10,6 +11,7 @@ import numpy as np
 
 from repro.errors import LPError
 from repro.lp.expr import LinExpr, Number, as_expr
+from repro.lp.sparse import CSRMatrix
 
 
 class Sense(str, enum.Enum):
@@ -69,6 +71,16 @@ class LinearProgram:
         self._constraint_names: set[str] = set()
         self._free: set[str] = set()
         self._declared: dict[str, None] = {}  # insertion-ordered variable set
+        self._var_index: dict[str, int] = {}  # name -> declared position
+        #: Constraint coefficients, accumulated as CSR triplets at add time
+        #: (column = declared position of the variable, which never changes
+        #: once assigned).  ``array`` keeps appends cheap; :meth:`to_csr`
+        #: snapshots into numpy.  ``with_rhs`` clones share these buffers
+        #: copy-on-write (``_csr_shared``) since rhs edits never touch them.
+        self._csr_indptr: array[int] = array("q", [0])
+        self._csr_cols: array[int] = array("q")
+        self._csr_vals: array[float] = array("d")
+        self._csr_shared = False
         #: Scratch space for *structural* fingerprints computed over this
         #: program (constraint names, senses and coefficients -- never rhs
         #: values).  :meth:`with_rhs` copies it into the clone, so rhs-only
@@ -111,7 +123,7 @@ class LinearProgram:
             raise LPError(f"duplicate constraint name {constraint.name!r}")
         self._constraint_names.add(constraint.name)
         self._constraints.append(constraint)
-        self._touch(constraint.lhs)
+        self._append_csr_row(constraint.lhs.terms)
         self.structure_memo.clear()
         return constraint
 
@@ -141,8 +153,7 @@ class LinearProgram:
             raise LPError(f"duplicate constraint name {name!r}")
         self._constraint_names.add(name)
         self._constraints.append(constraint)
-        for v in terms:
-            self._declared.setdefault(v, None)
+        self._append_csr_row(terms)
         self.structure_memo.clear()
         return constraint
 
@@ -157,7 +168,9 @@ class LinearProgram:
 
     def declare(self, name: str) -> None:
         """Register a variable even if no constraint mentions it yet."""
-        self._declared.setdefault(name, None)
+        if name not in self._var_index:
+            self._var_index[name] = len(self._var_index)
+            self._declared[name] = None
 
     def set_free(self, name: str) -> None:
         """Mark a variable as unrestricted in sign."""
@@ -167,7 +180,26 @@ class LinearProgram:
 
     def _touch(self, expr: LinExpr) -> None:
         for v in expr.terms:
-            self._declared.setdefault(v, None)
+            self.declare(v)
+
+    def _append_csr_row(self, terms: Mapping[str, float]) -> None:
+        """Append one constraint row to the CSR triplet buffers."""
+        if self._csr_shared:
+            # Copy-on-write: a with_rhs sibling shares these buffers.
+            self._csr_indptr = array("q", self._csr_indptr)
+            self._csr_cols = array("q", self._csr_cols)
+            self._csr_vals = array("d", self._csr_vals)
+            self._csr_shared = False
+        var_index = self._var_index
+        for v, coeff in terms.items():
+            idx = var_index.get(v)
+            if idx is None:
+                idx = len(var_index)
+                var_index[v] = idx
+                self._declared[v] = None
+            self._csr_cols.append(idx)
+            self._csr_vals.append(coeff)
+        self._csr_indptr.append(len(self._csr_cols))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -233,54 +265,115 @@ class LinearProgram:
         clone._constraint_names = set(self._constraint_names)
         clone._free = set(self._free)
         clone._declared = dict(self._declared)
+        clone._var_index = dict(self._var_index)
+        # Coefficients are untouched by rhs edits: share the CSR buffers and
+        # let the next structural append on either side copy them first.
+        clone._csr_indptr = self._csr_indptr
+        clone._csr_cols = self._csr_cols
+        clone._csr_vals = self._csr_vals
+        clone._csr_shared = self._csr_shared = True
         clone.structure_memo = dict(self.structure_memo)
         return clone
 
     # ------------------------------------------------------------------
     # Matrix form
     # ------------------------------------------------------------------
-    def to_arrays(self) -> "LPArrays":
-        """Dense matrix form, keeping <=, >= and == rows separate."""
+    def to_csr(self) -> "LPCSRArrays":
+        """Sparse (CSR) matrix form, rows in insertion order.
+
+        The structural arrays (indptr/indices/data, names, senses) are
+        snapshotted from the append buffers and cached in
+        :attr:`structure_memo` -- so repeated calls during a solve, and
+        every :meth:`with_rhs` sibling, share one set of numpy arrays.
+        The objective vector and rhs are rebuilt per call: they are not
+        structure and may change without clearing the memo.
+        """
         variables = list(self._declared)
-        index = {v: i for i, v in enumerate(variables)}
         n = len(variables)
+        m = len(self._constraints)
+        nnz = len(self._csr_cols)
+        cached = self.structure_memo.get("csr_structure")
+        if (
+            isinstance(cached, _CSRStructure)
+            and cached.a.shape == (m, n)
+            and cached.a.nnz == nnz
+        ):
+            structure = cached
+        else:
+            structure = _CSRStructure(
+                a=CSRMatrix(
+                    shape=(m, n),
+                    indptr=np.frombuffer(
+                        bytes(self._csr_indptr), dtype=np.int64
+                    ),
+                    indices=np.frombuffer(
+                        bytes(self._csr_cols), dtype=np.int64
+                    ),
+                    data=np.frombuffer(
+                        bytes(self._csr_vals), dtype=np.float64
+                    ),
+                ),
+                names=[c.name for c in self._constraints],
+                senses=[c.sense for c in self._constraints],
+            )
+            self.structure_memo["csr_structure"] = structure
+
         c = np.zeros(n)
         for v, coeff in self._objective.terms.items():
-            c[index[v]] = coeff
-
-        rows = {Sense.LE: [], Sense.GE: [], Sense.EQ: []}
-        rhs = {Sense.LE: [], Sense.GE: [], Sense.EQ: []}
-        names = {Sense.LE: [], Sense.GE: [], Sense.EQ: []}
-        for con in self._constraints:
-            row = np.zeros(n)
-            for v, coeff in con.lhs.terms.items():
-                row[index[v]] = coeff
-            rows[con.sense].append(row)
-            rhs[con.sense].append(con.rhs)
-            names[con.sense].append(con.name)
-
-        def stack(sense: Sense) -> tuple[np.ndarray, np.ndarray]:
-            if rows[sense]:
-                return np.vstack(rows[sense]), np.asarray(rhs[sense])
-            return np.zeros((0, n)), np.zeros(0)
-
-        a_le, b_le = stack(Sense.LE)
-        a_ge, b_ge = stack(Sense.GE)
-        a_eq, b_eq = stack(Sense.EQ)
-        return LPArrays(
+            c[self._var_index[v]] = coeff
+        return LPCSRArrays(
             variables=variables,
             c=c,
             objective_constant=self._objective.constant,
+            a=structure.a,
+            senses=structure.senses,
+            rhs=np.array([con.rhs for con in self._constraints]),
+            names=structure.names,
+            free=[v in self._free for v in variables],
+        )
+
+    def to_arrays(self) -> "LPArrays":
+        """Dense matrix form, keeping <=, >= and == rows separate.
+
+        This is the legacy tableau-solver view; it materializes the full
+        ``(m, n)`` coefficient matrix from the CSR storage, which above
+        2000 rows is counted and reported (see :mod:`repro.lp.sparse`).
+        """
+        csr = self.to_csr()
+        n = len(csr.variables)
+        dense = csr.a.to_dense(site="model.to_arrays")
+
+        picks: dict[Sense, list[int]] = {
+            Sense.LE: [],
+            Sense.GE: [],
+            Sense.EQ: [],
+        }
+        for i, sense in enumerate(csr.senses):
+            picks[sense].append(i)
+
+        def block(sense: Sense) -> tuple[np.ndarray, np.ndarray]:
+            idx = picks[sense]
+            if idx:
+                return dense[idx], csr.rhs[idx]
+            return np.zeros((0, n)), np.zeros(0)
+
+        a_le, b_le = block(Sense.LE)
+        a_ge, b_ge = block(Sense.GE)
+        a_eq, b_eq = block(Sense.EQ)
+        return LPArrays(
+            variables=csr.variables,
+            c=csr.c,
+            objective_constant=csr.objective_constant,
             a_le=a_le,
             b_le=b_le,
-            names_le=list(names[Sense.LE]),
+            names_le=[csr.names[i] for i in picks[Sense.LE]],
             a_ge=a_ge,
             b_ge=b_ge,
-            names_ge=list(names[Sense.GE]),
+            names_ge=[csr.names[i] for i in picks[Sense.GE]],
             a_eq=a_eq,
             b_eq=b_eq,
-            names_eq=list(names[Sense.EQ]),
-            free=[v in self._free for v in variables],
+            names_eq=[csr.names[i] for i in picks[Sense.EQ]],
+            free=csr.free,
         )
 
     def check_topological(self) -> bool:
@@ -321,3 +414,40 @@ class LPArrays:
     @property
     def n_constraints(self) -> int:
         return len(self.names_le) + len(self.names_ge) + len(self.names_eq)
+
+
+@dataclass(frozen=True)
+class _CSRStructure:
+    """The structural (rhs-independent) part of :class:`LPCSRArrays`."""
+
+    a: CSRMatrix
+    names: list[str]
+    senses: list[Sense]
+
+
+@dataclass
+class LPCSRArrays:
+    """Sparse (CSR) matrix view of a :class:`LinearProgram`.
+
+    Rows are in constraint insertion order (not grouped by sense); the
+    per-row ``senses`` list carries the direction.  Peak memory is
+    O(nnz) -- for the paper's exclusively-topological matrices that is
+    a few entries per row regardless of circuit size.
+    """
+
+    variables: list[str]
+    c: np.ndarray
+    objective_constant: float
+    a: CSRMatrix
+    senses: list[Sense]
+    rhs: np.ndarray
+    names: list[str]
+    free: list[bool]
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.names)

@@ -1,0 +1,260 @@
+"""Sparse matrix substrate for the LP stack: CSR/CSC containers + kernels.
+
+The SMO constraint matrix is *exclusively topological* (every coefficient
+is 0 or +/-1, Section VI of the paper) and linear in latch count
+(``<= 4k + (F+1) l`` rows), so it is catastrophically wasteful to ever
+materialize it densely: at 10^4 latches the dense ``(m, n)`` array is
+gigabytes while the nonzeros fit in a few megabytes.  This module holds
+the two compressed layouts the LP pipeline is built on and the handful
+of vectorized kernels the sparse revised simplex needs:
+
+* :class:`CSRMatrix` -- row-compressed, the natural *build* order
+  (constraints are appended row by row);
+* :class:`CSCMatrix` -- column-compressed, the natural *solve* order
+  (simplex pricing and basis extraction walk columns);
+* :func:`csr_to_csc` -- O(nnz) counting-sort conversion;
+* :meth:`CSCMatrix.rmatvec` -- ``A^T y`` in one ``reduceat`` pass, the
+  pricing kernel;
+* :meth:`CSCMatrix.gather_columns` -- vectorized multi-column extraction,
+  the basis-matrix assembly kernel.
+
+Dense views remain available (the legacy tableau solver needs one) but
+are *observable*: every forced materialization above
+:data:`DENSE_WARN_ROWS` rows increments the process-wide
+:data:`DENSE_STATS` counter, bumps the ``lp_dense_materializations_total``
+metric and emits a one-time ``lp.dense_materialized`` event, so an
+accidental densification on a supposedly sparse path is visible in
+``repro top`` and assertable in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.obs import events, metrics
+
+_F64 = npt.NDArray[np.float64]
+_I64 = npt.NDArray[np.int64]
+
+#: Dense views of matrices with more rows than this are considered
+#: accidental densifications and are counted / reported (see
+#: :func:`note_dense_materialization`).
+DENSE_WARN_ROWS = 2000
+
+
+@dataclass
+class DenseMaterializationStats:
+    """Process-wide tally of large dense constraint-matrix materializations.
+
+    ``count``/``cells`` only track materializations above
+    :data:`DENSE_WARN_ROWS` rows -- paper-sized programs densify freely.
+    The counter is deliberately always on (one integer add); benchmarks
+    assert it stays flat across their sparse-backend solves.
+    """
+
+    count: int = 0
+    cells: int = 0
+    _event_emitted: bool = field(default=False, repr=False)
+
+    def note(self, site: str, rows: int, cols: int) -> None:
+        if rows <= DENSE_WARN_ROWS:
+            return
+        self.count += 1
+        self.cells += rows * cols
+        if metrics.is_enabled():
+            metrics.inc("lp_dense_materializations_total", site=site)
+        if not self._event_emitted:
+            # One-time per process: enough to flag the footgun without
+            # spamming the run log on every sweep point.
+            self._event_emitted = True
+            events.emit(
+                "lp.dense_materialized",
+                level="warning",
+                site=site,
+                rows=rows,
+                cols=cols,
+            )
+
+    def reset(self) -> None:
+        self.count = 0
+        self.cells = 0
+
+
+#: The process-wide instance (import and read ``DENSE_STATS.count``).
+DENSE_STATS = DenseMaterializationStats()
+
+
+def note_dense_materialization(site: str, rows: int, cols: int) -> None:
+    """Record that ``site`` materialized a dense ``(rows, cols)`` view."""
+    DENSE_STATS.note(site, rows, cols)
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """A read-only compressed-sparse-row matrix (``float64`` data)."""
+
+    shape: tuple[int, int]
+    indptr: _I64  #: (m+1,) row start offsets into indices/data
+    indices: _I64  #: (nnz,) column index per stored entry
+    data: _F64  #: (nnz,) value per stored entry
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def row(self, i: int) -> tuple[_I64, _F64]:
+        """The (column indices, values) slice of row ``i``."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def matvec(self, x: _F64) -> _F64:
+        """``A @ x`` in one gather + ``reduceat`` pass."""
+        return _segment_sums(
+            self.data * x[self.indices], self.indptr, self.shape[0]
+        )
+
+    def tocsc(self) -> "CSCMatrix":
+        return csr_to_csc(self)
+
+    def to_dense(self, site: str = "csr") -> _F64:
+        """Materialize densely (observable above :data:`DENSE_WARN_ROWS`)."""
+        m, n = self.shape
+        note_dense_materialization(site, m, n)
+        out = np.zeros((m, n))
+        rows = np.repeat(
+            np.arange(m, dtype=np.int64), np.diff(self.indptr)
+        )
+        out[rows, self.indices] = self.data
+        return out
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """A read-only compressed-sparse-column matrix (``float64`` data)."""
+
+    shape: tuple[int, int]
+    indptr: _I64  #: (n+1,) column start offsets into indices/data
+    indices: _I64  #: (nnz,) row index per stored entry
+    data: _F64  #: (nnz,) value per stored entry
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def column(self, j: int) -> tuple[_I64, _F64]:
+        """The (row indices, values) slice of column ``j``."""
+        lo, hi = int(self.indptr[j]), int(self.indptr[j + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def column_dense(self, j: int, out: _F64 | None = None) -> _F64:
+        """Column ``j`` scattered into a dense (m,) vector."""
+        if out is None:
+            out = np.zeros(self.shape[0])
+        else:
+            out[:] = 0.0
+        rows, vals = self.column(j)
+        out[rows] = vals
+        return out
+
+    def rmatvec(self, y: _F64) -> _F64:
+        """``A^T y`` (one value per column) -- the simplex pricing kernel."""
+        return _segment_sums(
+            self.data * y[self.indices], self.indptr, self.shape[1]
+        )
+
+    def matvec(self, x: _F64) -> _F64:
+        """``A @ x`` via scatter-add over the stored entries."""
+        out = np.zeros(self.shape[0])
+        np.add.at(out, self.indices, self.data * x[self.indices_col()])
+        return out
+
+    def indices_col(self) -> _I64:
+        """The column index of every stored entry (expanded from indptr)."""
+        return np.repeat(
+            np.arange(self.shape[1], dtype=np.int64), np.diff(self.indptr)
+        )
+
+    def gather_columns(self, cols: _I64) -> tuple[_I64, _I64, _F64]:
+        """CSC triplets of the submatrix ``A[:, cols]`` (columns in order).
+
+        Vectorized multi-slice gather: no Python loop over columns, so
+        assembling a 25 000-column basis matrix costs microseconds, not
+        milliseconds.  Returns ``(indptr, row_indices, values)`` with
+        ``indptr`` of length ``len(cols) + 1``.
+        """
+        starts = self.indptr[cols]
+        lengths = self.indptr[cols + 1] - starts
+        indptr = np.zeros(len(cols) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+        # flat[e] = starts[col of e] + offset within that column's run
+        flat = np.repeat(starts - indptr[:-1], lengths) + np.arange(
+            total, dtype=np.int64
+        )
+        return indptr, self.indices[flat], self.data[flat]
+
+    def to_dense(self, site: str = "csc") -> _F64:
+        """Materialize densely (observable above :data:`DENSE_WARN_ROWS`)."""
+        m, n = self.shape
+        note_dense_materialization(site, m, n)
+        out = np.zeros((m, n))
+        out[self.indices, self.indices_col()] = self.data
+        return out
+
+
+def _segment_sums(values: _F64, indptr: _I64, n_segments: int) -> _F64:
+    """Per-segment sums of ``values`` partitioned by ``indptr``.
+
+    ``np.add.reduceat`` with the empty-segment fixup: reduceat returns the
+    *next* element for an empty segment (and misbehaves at the very end),
+    so empty segments are zeroed explicitly.
+    """
+    out = np.zeros(n_segments)
+    if values.shape[0] == 0 or n_segments == 0:
+        return out
+    starts = indptr[:-1]
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    if nonempty.all():
+        out[:] = np.add.reduceat(values, starts)
+    elif nonempty.any():
+        out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out
+
+
+def csr_to_csc(a: CSRMatrix) -> CSCMatrix:
+    """O(nnz + n) counting-sort conversion (stable: row order per column)."""
+    m, n = a.shape
+    nnz = a.nnz
+    counts = np.bincount(a.indices, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(a.indptr))
+    # Stable counting sort of the entries by column index.
+    order = np.argsort(a.indices, kind="stable")
+    return CSCMatrix(
+        shape=(m, n),
+        indptr=indptr,
+        indices=rows[order],
+        data=a.data[order],
+    )
+
+
+def csc_from_triplets(
+    shape: tuple[int, int], rows: _I64, cols: _I64, vals: _F64
+) -> CSCMatrix:
+    """Assemble a CSC matrix from unordered (row, col, value) triplets."""
+    n = shape[1]
+    counts = np.bincount(cols, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(cols, kind="stable")
+    return CSCMatrix(
+        shape=shape,
+        indptr=indptr,
+        indices=np.asarray(rows, dtype=np.int64)[order],
+        data=np.asarray(vals, dtype=np.float64)[order],
+    )

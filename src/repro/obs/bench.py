@@ -87,6 +87,19 @@ def _sweep_example1() -> float:
     return result.points[0].period
 
 
+def _sparse_pipeline() -> float:
+    from repro.core.mlp import MLPOptions, minimize_cycle_time
+    from repro.designs.generators import pipeline
+
+    # 256 latches / ~1.4k LP rows: big enough that the CSR build, the
+    # basis factorization, and the eta updates dominate the runtime,
+    # small enough to keep the perf-regression job quick.
+    graph = pipeline(32, 8)
+    return minimize_cycle_time(
+        graph, mlp=MLPOptions(verify=False, compact=False, backend="sparse")
+    ).period
+
+
 def _serve_roundtrip() -> float:
     import asyncio
 
@@ -116,6 +129,7 @@ SUITE: dict[str, Callable[[], float]] = {
     "minimize_example2_revised": _minimize_example2_revised,
     "cycle_multiloop_64": _cycle_multiloop,
     "sweep_example1": _sweep_example1,
+    "sparse_pipeline_256": _sparse_pipeline,
     "serve_roundtrip": _serve_roundtrip,
 }
 

@@ -1,0 +1,90 @@
+"""Structured large-design generators: shape, determinism, solvability."""
+
+import pytest
+
+from repro.core.mlp import MLPOptions, minimize_cycle_time
+from repro.designs import banked_array, pipeline
+from repro.errors import CircuitError
+from repro.lint import run_lint
+
+
+class TestPipeline:
+    def test_shape(self):
+        g = pipeline(8, 4)
+        assert len(g.latches) == 32
+        # Interior latches fan out to 3 lanes, edge lanes to 2.
+        assert len(g.arcs) == 7 * (3 * 4 - 2)
+        assert g.k == 2
+
+    def test_phases_alternate(self):
+        g = pipeline(4, 1, k=3)
+        phases = [g[f"P{s}_0"].phase for s in range(4)]
+        assert phases == ["phi1", "phi2", "phi3", "phi1"]
+
+    def test_acyclic(self):
+        g = pipeline(6, 3)
+        report = run_lint(g)
+        assert report.ok, report
+
+    def test_deterministic(self):
+        a, b = pipeline(5, 3), pipeline(5, 3)
+        assert [(x.src, x.dst, x.delay) for x in a.arcs] == [
+            (x.src, x.dst, x.delay) for x in b.arcs
+        ]
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            pipeline(1, 4)
+        with pytest.raises(CircuitError):
+            pipeline(4, 0)
+        with pytest.raises(CircuitError):
+            pipeline(4, 4, k=1)
+
+
+class TestBankedArray:
+    def test_shape(self):
+        g = banked_array(4, 8)
+        assert len(g.latches) == 4 * 8 + 2
+        # Per bank: A->head, depth-1 chain arcs, tail->O; plus O->A.
+        assert len(g.arcs) == 4 * (8 + 1) + 1
+
+    def test_loop_lands_on_address_phase(self):
+        g = banked_array(2, 6, k=4)
+        assert g["A"].phase == "phi1"
+        report = run_lint(g)
+        assert report.ok, report
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            banked_array(0, 8)
+        with pytest.raises(CircuitError):
+            banked_array(4, 0)
+        with pytest.raises(CircuitError):
+            banked_array(4, 8, k=1)
+        # Loop length depth+2 must be a multiple of k.
+        with pytest.raises(CircuitError):
+            banked_array(4, 7)
+
+    def test_bank_count_does_not_change_optimum(self):
+        # Every bank runs the same delay profile shifted by its index;
+        # the critical loop is whichever bank is slowest, and adding
+        # banks beyond 5 only repeats the same 5 delay profiles.
+        small = minimize_cycle_time(
+            banked_array(5, 8), mlp=MLPOptions(verify=False)
+        )
+        large = minimize_cycle_time(
+            banked_array(7, 8), mlp=MLPOptions(verify=False)
+        )
+        assert large.period == pytest.approx(small.period)
+
+
+class TestSolvable:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: pipeline(10, 4), lambda: banked_array(4, 10)],
+    )
+    def test_default_pipeline_end_to_end(self, factory):
+        # Full default pipeline: verified, compacted, feasible.
+        result = minimize_cycle_time(factory())
+        assert result.period > 0
+        assert result.feasible

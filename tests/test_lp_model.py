@@ -114,3 +114,58 @@ class TestArrays:
         assert lp.check_topological()
         lp.add_le(2 * var("x"), 1)
         assert not lp.check_topological()
+
+
+class TestCSR:
+    def _lp(self):
+        lp = LinearProgram()
+        lp.minimize(var("x") + 2 * var("y"))
+        lp.add_le(var("x") + var("y"), 4, name="a")
+        lp.add_ge(var("y") - var("x"), -1, name="b")
+        lp.add_eq(var("x") + var("z"), 2, name="c")
+        return lp
+
+    def test_to_csr_matches_dense(self):
+        lp = self._lp()
+        csr = lp.to_csr()
+        assert csr.variables == ["x", "y", "z"]
+        assert csr.a.shape == (3, 3)
+        dense = csr.a.to_dense(site="test")
+        np.testing.assert_allclose(
+            dense, [[1, 1, 0], [-1, 1, 0], [1, 0, 1]]
+        )
+        np.testing.assert_allclose(csr.rhs, [4, -1, 2])
+        assert csr.names == ["a", "b", "c"]
+        assert [s.value for s in csr.senses] == ["<=", ">=", "=="]
+
+    def test_structure_cache_reused_but_rhs_fresh(self):
+        lp = self._lp()
+        first = lp.to_csr()
+        second = lp.to_csr()
+        assert first.a is second.a  # cached structure
+        clone = lp.with_rhs({"a": 9.0})
+        again = clone.to_csr()
+        np.testing.assert_allclose(again.rhs, [9, -1, 2])
+        np.testing.assert_allclose(
+            again.a.to_dense(site="test"), first.a.to_dense(site="test")
+        )
+
+    def test_with_rhs_shares_then_copies_on_append(self):
+        lp = self._lp()
+        clone = lp.with_rhs({"a": 9.0})
+        # Appending to either program after cloning must not corrupt the
+        # other: the CSR buffers are copy-on-write.
+        clone.add_le(var("x") + var("w"), 1, name="d")
+        assert lp.to_csr().a.shape == (3, 3)
+        csr = clone.to_csr()
+        assert csr.a.shape == (4, 4)
+        np.testing.assert_allclose(
+            csr.a.to_dense(site="test")[3], [1, 0, 0, 1]
+        )
+
+    def test_to_arrays_built_from_csr(self):
+        lp = self._lp()
+        arrays = lp.to_arrays()
+        np.testing.assert_allclose(arrays.a_le, [[1, 1, 0]])
+        np.testing.assert_allclose(arrays.a_ge, [[-1, 1, 0]])
+        np.testing.assert_allclose(arrays.a_eq, [[1, 0, 1]])
