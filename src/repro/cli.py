@@ -440,6 +440,71 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def cmd_devlint(args: argparse.Namespace) -> int:
+    """Project static analysis over the repo's own source.
+
+    Where ``repro lint`` checks circuits, ``repro devlint`` checks the
+    codebase: blocking calls on the serve event loop, nondeterminism in
+    job-signature functions, observability hygiene, and sparsity wiring
+    (see docs/DEVLINT.md).  Exit code 0 when clean modulo the committed
+    baseline, 1 on actionable findings, 2 on unusable input.
+    """
+    import os
+
+    from repro.devlint import (
+        DEFAULT_BASELINE,
+        DevLintError,
+        lint_paths,
+        registered_rules,
+        run_devlint,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule_def in registered_rules():
+            _emit(
+                f"{rule_def.code} [{rule_def.severity.value}] "
+                f"{rule_def.description}"
+            )
+            if rule_def.fix_hint:
+                _emit(f"    fix: {rule_def.fix_hint}")
+        return 0
+    paths = args.paths or [os.path.join(args.root, "src", "repro")]
+    codes = (
+        [c.strip() for c in args.rules.split(",") if c.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        if args.no_baseline:
+            report = lint_paths(paths, root=args.root, codes=codes)
+        else:
+            report = run_devlint(
+                paths,
+                root=args.root,
+                baseline_path=args.baseline,
+                codes=codes,
+            )
+    except DevLintError as exc:
+        _error(f"error: {exc}")
+        return 2
+    if args.update_baseline:
+        target = args.baseline or os.path.join(args.root, DEFAULT_BASELINE)
+        count = save_baseline(target, report.findings + report.baselined)
+        _emit(
+            f"devlint: wrote {count} "
+            f"entr{'y' if count == 1 else 'ies'} to {target}"
+        )
+        return 0
+    obs.emit("devlint.done", ok=report.ok, findings=len(report.findings),
+             files=report.files)
+    if args.format == "json":
+        _emit(json.dumps(report.to_dict(), indent=2))
+    else:
+        _emit(report.format(show_baselined=args.show_baselined))
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static analysis over one or more designs (see docs/LINT.md).
 
@@ -629,6 +694,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diagnose feasibility against a period cap")
     _add_common_constraints(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "devlint",
+        parents=[common],
+        help="static analysis over the repro source tree itself",
+        description="Run the devlint rule registry (async blocking-call "
+        "detection, hash-determinism checks, observability hygiene, "
+        "sparsity wiring) over the project's own Python source.  Exit "
+        "code 0 when clean modulo the committed baseline.  See "
+        "docs/DEVLINT.md.",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default src/repro)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="output format (default text)")
+    p.add_argument("--root", default=".",
+                   help="repo root for relative paths and the default "
+                   "baseline location (default .)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file (default <root>/devlint-baseline.json "
+                   "when present)")
+    p.add_argument("--no-baseline", action="store_true", dest="no_baseline",
+                   help="report every finding, ignoring any baseline")
+    p.add_argument("--update-baseline", action="store_true",
+                   dest="update_baseline",
+                   help="accept all current findings into the baseline file")
+    p.add_argument("--show-baselined", action="store_true",
+                   dest="show_baselined",
+                   help="also list baselined (accepted) findings")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule codes to run (default all)")
+    p.add_argument("--list-rules", action="store_true", dest="list_rules",
+                   help="list registered rules and exit")
+    p.set_defaults(func=cmd_devlint)
 
     p = sub.add_parser("sweep", parents=[common],
                        help="piecewise-linear Tc(delay) curve")

@@ -1,0 +1,53 @@
+"""repro.devlint: project-aware static analysis for the repro codebase.
+
+Where :mod:`repro.lint` checks *circuits* against the paper's timing
+rules, devlint checks the *source tree* against the project's own
+engineering invariants -- the conventions that keep the async serve
+layer responsive, the job-signature cache keys deterministic, the
+observability data trustworthy, and the sparse substrate's dense
+materializations attributed.  See ``docs/DEVLINT.md`` for the rule
+catalog and the baseline workflow.
+"""
+
+from repro.devlint.baseline import load_baseline, save_baseline
+from repro.devlint.project import (
+    DevLintError,
+    ModuleUnit,
+    load_file,
+    load_source,
+)
+from repro.devlint.report import DevFinding, DevReport, Severity
+from repro.devlint.rules import (
+    DevRule,
+    get_rule,
+    load_rules,
+    registered_rules,
+    rule,
+)
+from repro.devlint.runner import (
+    DEFAULT_BASELINE,
+    lint_paths,
+    lint_source,
+    run_devlint,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DevFinding",
+    "DevLintError",
+    "DevReport",
+    "DevRule",
+    "ModuleUnit",
+    "Severity",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_file",
+    "load_rules",
+    "load_source",
+    "registered_rules",
+    "rule",
+    "run_devlint",
+    "save_baseline",
+]

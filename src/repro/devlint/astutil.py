@@ -1,0 +1,151 @@
+"""Shared AST plumbing for the devlint rules.
+
+Everything here is rule-agnostic: dotted-name extraction for call
+targets, parent maps, and the function table (every ``def`` in a module
+with its dotted qualname and async-ness) that the reachability-based
+rules build on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def attr_chain(node: ast.expr) -> tuple[str, ...] | None:
+    """The dotted-name chain of an expression, or ``None`` if non-dotted.
+
+    ``self.store.get`` -> ``("self", "store", "get")``.  Intervening
+    calls are collapsed to a ``"()"`` segment, so the receiver of
+    ``registry.counter(name).value`` reads
+    ``("registry", "counter", "()", "value")`` -- rules can recognize
+    "attribute of a call result" shapes without re-walking.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Call):
+            parts.append("()")
+            current = current.func
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            break
+        else:
+            return None
+    return tuple(reversed(parts))
+
+
+def call_chain(call: ast.Call) -> tuple[str, ...] | None:
+    """The dotted chain of a call's callee (``None`` for computed callees)."""
+    return attr_chain(call.func)
+
+
+def keyword_value(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent for every node under ``tree``."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def nearest_statement(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.AST | None:
+    """The closest ancestor (or self) that is a statement or withitem."""
+    current: ast.AST | None = node
+    while current is not None:
+        if isinstance(current, (ast.stmt, ast.withitem)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def has_ancestor_call(
+    node: ast.AST,
+    parents: dict[ast.AST, ast.AST],
+    names: frozenset[str],
+    stop: ast.AST | None = None,
+) -> bool:
+    """True when an enclosing expression is a call to one of ``names``."""
+    current: ast.AST | None = parents.get(node)
+    while current is not None and current is not stop:
+        if isinstance(current, ast.Call):
+            chain = call_chain(current)
+            if chain is not None and chain[-1] in names:
+                return True
+        current = parents.get(current)
+    return False
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One ``def`` in a module: dotted qualname, node, and context."""
+
+    qualname: str  #: e.g. "AnalysisService._obtain"
+    name: str
+    node: FunctionNode
+    is_async: bool
+    classname: str | None  #: immediate enclosing class, if a method
+
+
+def function_table(tree: ast.Module) -> list[FunctionInfo]:
+    """Every function/method in the module with its dotted qualname."""
+    table: list[FunctionInfo] = []
+
+    def visit(node: ast.AST, prefix: str, classname: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                table.append(
+                    FunctionInfo(
+                        qualname=qualname,
+                        name=child.name,
+                        node=child,
+                        is_async=isinstance(child, ast.AsyncFunctionDef),
+                        classname=classname,
+                    )
+                )
+                visit(child, f"{qualname}.", classname)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.", child.name)
+            else:
+                visit(child, prefix, classname)
+
+    visit(tree, "", None)
+    return table
+
+
+def walk_body(
+    fn: FunctionNode, skip_nested_defs: bool = True
+) -> Iterator[ast.AST]:
+    """Walk a function body, optionally skipping nested function scopes.
+
+    Nested ``def``/``async def`` bodies execute in their own context (a
+    callback, a worker, another coroutine), so rules that reason about
+    *this* function's execution context must not descend into them.
+    Lambdas are descended into: they share the enclosing context unless
+    explicitly shipped elsewhere, which the async rules special-case.
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if skip_nested_defs and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

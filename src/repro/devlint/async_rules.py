@@ -1,0 +1,289 @@
+"""DEV1xx: blocking calls reachable from ``async def`` bodies.
+
+The serve layer's correctness rests on one convention (stated in
+``repro/serve/service.py``): all service state lives on the event loop,
+and only pure job execution leaves it -- through an executor.  A
+blocking call that slips onto the loop (a SQLite query, ``time.sleep``,
+a subprocess wait) stalls *every* connection, not just its own request,
+and nothing crashes: the service just gets slow under load.  These
+rules make the convention checkable.
+
+Detection is reachability-based, per module: the bodies of every
+``async def`` are scanned directly, and so is every *sync* function the
+async code calls (transitively, through plain ``name(...)`` and
+``self.method(...)`` calls within the module) -- a blocking call doesn't
+stop blocking because it was moved into a helper.  Functions that are
+only *referenced* (passed to ``run_in_executor``, ``asyncio.to_thread``,
+``Thread(target=...)``) are never reached by this walk, which is exactly
+right: they run off-loop.  Arguments of an executor-hop call are not
+descended into for the same reason.
+
+Blocking-call classification is project-aware where it pays: any method
+in :data:`STORE_METHODS` on a receiver whose final segment is ``store``
+(or ``*_store``) is treated as a :class:`repro.serve.store.ResultStore`
+SQLite operation.
+
+Codes:
+
+* ``DEV101`` -- ``time.sleep`` on the loop (use ``await asyncio.sleep``);
+* ``DEV102`` -- SQLite / result-store access on the loop;
+* ``DEV103`` -- blocking file, socket or subprocess I/O on the loop;
+* ``DEV104`` -- blocking waits on pools, executors, threads or futures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.devlint.astutil import (
+    FunctionInfo,
+    FunctionNode,
+    attr_chain,
+    call_chain,
+    function_table,
+    keyword_value,
+)
+from repro.devlint.project import ModuleUnit
+from repro.devlint.report import DevFinding, Severity
+from repro.devlint.rules import make_finding, rule
+
+#: ResultStore operations that hit SQLite under the covers.
+STORE_METHODS = frozenset({"get", "put", "flush", "close", "keys"})
+
+#: Receiver name segments identifying thread-pool / executor objects.
+_WAITER_RECEIVERS = ("executor", "pool", "thread", "proc", "worker")
+
+#: subprocess functions that block until the child exits (or spawns).
+_SUBPROCESS_BLOCKING = frozenset(
+    {"run", "call", "check_call", "check_output", "Popen", "wait",
+     "communicate"}
+)
+
+
+def _is_executor_hop(chain: tuple[str, ...]) -> bool:
+    """Calls that ship their callable argument off the event loop."""
+    if chain[-1] == "run_in_executor":
+        return True
+    if chain == ("asyncio", "to_thread") or chain[-1] == "to_thread":
+        return True
+    if chain[-1] in ("Thread", "submit"):
+        return True
+    return False
+
+
+def _store_receiver(chain: tuple[str, ...]) -> bool:
+    """True when the chain's receiver names a persistent result store."""
+    if len(chain) < 2:
+        return False
+    receiver = chain[-2]
+    return receiver == "store" or receiver.endswith("_store")
+
+
+def _classify(call: ast.Call) -> tuple[str, str] | None:
+    """Map one call to ``(code, message)`` when it blocks, else ``None``."""
+    chain = call_chain(call)
+    if chain is None:
+        return None
+    # DEV101: blocking sleep.
+    if chain == ("time", "sleep") or chain[-2:] == ("time", "sleep"):
+        return (
+            "DEV101",
+            "time.sleep() blocks the event loop",
+        )
+    # DEV102: SQLite / result-store access.
+    if chain[0] == "sqlite3":
+        return (
+            "DEV102",
+            f"sqlite3 call '{'.'.join(chain)}' blocks the event loop",
+        )
+    if chain[-1] in STORE_METHODS and _store_receiver(chain):
+        return (
+            "DEV102",
+            f"result-store call '{'.'.join(chain)}()' is a blocking "
+            "SQLite operation on the event loop",
+        )
+    if chain == ("len",) and call.args:
+        arg0 = call.args[0]
+        inner = (
+            attr_chain(arg0)
+            if isinstance(arg0, (ast.Name, ast.Attribute))
+            else None
+        )
+        if inner is not None and (
+            inner[-1] == "store" or inner[-1].endswith("_store")
+        ):
+            return (
+                "DEV102",
+                "len(store) issues a blocking COUNT(*) query on the "
+                "event loop",
+            )
+    # DEV103: file / socket / subprocess I/O.
+    if chain == ("open",):
+        return ("DEV103", "open() performs blocking file I/O on the event loop")
+    if chain[0] == "subprocess" and chain[-1] in _SUBPROCESS_BLOCKING:
+        return (
+            "DEV103",
+            f"'{'.'.join(chain)}' blocks on a child process",
+        )
+    if chain in (("os", "system"), ("os", "popen")):
+        return ("DEV103", f"'{'.'.join(chain)}' blocks on a shell")
+    if chain == ("socket", "create_connection"):
+        return (
+            "DEV103",
+            "socket.create_connection() blocks on connect; use "
+            "asyncio.open_connection",
+        )
+    # DEV104: blocking waits on pools / threads / futures.
+    method = chain[-1]
+    receiver = chain[-2].lower() if len(chain) >= 2 else ""
+    if method in ("join", "wait", "shutdown", "result", "terminate"):
+        if any(part in receiver for part in _WAITER_RECEIVERS) or (
+            method == "result" and ("future" in receiver or "fut" == receiver)
+        ):
+            if method == "shutdown":
+                wait_kw = keyword_value(call, "wait")
+                if isinstance(wait_kw, ast.Constant) and wait_kw.value is False:
+                    return None
+            return (
+                "DEV104",
+                f"'{'.'.join(chain)}()' waits synchronously on the "
+                "event loop",
+            )
+    return None
+
+
+def _scan_calls(fn: FunctionNode) -> Iterator[ast.Call]:
+    """Calls executed in ``fn``'s own context.
+
+    Skips nested ``def`` bodies and the *arguments* of executor-hop
+    calls (those run off-loop); awaited calls are yielded like any other
+    (awaiting a coroutine is fine -- the classifier only matches known
+    blocking callees, none of which are coroutines).
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+            chain = call_chain(node)
+            if chain is not None and _is_executor_hop(chain):
+                # The callable and its arguments execute off-loop.
+                continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_edges(
+    fn: FunctionNode, table: dict[str, list[FunctionInfo]]
+) -> Iterator[FunctionInfo]:
+    """Module-local functions *called* (not merely referenced) by ``fn``."""
+    for call in _scan_calls(fn):
+        chain = call_chain(call)
+        if chain is None:
+            continue
+        target: str | None = None
+        if len(chain) == 1:
+            target = chain[0]
+        elif len(chain) == 2 and chain[0] in ("self", "cls"):
+            target = chain[1]
+        if target is None:
+            continue
+        yield from table.get(target, ())
+
+
+def _on_loop_functions(
+    unit: ModuleUnit,
+) -> list[tuple[FunctionInfo, str | None]]:
+    """Functions whose bodies execute on the event loop.
+
+    Returns ``(info, via)`` pairs: ``via`` is ``None`` for async bodies
+    themselves and the qualname of the calling function for sync
+    functions reached transitively.
+    """
+    functions = function_table(unit.tree)
+    by_name: dict[str, list[FunctionInfo]] = {}
+    for info in functions:
+        by_name.setdefault(info.name, []).append(info)
+
+    seeds = [info for info in functions if info.is_async]
+    on_loop: dict[str, tuple[FunctionInfo, str | None]] = {}
+    frontier: list[tuple[FunctionInfo, str | None]] = [
+        (info, None) for info in seeds
+    ]
+    while frontier:
+        info, via = frontier.pop()
+        if info.qualname in on_loop:
+            continue
+        on_loop[info.qualname] = (info, via)
+        for callee in _call_edges(info.node, by_name):
+            if callee.is_async or callee.qualname in on_loop:
+                continue
+            frontier.append((callee, info.qualname))
+    return list(on_loop.values())
+
+
+def _async_findings(
+    unit: ModuleUnit, codes: frozenset[str]
+) -> Iterable[DevFinding]:
+    for info, via in _on_loop_functions(unit):
+        for call in _scan_calls(info.node):
+            classified = _classify(call)
+            if classified is None or classified[0] not in codes:
+                continue
+            code, message = classified
+            if via is not None:
+                message += (
+                    f" [sync function reachable from async code via "
+                    f"{via}]"
+                )
+            yield make_finding(
+                code, unit, call, message, scope=info.qualname
+            )
+
+
+@rule(
+    "DEV101",
+    Severity.ERROR,
+    "time.sleep in code reachable from an async def body",
+    fix_hint="use 'await asyncio.sleep(...)' (or move the work to an "
+    "executor with loop.run_in_executor / asyncio.to_thread)",
+)
+def _blocking_sleep(unit: ModuleUnit) -> Iterable[DevFinding]:
+    return _async_findings(unit, frozenset({"DEV101"}))
+
+
+@rule(
+    "DEV102",
+    Severity.ERROR,
+    "SQLite / result-store access in code reachable from an async def body",
+    fix_hint="hop off the loop: 'await loop.run_in_executor(executor, "
+    "store.get, key)' or 'await asyncio.to_thread(...)'",
+)
+def _blocking_store(unit: ModuleUnit) -> Iterable[DevFinding]:
+    return _async_findings(unit, frozenset({"DEV102"}))
+
+
+@rule(
+    "DEV103",
+    Severity.ERROR,
+    "blocking file/socket/subprocess I/O in code reachable from an "
+    "async def body",
+    fix_hint="use the asyncio equivalent (open_connection, "
+    "create_subprocess_exec) or run it in an executor",
+)
+def _blocking_io(unit: ModuleUnit) -> Iterable[DevFinding]:
+    return _async_findings(unit, frozenset({"DEV103"}))
+
+
+@rule(
+    "DEV104",
+    Severity.ERROR,
+    "synchronous pool/executor/thread/future wait in code reachable "
+    "from an async def body",
+    fix_hint="await the work instead (run_in_executor returns a future) "
+    "or perform the wait via 'await asyncio.to_thread(...)'",
+)
+def _blocking_wait(unit: ModuleUnit) -> Iterable[DevFinding]:
+    return _async_findings(unit, frozenset({"DEV104"}))

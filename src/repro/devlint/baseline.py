@@ -1,0 +1,107 @@
+"""The devlint baseline: accepted findings, committed next to the code.
+
+A baseline lets the gate be *blocking* from day one: deliberate
+violations (e.g. ``ServiceStats.__setattr__`` writing counter values by
+design) are recorded once, reviewed in the PR that records them, and
+stop failing CI -- while anything *new* still does.
+
+Entries match on :meth:`DevFinding.baseline_key` -- ``(code, path,
+scope, snippet)`` -- deliberately excluding line numbers, so unrelated
+edits that shift a file do not churn the baseline.  Matching is
+multiset-style: two identical accepted findings need two entries.
+Entries that match nothing are reported as *stale* so the file shrinks
+as violations get fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from repro.devlint.project import DevLintError
+from repro.devlint.report import DevFinding
+
+BASELINE_VERSION = 1
+
+_KEY_FIELDS = ("code", "path", "scope", "snippet")
+
+BaselineKey = tuple[str, str, str, str]
+
+
+def load_baseline(path: str) -> list[dict[str, str]]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return []
+    except (OSError, json.JSONDecodeError) as err:
+        raise DevLintError(f"cannot read baseline {path!r}: {err}") from err
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise DevLintError(
+            f"baseline {path!r} is not a devlint baseline "
+            "(expected an object with an 'entries' list)"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, list):
+        raise DevLintError(f"baseline {path!r}: 'entries' must be a list")
+    out: list[dict[str, str]] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(field), str) for field in _KEY_FIELDS
+        ):
+            raise DevLintError(
+                f"baseline {path!r}: entry {index} must carry string "
+                f"fields {_KEY_FIELDS}"
+            )
+        out.append({field: entry[field] for field in _KEY_FIELDS})
+    return out
+
+
+def save_baseline(path: str, findings: Iterable[DevFinding]) -> int:
+    """Write the current findings as the new baseline; returns the count."""
+    entries = sorted(
+        (
+            {
+                "code": f.code,
+                "path": f.path,
+                "scope": f.scope,
+                "snippet": f.snippet,
+            }
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["code"], e["scope"], e["snippet"]),
+    )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def _entry_key(entry: dict[str, str]) -> BaselineKey:
+    return (entry["code"], entry["path"], entry["scope"], entry["snippet"])
+
+
+def apply_baseline(
+    findings: list[DevFinding], entries: list[dict[str, str]]
+) -> tuple[list[DevFinding], list[DevFinding], list[dict[str, str]]]:
+    """Split findings into ``(actionable, baselined, stale_entries)``."""
+    budget = Counter(_entry_key(entry) for entry in entries)
+    actionable: list[DevFinding] = []
+    baselined: list[DevFinding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            actionable.append(finding)
+    stale: list[dict[str, str]] = []
+    for entry in entries:
+        key = _entry_key(entry)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            stale.append(entry)
+    return actionable, baselined, stale

@@ -1,0 +1,252 @@
+"""DEV3xx: observability hygiene.
+
+The obs layer only earns its keep if its data can be trusted.  Three
+failure modes silently corrupt it:
+
+* ``DEV301`` -- a ``span(...)`` that is opened but cannot be shown to
+  close on all paths.  A leaked span nests every later span under a
+  phantom parent and inflates its own duration forever.  Accepted
+  shapes: used as a ``with`` context, returned to the caller, passed to
+  ``enter_context``, or bound to a name/attribute for which matching
+  ``__exit__`` / ``with`` evidence exists (same function for local
+  names, anywhere in the module for ``self.X`` -- the enter/exit pair
+  of a context-manager class lives in two methods).
+* ``DEV302`` -- a metric name not in :mod:`repro.obs.catalog`.  Metric
+  names are API: dashboards and the Prometheus exposition join on them,
+  and a typo creates a silent second series instead of an error.
+* ``DEV303`` -- writing ``.value`` on a metric fetched from a registry
+  (``registry.counter(name).value = x``).  That bypasses the lock and
+  the monotonicity contract; counters move through ``inc()`` only.
+
+These rules skip ``repro.obs`` itself: the registry's internal state
+mutation and the catalog's name table are the implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devlint.astutil import (
+    FunctionNode,
+    attr_chain,
+    call_chain,
+    has_ancestor_call,
+    parent_map,
+)
+from repro.devlint.project import ModuleUnit
+from repro.devlint.report import DevFinding, Severity
+from repro.devlint.rules import make_finding, rule
+from repro.obs.catalog import is_known_metric
+
+#: Registry receivers whose metric-name arguments are checked.
+_METRIC_RECEIVERS = ("metrics", "registry",)
+
+#: Registry methods taking a metric name as first positional argument.
+_METRIC_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "inc", "observe", "set_gauge"}
+)
+
+#: Metric-accessor methods whose result must not be written through.
+_METRIC_GETTERS = frozenset({"counter", "gauge", "histogram", "find"})
+
+
+def _exempt_module(unit: ModuleUnit) -> bool:
+    return unit.module.startswith("repro.obs")
+
+
+def _enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> FunctionNode | None:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _with_targets(scope: ast.AST) -> set[tuple[str, ...]]:
+    """Chains used as ``with`` context expressions under ``scope``."""
+    out: set[tuple[str, ...]] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                chain = attr_chain(item.context_expr)
+                if chain is not None:
+                    out.add(chain)
+    return out
+
+
+def _exit_targets(scope: ast.AST) -> set[tuple[str, ...]]:
+    """Chains ``X`` for which ``X.__exit__`` / ``X.close`` is called."""
+    out: set[tuple[str, ...]] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "__exit__",
+            "close",
+        ):
+            chain = attr_chain(node.value)
+            if chain is not None:
+                out.add(chain)
+    return out
+
+
+@rule(
+    "DEV301",
+    Severity.ERROR,
+    "span opened without evidence it is closed on all paths",
+    fix_hint="use 'with tracer.span(...):', or return the span to the "
+    "caller; if storing it, make sure a matching __exit__ exists",
+)
+def _leaked_span(unit: ModuleUnit) -> Iterable[DevFinding]:
+    parents = parent_map(unit.tree)
+    for node in ast.walk(unit.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = call_chain(node)
+        if chain is None or chain[-1] != "span" or len(chain) < 2:
+            continue
+        # Climb to the closest statement-ish ancestor, remembering
+        # whether any intermediate expression returns/ships the span.
+        current: ast.AST | None = node
+        stmt: ast.AST | None = None
+        while current is not None:
+            parent = parents.get(current)
+            if isinstance(parent, (ast.stmt, ast.withitem)) or parent is None:
+                stmt = parent
+                break
+            current = parent
+        if isinstance(stmt, ast.withitem):
+            continue
+        if isinstance(stmt, ast.Return):
+            continue
+        if has_ancestor_call(
+            node, parents, frozenset({"enter_context", "push"})
+        ):
+            continue
+        scope_fn = _enclosing_function(node, parents)
+        message = "span created but never entered as a context manager"
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            chains = [attr_chain(t) for t in targets]
+            if any(c is None for c in chains):
+                continue  # unpacking / subscript: out of scope
+            ok = False
+            for target_chain in chains:
+                assert target_chain is not None
+                if len(target_chain) == 1:
+                    # Local name: evidence must be in this function.
+                    scope: ast.AST = scope_fn or unit.tree
+                else:
+                    # self.X / obj.X: pairing commonly spans methods.
+                    scope = unit.tree
+                if (
+                    target_chain in _with_targets(scope)
+                    or target_chain in _exit_targets(scope)
+                ):
+                    ok = True
+            if ok:
+                continue
+            message = (
+                "span assigned to "
+                + ", ".join(".".join(c) for c in chains if c)
+                + " but no matching 'with' or __exit__ found"
+            )
+        qual = scope_fn.name if scope_fn is not None else "<module>"
+        yield make_finding("DEV301", unit, node, message, scope=qual)
+
+
+@rule(
+    "DEV302",
+    Severity.ERROR,
+    "metric name not present in the repro.obs.catalog name catalog",
+    fix_hint="add the name to the right family in "
+    "src/repro/obs/catalog.py (the catalog is the reviewed list of "
+    "series the dashboards may join on)",
+)
+def _uncataloged_metric(unit: ModuleUnit) -> Iterable[DevFinding]:
+    if _exempt_module(unit):
+        return
+    parents = parent_map(unit.tree)
+    for node in ast.walk(unit.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = call_chain(node)
+        if chain is None or chain[-1] not in _METRIC_METHODS:
+            continue
+        if len(chain) < 2:
+            continue
+        receiver = chain[-2]
+        is_registry = receiver in _METRIC_RECEIVERS or receiver.endswith(
+            "_registry"
+        ) or receiver.endswith("_metrics")
+        if receiver == "()" and len(chain) >= 3:
+            is_registry = chain[-3] == "get_registry"
+        if not is_registry:
+            continue
+        if not node.args:
+            continue
+        name_arg = node.args[0]
+        if not (
+            isinstance(name_arg, ast.Constant)
+            and isinstance(name_arg.value, str)
+        ):
+            continue
+        if is_known_metric(name_arg.value):
+            continue
+        scope_fn = _enclosing_function(node, parents)
+        yield make_finding(
+            "DEV302",
+            unit,
+            node,
+            f"metric name {name_arg.value!r} is not in the "
+            "repro.obs.catalog catalog",
+            scope=scope_fn.name if scope_fn is not None else "<module>",
+        )
+
+
+@rule(
+    "DEV303",
+    Severity.ERROR,
+    "metric value written directly instead of through the registry API",
+    fix_hint="counters move through inc(), gauges through set(); "
+    "writing .value bypasses the registry lock",
+)
+def _raw_metric_write(unit: ModuleUnit) -> Iterable[DevFinding]:
+    if _exempt_module(unit):
+        return
+    parents = parent_map(unit.tree)
+    for node in ast.walk(unit.tree):
+        if isinstance(node, ast.Assign):
+            targets: list[ast.expr] = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute) and target.attr == "value"
+            ):
+                continue
+            chain = attr_chain(target)
+            if chain is None or "()" not in chain:
+                continue
+            # The receiver is a call result: find the called method.
+            call_index = len(chain) - 2  # segment just before "value"
+            if chain[call_index] != "()" or call_index == 0:
+                continue
+            method = chain[call_index - 1]
+            if method not in _METRIC_GETTERS:
+                continue
+            scope_fn = _enclosing_function(node, parents)
+            yield make_finding(
+                "DEV303",
+                unit,
+                node,
+                f"direct write to .value of a registry-fetched metric "
+                f"('{method}(...).value = ...')",
+                scope=scope_fn.name if scope_fn is not None else "<module>",
+            )

@@ -1,0 +1,155 @@
+"""Project model for devlint: discovered files, parsed ASTs, waivers.
+
+A :class:`ModuleUnit` is one parsed Python file plus everything a rule
+needs to inspect it: its repo-relative path, a best-effort dotted module
+name (used by rules that scope themselves to packages, e.g. the async
+rules' knowledge that ``repro.serve`` runs on an event loop), the raw
+source lines (for snippets), and the per-line waiver map.
+
+Waivers are in-source accepted findings::
+
+    cursor.execute(sql)  # devlint: waiver[DEV102] startup path, loop not running
+
+Both ``waiver[...]`` and ``ignore[...]`` spellings are accepted, and
+``*`` waives every rule on the line.  A waiver anywhere on the physical
+lines a flagged node spans (a black-wrapped call is several lines)
+suppresses the finding; waived findings are counted, never silently
+dropped from the report totals.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+_WAIVER_RE = re.compile(
+    r"#\s*devlint:\s*(?:waiver|ignore)\[([A-Z0-9,*\s]+)\]"
+)
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+
+class DevLintError(ReproError):
+    """A devlint input could not be read or parsed."""
+
+
+@dataclass(frozen=True)
+class ModuleUnit:
+    """One parsed source file, ready for rule checks."""
+
+    path: str  #: repo-relative posix path (also the report path)
+    module: str  #: best-effort dotted module name ("" when unknown)
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...] = field(repr=False)
+    waivers: dict[int, frozenset[str]] = field(repr=False)
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def waived(self, code: str, node: ast.AST) -> bool:
+        """True when a waiver for ``code`` covers any line ``node`` spans."""
+        first = int(getattr(node, "lineno", 0) or 0)
+        last = int(getattr(node, "end_lineno", first) or first)
+        for lineno in range(first, last + 1):
+            codes = self.waivers.get(lineno)
+            if codes is not None and ("*" in codes or code in codes):
+                return True
+        return False
+
+
+def parse_waivers(source: str) -> dict[int, frozenset[str]]:
+    """Per-line waived rule codes (1-based line numbers)."""
+    waivers: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if codes:
+            waivers[lineno] = codes
+    return waivers
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name derived from a repo-relative path, best effort."""
+    norm = path.replace(os.sep, "/")
+    for prefix in ("src/", "./src/"):
+        if norm.startswith(prefix):
+            norm = norm[len(prefix):]
+            break
+    if not norm.endswith(".py"):
+        return ""
+    norm = norm[:-3]
+    if norm.endswith("/__init__"):
+        norm = norm[: -len("/__init__")]
+    return norm.strip("/").replace("/", ".")
+
+
+def load_source(
+    source: str, path: str = "<memory>", module: str | None = None
+) -> ModuleUnit:
+    """Parse a source string into a :class:`ModuleUnit`.
+
+    Rules and their tests lint in-memory snippets through this; the
+    ``path`` is only used for reporting and path-scoped rule behavior.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        raise DevLintError(f"{path}: cannot parse: {err}") from err
+    return ModuleUnit(
+        path=path,
+        module=module if module is not None else module_name_for(path),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+        waivers=parse_waivers(source),
+    )
+
+
+def load_file(path: str, root: str | None = None) -> ModuleUnit:
+    """Read and parse one file; ``path`` is reported relative to ``root``."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as err:
+        raise DevLintError(f"cannot read {path!r}: {err}") from err
+    reported = path
+    if root is not None:
+        try:
+            reported = os.path.relpath(path, root)
+        except ValueError:  # pragma: no cover - windows cross-drive
+            reported = path
+    reported = reported.replace(os.sep, "/")
+    return load_source(source, path=reported)
+
+
+def discover_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(path)
+            continue
+        if not os.path.isdir(path):
+            raise DevLintError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [
+                d
+                for d in dirnames
+                if d not in _SKIP_DIRS and not d.startswith(".")
+            ]
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.add(os.path.join(dirpath, filename))
+    return sorted(found)

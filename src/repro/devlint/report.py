@@ -1,0 +1,159 @@
+"""Structured findings for the devlint subsystem.
+
+The shape deliberately mirrors :mod:`repro.lint.report` -- one stable
+coded finding type plus an aggregating report -- but devlint findings
+locate *source positions* (``path:line:col``) instead of circuit
+objects, and the report additionally tracks the baseline bookkeeping
+(which findings were accepted, which baseline entries went stale).
+Severity is shared with the circuit linter: one enum, one meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.lint.report import Severity
+
+
+@dataclass(frozen=True)
+class DevFinding:
+    """One diagnosed source-level problem.
+
+    ``code`` is the stable rule identifier (``DEV1xx`` async hygiene,
+    ``DEV2xx`` hash determinism, ``DEV3xx`` observability hygiene,
+    ``DEV4xx`` sparsity wiring; see ``docs/DEVLINT.md``); ``scope`` is
+    the dotted enclosing function/class, and ``snippet`` the stripped
+    source line -- the pair identifies a finding robustly across line
+    drift, which is what the baseline matches on.
+    """
+
+    code: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    scope: str = ""
+    snippet: str = ""
+    fix_hint: str | None = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def baseline_key(self) -> tuple[str, str, str, str]:
+        """The identity the baseline matches on (line numbers excluded)."""
+        return (self.code, self.path, self.scope, self.snippet)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "scope": self.scope,
+            "snippet": self.snippet,
+        }
+        if self.fix_hint:
+            out["fix_hint"] = self.fix_hint
+        return out
+
+    def __str__(self) -> str:
+        scope = f" ({self.scope})" if self.scope else ""
+        return (
+            f"{self.location}: {self.severity.value}[{self.code}] "
+            f"{self.message}{scope}"
+        )
+
+
+@dataclass
+class DevReport:
+    """All findings of one devlint run, split by baseline status.
+
+    ``findings`` are the *actionable* ones (not baselined, not waived);
+    ``baselined`` were matched by the committed baseline file;
+    ``stale_baseline`` lists baseline entries that matched nothing (the
+    violation was fixed -- the entry should be dropped).
+    """
+
+    findings: list[DevFinding] = field(default_factory=list)
+    baselined: list[DevFinding] = field(default_factory=list)
+    stale_baseline: list[dict[str, str]] = field(default_factory=list)
+    waived: int = 0
+    files: int = 0
+    baseline_path: str | None = None
+
+    def __iter__(self) -> Iterator[DevFinding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def ok(self) -> bool:
+        """True when no unbaselined finding is present (the CI gate)."""
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            out[finding.severity.value] += 1
+        return out
+
+    def by_location(self) -> list[DevFinding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.code)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.by_location()],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "waived": self.waived,
+            "baseline": self.baseline_path,
+        }
+
+    def format(self, show_baselined: bool = False) -> str:
+        """Plain-text rendering for the CLI."""
+        lines: list[str] = []
+        for finding in self.by_location():
+            lines.append(str(finding))
+            lines.append(f"    {finding.snippet}")
+            if finding.fix_hint:
+                lines.append(f"    hint: {finding.fix_hint}")
+        if show_baselined and self.baselined:
+            lines.append("baselined (accepted) findings:")
+            for finding in sorted(
+                self.baselined, key=lambda f: (f.path, f.line)
+            ):
+                lines.append(f"  {finding}")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry: {entry.get('code')} at "
+                f"{entry.get('path')} ({entry.get('scope')}) matched "
+                "nothing -- drop it or re-run with --update-baseline"
+            )
+        counts = self.counts()
+        summary = ", ".join(
+            f"{n} {kind}{'s' if n != 1 else ''}"
+            for kind, n in counts.items()
+            if n
+        )
+        tail = []
+        if self.baselined:
+            tail.append(f"{len(self.baselined)} baselined")
+        if self.waived:
+            tail.append(f"{self.waived} waived")
+        suffix = f" ({', '.join(tail)})" if tail else ""
+        lines.append(
+            f"devlint: {summary or 'clean'} over {self.files} "
+            f"file{'s' if self.files != 1 else ''}{suffix}"
+        )
+        return "\n".join(lines)

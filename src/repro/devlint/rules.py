@@ -1,0 +1,114 @@
+"""The devlint rule registry: coded AST checks over project source.
+
+Mirrors :mod:`repro.lint.rules` exactly in shape -- a frozen rule
+dataclass, a ``@rule`` registration decorator, ``registered_rules()`` --
+but the checks take a parsed :class:`~repro.devlint.project.ModuleUnit`
+instead of a circuit.  Code ranges by family:
+
+* ``DEV1xx`` -- async hygiene: blocking calls reachable from ``async
+  def`` bodies without an executor hop (:mod:`repro.devlint.async_rules`);
+* ``DEV2xx`` -- hash determinism: nondeterminism inside job-signature
+  functions (:mod:`repro.devlint.hash_rules`);
+* ``DEV3xx`` -- observability hygiene: leaked spans, uncataloged metric
+  names, out-of-registry counter mutation
+  (:mod:`repro.devlint.obs_rules`);
+* ``DEV4xx`` -- sparsity wiring: unrouted dense materializations of
+  CSR/CSC matrices (:mod:`repro.devlint.sparse_rules`).
+
+Rule modules register themselves at import; :func:`load_rules` imports
+them all and is called by the runner (and ``__init__``), so consumers
+never see a half-populated registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.devlint.project import ModuleUnit
+from repro.devlint.report import DevFinding, Severity
+
+RuleCheck = Callable[[ModuleUnit], Iterable[DevFinding]]
+
+
+@dataclass(frozen=True)
+class DevRule:
+    """One registered source-level check."""
+
+    code: str
+    severity: Severity
+    description: str
+    check: RuleCheck
+    fix_hint: str | None = None
+
+
+_REGISTRY: dict[str, DevRule] = {}
+
+
+def rule(
+    code: str,
+    severity: Severity,
+    description: str,
+    fix_hint: str | None = None,
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a rule function under a stable code."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate devlint rule code {code!r}")
+        _REGISTRY[code] = DevRule(
+            code=code,
+            severity=severity,
+            description=description,
+            check=check,
+            fix_hint=fix_hint,
+        )
+        return check
+
+    return register
+
+
+def load_rules() -> None:
+    """Import every rule family module (idempotent)."""
+    from repro.devlint import (  # noqa: F401  (import-for-registration)
+        async_rules,
+        hash_rules,
+        obs_rules,
+        sparse_rules,
+    )
+
+
+def registered_rules() -> tuple[DevRule, ...]:
+    """All rules, in registration order."""
+    load_rules()
+    return tuple(_REGISTRY.values())
+
+
+def get_rule(code: str) -> DevRule:
+    load_rules()
+    return _REGISTRY[code]
+
+
+def make_finding(
+    code: str,
+    unit: ModuleUnit,
+    node: ast.AST,
+    message: str,
+    scope: str = "",
+) -> DevFinding:
+    """Build a finding for ``node``, pulling location/snippet off the unit."""
+    rule_def = _REGISTRY[code]
+    lineno = int(getattr(node, "lineno", 0) or 0)
+    col = int(getattr(node, "col_offset", 0) or 0) + 1
+    return DevFinding(
+        code=code,
+        severity=rule_def.severity,
+        path=unit.path,
+        line=lineno,
+        col=col,
+        message=message,
+        scope=scope,
+        snippet=unit.line_at(lineno).strip(),
+        fix_hint=rule_def.fix_hint,
+    )

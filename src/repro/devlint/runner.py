@@ -1,0 +1,130 @@
+"""Drive the devlint rules over files, sources, or the whole project.
+
+Three entry points, layered:
+
+* :func:`lint_source` -- one in-memory snippet, no baseline.  What the
+  fixture tests call.
+* :func:`lint_paths` -- discovered files, no baseline.  What
+  ``--no-baseline`` CI reporting calls.
+* :func:`run_devlint` -- files plus the committed baseline; produces the
+  report whose ``ok`` is the CI gate.
+
+Waivers are filtered here (not in the rules) so every rule stays a pure
+``ModuleUnit -> findings`` function and the waived count is tracked in
+one place.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.devlint.baseline import apply_baseline, load_baseline
+from repro.devlint.project import (
+    DevLintError,
+    ModuleUnit,
+    discover_files,
+    load_file,
+    load_source,
+)
+from repro.devlint.report import DevFinding, DevReport
+from repro.devlint.rules import DevRule, registered_rules
+
+#: Baseline filename looked for at the repo root by default.
+DEFAULT_BASELINE = "devlint-baseline.json"
+
+
+def _select_rules(codes: list[str] | None) -> tuple[DevRule, ...]:
+    rules = registered_rules()
+    if not codes:
+        return rules
+    wanted = set(codes)
+    selected = tuple(r for r in rules if r.code in wanted)
+    unknown = wanted - {r.code for r in selected}
+    if unknown:
+        raise DevLintError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}"
+        )
+    return selected
+
+
+def lint_unit(
+    unit: ModuleUnit, codes: list[str] | None = None
+) -> tuple[list[DevFinding], int]:
+    """Run selected rules over one unit -> ``(findings, waived_count)``."""
+    findings: list[DevFinding] = []
+    waived = 0
+    for rule_def in _select_rules(codes):
+        for finding in rule_def.check(unit):
+            # Re-locate the covering node span by line: waivers cover
+            # the finding's reported line.
+            if _is_waived(unit, finding):
+                waived += 1
+            else:
+                findings.append(finding)
+    return findings, waived
+
+
+def _is_waived(unit: ModuleUnit, finding: DevFinding) -> bool:
+    codes = unit.waivers.get(finding.line)
+    if codes is not None and ("*" in codes or finding.code in codes):
+        return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    module: str | None = None,
+    codes: list[str] | None = None,
+) -> list[DevFinding]:
+    """Lint one source string; waived findings are dropped."""
+    unit = load_source(source, path=path, module=module)
+    findings, _ = lint_unit(unit, codes)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_paths(
+    paths: list[str],
+    root: str | None = None,
+    codes: list[str] | None = None,
+) -> DevReport:
+    """Lint files/directories without applying any baseline."""
+    report = DevReport()
+    for filename in discover_files(paths):
+        unit = load_file(filename, root=root)
+        findings, waived = lint_unit(unit, codes)
+        report.findings.extend(findings)
+        report.waived += waived
+        report.files += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report
+
+
+def run_devlint(
+    paths: list[str],
+    root: str | None = None,
+    baseline_path: str | None = None,
+    codes: list[str] | None = None,
+) -> DevReport:
+    """Lint and apply the baseline; ``report.ok`` is the gate.
+
+    ``baseline_path=None`` means "use :data:`DEFAULT_BASELINE` under
+    ``root`` if it exists"; pass an explicit path to require one.
+    """
+    report = lint_paths(paths, root=root, codes=codes)
+    resolved = baseline_path
+    if resolved is None:
+        candidate = os.path.join(root or ".", DEFAULT_BASELINE)
+        if os.path.isfile(candidate):
+            resolved = candidate
+    if resolved is not None:
+        entries = load_baseline(resolved)
+        actionable, baselined, stale = apply_baseline(
+            report.findings, entries
+        )
+        report.findings = actionable
+        report.baselined = baselined
+        report.stale_baseline = stale
+        report.baseline_path = resolved
+    return report

@@ -54,7 +54,7 @@ class StageTimer:
             self.start = time.perf_counter()
             return self
 
-        def __exit__(self, *exc) -> None:
+        def __exit__(self, *exc: object) -> None:
             elapsed = time.perf_counter() - self.start
             self.timer.add(self.stage, elapsed)
             self._obs.__exit__(None, None, None)
@@ -229,7 +229,7 @@ class MetricsAggregator:
     def set_workers(self, workers: int) -> None:
         self._report.workers = workers
 
-    def set_pool_stats(self, stats) -> None:
+    def set_pool_stats(self, stats: "PoolStats") -> None:
         """Copy failover counters off a :class:`~repro.engine.pool.PoolStats`."""
         self._report.crashes = stats.crashes
         self._report.timeouts = stats.timeouts

@@ -32,11 +32,18 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as _wait_connections
+from types import FrameType
+from typing import Any, Callable, Union
 
 from repro.engine.execute import execute_job
 from repro.engine.jobspec import Job, JobResult
 from repro.obs import metrics, trace
+
+#: What signal.signal accepts and returns (mirrors typeshed's _HANDLER).
+_SigHandler = Union[Callable[[int, "FrameType | None"], Any], int,
+                    signal.Handlers, None]
 
 #: How long (seconds) the master sleeps between health checks when no
 #: result arrives and no deadline is pending.
@@ -61,8 +68,8 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
 
 
 def _worker_main(
-    task_queue,
-    conn,
+    task_queue: multiprocessing.queues.Queue,
+    conn: Connection,
     trace_enabled: bool = False,
     metrics_enabled: bool = False,
 ) -> None:
@@ -122,7 +129,7 @@ class _Assignment:
 class _Worker:
     """One slot of the pool: process + private task queue + result pipe."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx: multiprocessing.context.BaseContext) -> None:
         self.task_queue = ctx.Queue()
         self.conn, child_conn = ctx.Pipe(duplex=False)
         self.proc = ctx.Process(
@@ -243,7 +250,7 @@ class WorkerPool:
         return [results[i] for i in range(total)]
 
     @staticmethod
-    def _install_term_handler():
+    def _install_term_handler() -> _SigHandler:
         """Route SIGTERM through the KeyboardInterrupt teardown path.
 
         A service manager stopping a batch run sends SIGTERM; the default
@@ -256,7 +263,7 @@ class WorkerPool:
         if threading.current_thread() is not threading.main_thread():
             return None
 
-        def _raise(signum, frame):
+        def _raise(signum: int, frame: FrameType | None) -> None:
             raise KeyboardInterrupt(f"terminated by signal {signum}")
         try:
             return signal.signal(signal.SIGTERM, _raise)
@@ -264,7 +271,7 @@ class WorkerPool:
             return None
 
     @staticmethod
-    def _restore_term_handler(previous) -> None:
+    def _restore_term_handler(previous: _SigHandler) -> None:
         if previous is None:
             return
         try:

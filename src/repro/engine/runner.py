@@ -164,7 +164,7 @@ class Engine:
             return self._map_sweep(job, value_tol, sweep_span)
 
     def _map_sweep(
-        self, job: SweepJob, value_tol: float, sweep_span
+        self, job: SweepJob, value_tol: float, sweep_span: object
     ) -> SweepResult:
         grid = [float(x) for x in job.grid]
         if len(grid) < 2:
@@ -347,7 +347,7 @@ class Engine:
     def __enter__(self) -> "Engine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.save_cache()
         self.pool.close()
 

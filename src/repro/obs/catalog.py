@@ -1,0 +1,83 @@
+"""The central catalog of metric instrument names.
+
+Every counter, gauge and histogram recorded through
+:mod:`repro.obs.metrics` must be registered here under its bare
+instrument name (the exposition adds the ``repro_`` prefix).  The
+catalog exists so that the set of series a deployment scrapes is a
+reviewed, documented surface rather than an accident of string literals
+scattered across the codebase: dashboards and alerts key on these names,
+and a typo'd name silently ships a dead series while the dashboard reads
+zeros.
+
+``repro devlint`` (rule ``DEV302``) statically checks every literal
+metric name at an instrumentation call site against this catalog, so an
+unregistered name fails CI before it ships.  When adding an instrument:
+add the name to the right family tuple below *and* document its labels
+in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+#: LP backends (repro.lp.backends, repro.lp.sparse).
+LP_METRICS: tuple[str, ...] = (
+    "lp_solves_total",  # counter{backend,status}
+    "lp_solve_seconds",  # histogram{backend}
+    "lp_pivots",  # histogram{backend}
+    "lp_dense_materializations_total",  # counter{site}
+)
+
+#: Graph-native cycle solver (repro.cycle.solver).
+CYCLE_METRICS: tuple[str, ...] = (
+    "cycle_solves_total",  # counter{outcome}
+    "cycle_jumps",  # histogram
+    "cycle_bisections",  # histogram
+    "cycle_bf_rounds",  # histogram
+)
+
+#: Max-plus fixpoint kernels (repro.maxplus).
+MAXPLUS_METRICS: tuple[str, ...] = (
+    "maxplus_fixpoint_sweeps",  # histogram{kernel}
+    "maxplus_structure_cache_total",  # counter{outcome}
+)
+
+#: Batch engine (repro.engine).
+ENGINE_METRICS: tuple[str, ...] = (
+    "engine_jobs_total",  # counter{kind,status}
+    "engine_job_seconds",  # histogram{kind}
+    "engine_stage_seconds",  # histogram{stage}
+    "engine_cache_lookups_total",  # counter{outcome}
+    "engine_pool_queue_depth",  # gauge
+)
+
+#: Serve layer (repro.serve.service) -- RED series plus the flat
+#: ServiceStats counters (which live on a per-instance registry).
+SERVE_METRICS: tuple[str, ...] = (
+    "serve_jobs_total",  # counter{kind,status}
+    "serve_results_total",  # counter{kind,source}
+    "serve_job_seconds",  # histogram{kind}
+    "serve_requests_total",
+    "serve_rejected_total",
+    "serve_executed_total",
+    "serve_coalesced_total",
+    "serve_memory_hits_total",
+    "serve_store_hits_total",
+    "serve_completed_total",
+    "serve_failed_total",
+    "serve_lp_solves_total",
+    "serve_lp_pivots_total",
+)
+
+#: Every registered instrument name.  ``repro devlint`` rule DEV302
+#: rejects instrumentation call sites whose literal name is not here.
+METRIC_NAMES: frozenset[str] = frozenset(
+    LP_METRICS
+    + CYCLE_METRICS
+    + MAXPLUS_METRICS
+    + ENGINE_METRICS
+    + SERVE_METRICS
+)
+
+
+def is_known_metric(name: str) -> bool:
+    """True when ``name`` is a cataloged instrument name."""
+    return name in METRIC_NAMES

@@ -30,6 +30,7 @@ import asyncio
 import json
 import signal
 import threading
+from typing import Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.serve.protocol import RequestError
@@ -108,10 +109,15 @@ class HttpServer:
         deadline = loop.time() + 5.0
         while self._writers and loop.time() < deadline:
             await asyncio.sleep(0.01)
-        if self.service.store is not None:
-            self.service.store.close()
+        # Delegates to the service's store executor: closing the SQLite
+        # handle blocks and must not run on the loop.
+        await self.service.close()
 
-    async def run(self, install_signals: bool = True, on_ready=None) -> None:
+    async def run(
+        self,
+        install_signals: bool = True,
+        on_ready: Callable[["HttpServer"], None] | None = None,
+    ) -> None:
         """Serve until SIGINT/SIGTERM (or :meth:`request_stop`), then drain."""
         await self.start()
         if on_ready is not None:
@@ -247,7 +253,7 @@ class HttpServer:
             if method != "GET":
                 raise _HttpError(405, f"{method} not allowed on {path}")
             key = path[len("/v1/results/"):]
-            result = self.service.lookup_result(key)
+            result = await self.service.lookup_result(key)
             if result is None:
                 raise _HttpError(404, f"no stored result for key {key!r}")
             self._write_json(writer, 200, result.to_dict(), keep_alive)

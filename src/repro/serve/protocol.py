@@ -31,7 +31,7 @@ worst failure mode an analysis service can have.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.circuit.graph import TimingGraph
 from repro.clocking.phase import ClockPhase
@@ -104,7 +104,7 @@ def _require_mapping(value: object, what: str) -> Mapping:
     return value
 
 
-def _reject_unknown(data: Mapping, allowed, what: str) -> None:
+def _reject_unknown(data: Mapping, allowed: Iterable[str], what: str) -> None:
     unknown = sorted(set(data) - set(allowed))
     if unknown:
         raise RequestError(

@@ -37,6 +37,7 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
+from typing import AsyncIterator, Callable, SupportsFloat, TypeVar, cast
 
 from repro.core.parametric import BasisChain
 from repro.engine.cache import ResultCache
@@ -54,6 +55,9 @@ from repro.obs.trace import Tracer, use_tracer
 from repro.serve.events import result_events
 from repro.serve.protocol import job_from_request
 from repro.serve.store import ResultStore, StoreBackedCache
+
+
+_T = TypeVar("_T")
 
 
 class ServiceUnavailableError(ReproError):
@@ -95,6 +99,13 @@ class ServiceStats:
     ``__setattr__`` mapping each stat onto its registry counter.
     """
 
+    # Real instance attributes (set via object.__setattr__ below), declared
+    # so attribute reads resolve to their own types rather than through
+    # the int-returning counter __getattr__.
+    registry: MetricsRegistry
+    job_seconds_sum: float
+    latencies: deque
+
     #: attribute -> registry counter name (also the exposition name).
     _COUNTERS = {
         "requests": "serve_requests_total",
@@ -121,19 +132,20 @@ class ServiceStats:
         #: the histogram-less percentile fallback.
         object.__setattr__(self, "latencies", deque(maxlen=512))
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> int:
         metric_name = ServiceStats._COUNTERS.get(name)
         if metric_name is None:
             raise AttributeError(name)
         metric = self.registry.find(metric_name)
         return int(metric.value) if metric is not None else 0
 
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: object) -> None:
         metric_name = ServiceStats._COUNTERS.get(name)
         if metric_name is None:
             object.__setattr__(self, name, value)
             return
-        self.registry.counter(metric_name).value = float(value)
+        numeric = float(cast(SupportsFloat, value))
+        self.registry.counter(metric_name).value = numeric
 
 
 #: Terminal job statuses.
@@ -171,7 +183,7 @@ class JobRecord:
             self.events.append({"seq": len(self.events), **event})
         self._signal.set()
 
-    async def stream_events(self, since: int = 0):
+    async def stream_events(self, since: int = 0) -> AsyncIterator[dict]:
         """Yield event dicts from ``since`` onward until the job finishes."""
         index = max(0, since)
         while True:
@@ -263,6 +275,13 @@ class AnalysisService:
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
+        # Store I/O gets its own single worker: SQLite reads/writes must
+        # leave the event loop (they block), but must not queue behind
+        # long LP solves on the job executor either.  One worker also
+        # serializes them, matching the store's internal lock.
+        self._store_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-store"
+        )
         self._inflight: dict[str, asyncio.Future] = {}
         self._records: OrderedDict[str, JobRecord] = OrderedDict()
         self._chains: dict[str, BasisChain] = {}
@@ -316,14 +335,19 @@ class AnalysisService:
         records = list(self._records.values())
         return records[-limit:]
 
-    def lookup_result(self, key: str) -> JobResult | None:
+    async def lookup_result(self, key: str) -> JobResult | None:
         """Content-addressed lookup straight through memory + store."""
         hit = self._memory.get(key)
         if hit is not None:
             return hit
         if self.store is not None:
-            return self.store.get(key)
+            return await self._store_call(self.store.get, key)
         return None
+
+    async def _store_call(self, fn: Callable[..., _T], *args: object) -> _T:
+        """Run one blocking store operation off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._store_executor, fn, *args)
 
     def _new_id(self) -> str:
         self._next_id += 1
@@ -425,7 +449,7 @@ class AnalysisService:
             hit.label = job.label or hit.label
             return hit, "memory"
         if self.store is not None:
-            stored = self.store.get(key)
+            stored = await self._store_call(self.store.get, key)
             if stored is not None:
                 self.stats.store_hits += 1
                 record.emit("cache_hit", layer="store")
@@ -462,10 +486,13 @@ class AnalysisService:
             del self._inflight[key]
         self._absorb_basis(job, result)
         self._memory.put(key, result)
-        if self.store is not None:
-            self.store.put(key, result)
         record.extend_events(result_events(result, spans))
+        # Release coalesced followers before persisting: the store write
+        # blocks (SQLite), so it happens off-loop after the result is
+        # already visible in memory.
         future.set_result(result)
+        if self.store is not None:
+            await self._store_call(self.store.put, key, result)
         return result, "executed"
 
     def _execute(self, job: Job, key: str) -> tuple[JobResult, list[dict]]:
@@ -677,10 +704,15 @@ class AnalysisService:
             for task in pending:
                 task.cancel()
         if self.store is not None:
-            self.store.flush()
-        self._executor.shutdown(wait=True, cancel_futures=True)
+            await self._store_call(self.store.flush)
+        # The pool shutdown joins worker threads; hop to a helper thread
+        # so in-flight cancellations cannot stall the loop.
+        await asyncio.to_thread(
+            self._executor.shutdown, wait=True, cancel_futures=True
+        )
 
     async def close(self) -> None:
         await self.drain(timeout=0.0)
         if self.store is not None:
-            self.store.close()
+            await self._store_call(self.store.close)
+        self._store_executor.shutdown(wait=False)

@@ -256,7 +256,7 @@ class ResultStore:
     def __enter__(self) -> "ResultStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     @property

@@ -1,0 +1,604 @@
+"""Fixture tests for the devlint rules, plus the repo self-check.
+
+Every rule gets at least one seeded-violation snippet (asserting the
+exact code and location) and one clean snippet exercising the accepted
+shape the rule must *not* flag.  The self-check at the bottom is the
+same gate CI runs: the repo lints clean modulo the committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+
+from repro.devlint import (
+    DevLintError,
+    lint_source,
+    load_baseline,
+    load_source,
+    registered_rules,
+    run_devlint,
+    save_baseline,
+)
+from repro.devlint.baseline import apply_baseline
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def lint(source: str, path: str = "<memory>", codes: list[str] | None = None):
+    return lint_source(textwrap.dedent(source), path=path, codes=codes)
+
+
+def codes_of(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+# ----------------------------------------------------------------------
+# DEV1xx: async blocking calls
+# ----------------------------------------------------------------------
+
+class TestAsyncRules:
+    def test_dev101_sleep_in_async_def(self):
+        findings = lint(
+            """\
+            import time
+
+            async def handler():
+                time.sleep(0.5)
+            """
+        )
+        assert codes_of(findings) == ["DEV101"]
+        assert findings[0].line == 4
+        assert findings[0].scope == "handler"
+
+    def test_dev101_clean_asyncio_sleep(self):
+        findings = lint(
+            """\
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(0.5)
+            """
+        )
+        assert findings == []
+
+    def test_dev102_store_call_in_async_def(self):
+        findings = lint(
+            """\
+            class Service:
+                async def fetch(self, key):
+                    return self.store.get(key)
+            """
+        )
+        assert codes_of(findings) == ["DEV102"]
+        assert findings[0].scope == "Service.fetch"
+
+    def test_dev102_transitive_through_sync_helper(self):
+        findings = lint(
+            """\
+            class Service:
+                def _lookup(self, key):
+                    return self.store.get(key)
+
+                async def fetch(self, key):
+                    return self._lookup(key)
+            """
+        )
+        assert codes_of(findings) == ["DEV102"]
+        assert "reachable from async code via Service.fetch" in (
+            findings[0].message
+        )
+
+    def test_dev102_clean_executor_hop(self):
+        findings = lint(
+            """\
+            import asyncio
+
+            class Service:
+                async def fetch(self, key):
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(
+                        self._executor, self.store.get, key
+                    )
+            """
+        )
+        assert findings == []
+
+    def test_dev102_executor_escaped_function_not_flagged(self):
+        # _execute runs on the pool: referencing it is not calling it.
+        findings = lint(
+            """\
+            import asyncio
+
+            class Service:
+                def _execute(self, key):
+                    return self.store.get(key)
+
+                async def fetch(self, key):
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(
+                        self._executor, self._execute, key
+                    )
+            """
+        )
+        assert findings == []
+
+    def test_dev102_sqlite_direct(self):
+        findings = lint(
+            """\
+            import sqlite3
+
+            async def init():
+                conn = sqlite3.connect("results.db")
+                return conn
+            """
+        )
+        assert codes_of(findings) == ["DEV102"]
+
+    def test_dev103_open_and_subprocess(self):
+        findings = lint(
+            """\
+            import subprocess
+
+            async def dump(path):
+                with open(path) as fh:
+                    data = fh.read()
+                subprocess.run(["sync"])
+                return data
+            """
+        )
+        assert codes_of(findings) == ["DEV103", "DEV103"]
+
+    def test_dev104_executor_shutdown_wait(self):
+        findings = lint(
+            """\
+            async def drain(self):
+                self._executor.shutdown(wait=True)
+            """
+        )
+        assert codes_of(findings) == ["DEV104"]
+
+    def test_dev104_clean_shutdown_nowait(self):
+        findings = lint(
+            """\
+            async def drain(self):
+                self._executor.shutdown(wait=False)
+            """
+        )
+        assert findings == []
+
+    def test_dev1xx_sync_only_module_clean(self):
+        findings = lint(
+            """\
+            import time
+
+            def poll():
+                time.sleep(1.0)
+                return self.store.get("k")
+            """
+        )
+        assert findings == []
+
+    def test_dev102_waiver_suppresses(self):
+        findings = lint(
+            """\
+            async def boot(self):
+                self.store.flush()  # devlint: waiver[DEV102] startup, loop idle
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DEV2xx: hash determinism
+# ----------------------------------------------------------------------
+
+class TestHashRules:
+    def test_dev201_hash_builtin(self):
+        findings = lint(
+            """\
+            def graph_signature(graph):
+                return hash(graph)
+            """
+        )
+        assert codes_of(findings) == ["DEV201"]
+        assert findings[0].scope == "graph_signature"
+
+    def test_dev202_id_builtin(self):
+        findings = lint(
+            """\
+            def job_key(job):
+                return id(job)
+            """
+        )
+        assert codes_of(findings) == ["DEV202"]
+
+    def test_dev203_str_and_fstring(self):
+        findings = lint(
+            """\
+            def options_signature(opts):
+                return [str(opts.epsilon), f"{opts.period:.3f}"]
+            """
+        )
+        assert codes_of(findings) == ["DEV203", "DEV203"]
+        assert all(f.severity.value == "warning" for f in findings)
+
+    def test_dev204_unsorted_items(self):
+        findings = lint(
+            """\
+            def _mapping_signature(mapping):
+                return [(k, v) for k, v in mapping.items()]
+            """
+        )
+        assert codes_of(findings) == ["DEV204"]
+
+    def test_dev204_clean_sorted_items(self):
+        findings = lint(
+            """\
+            def _mapping_signature(mapping):
+                return sorted((k, v) for k, v in mapping.items())
+            """
+        )
+        assert findings == []
+
+    def test_dev205_clock_read(self):
+        findings = lint(
+            """\
+            import time
+
+            def sweep_signature(job):
+                return [job.start, time.time()]
+            """
+        )
+        assert codes_of(findings) == ["DEV205"]
+
+    def test_dev2xx_only_signature_functions_scoped(self):
+        # hash()/clocks are fine outside signature builders.
+        findings = lint(
+            """\
+            import time
+
+            def bucket(key):
+                return hash(key) % 64
+
+            def elapsed(t0):
+                return time.time() - t0
+            """
+        )
+        assert findings == []
+
+    def test_dev2xx_clean_canonical_jobspec_style(self):
+        findings = lint(
+            """\
+            import hashlib
+            import json
+
+            def _f(x):
+                return repr(float(x))
+
+            def graph_signature(graph):
+                return sorted((e.src, e.dst, _f(e.weight))
+                              for e in graph.edges)
+
+            def _digest(payload):
+                canon = json.dumps(payload, sort_keys=True)
+                return hashlib.sha256(canon.encode()).hexdigest()
+            """,
+            path="src/repro/engine/jobspec.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DEV3xx: observability hygiene
+# ----------------------------------------------------------------------
+
+class TestObsRules:
+    def test_dev301_span_dropped(self):
+        findings = lint(
+            """\
+            def run(tracer):
+                tracer.span("solve")
+                work()
+            """
+        )
+        assert codes_of(findings) == ["DEV301"]
+
+    def test_dev301_span_assigned_never_exited(self):
+        findings = lint(
+            """\
+            def run(tracer):
+                s = tracer.span("solve")
+                work()
+            """
+        )
+        assert codes_of(findings) == ["DEV301"]
+        assert "no matching 'with' or __exit__" in findings[0].message
+
+    def test_dev301_clean_with_statement(self):
+        findings = lint(
+            """\
+            def run(tracer):
+                with tracer.span("solve"):
+                    work()
+            """
+        )
+        assert findings == []
+
+    def test_dev301_clean_try_finally_exit(self):
+        # The cli.py root-span shape: conditional span, closed in finally.
+        findings = lint(
+            """\
+            def main(tracer):
+                root = tracer.span("repro.cmd") if tracer else None
+                if root is not None:
+                    root.__enter__()
+                try:
+                    work()
+                finally:
+                    if root is not None:
+                        root.__exit__(None, None, None)
+            """
+        )
+        assert findings == []
+
+    def test_dev301_clean_cross_method_pair(self):
+        # The StageTimer shape: entered in __enter__, exited in __exit__.
+        findings = lint(
+            """\
+            class Span:
+                def __enter__(self):
+                    self._obs = trace.span(self.stage)
+                    self._obs.__enter__()
+                    return self
+
+                def __exit__(self, *exc):
+                    self._obs.__exit__(None, None, None)
+            """
+        )
+        assert findings == []
+
+    def test_dev301_clean_returned_span(self):
+        findings = lint(
+            """\
+            def open_span(tracer, name):
+                return tracer.span(name)
+            """
+        )
+        assert findings == []
+
+    def test_dev302_uncataloged_metric_name(self):
+        findings = lint(
+            """\
+            def record(registry):
+                registry.counter("lp_slvoes_total").inc()
+            """
+        )
+        assert codes_of(findings) == ["DEV302"]
+        assert "lp_slvoes_total" in findings[0].message
+
+    def test_dev302_clean_cataloged_name(self):
+        findings = lint(
+            """\
+            def record(registry):
+                registry.counter("lp_solves_total").inc()
+            """
+        )
+        assert findings == []
+
+    def test_dev302_module_helper_checked(self):
+        findings = lint(
+            """\
+            from repro.obs import metrics
+
+            def record():
+                metrics.inc("engine_jbos_total")
+            """
+        )
+        assert codes_of(findings) == ["DEV302"]
+
+    def test_dev302_obs_package_exempt(self):
+        findings = lint(
+            """\
+            def record(registry):
+                registry.counter("internal_scratch_total").inc()
+            """,
+            path="src/repro/obs/metrics.py",
+        )
+        assert findings == []
+
+    def test_dev303_direct_value_write(self):
+        findings = lint(
+            """\
+            def reset(registry):
+                registry.counter("lp_solves_total").value = 0.0
+            """
+        )
+        assert codes_of(findings) == ["DEV303"]
+
+    def test_dev303_clean_inc(self):
+        findings = lint(
+            """\
+            def bump(registry):
+                registry.counter("lp_solves_total").inc()
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DEV4xx: sparsity wiring
+# ----------------------------------------------------------------------
+
+class TestSparseRules:
+    def test_dev401_to_dense_without_site(self):
+        findings = lint(
+            """\
+            def solve(matrix):
+                dense = matrix.to_dense()
+                return dense
+            """
+        )
+        assert codes_of(findings) == ["DEV401"]
+
+    def test_dev401_clean_with_site(self):
+        findings = lint(
+            """\
+            def solve(matrix):
+                return matrix.to_dense(site="simplex.pivot")
+            """
+        )
+        assert findings == []
+
+    def test_dev402_escape_outside_lp(self):
+        findings = lint(
+            """\
+            def export(program):
+                return program.to_arrays()
+            """,
+            path="src/repro/export/lpformat.py",
+        )
+        assert codes_of(findings) == ["DEV402"]
+
+    def test_dev402_exempt_inside_lp(self):
+        findings = lint(
+            """\
+            def bridge(program):
+                return program.to_arrays()
+            """,
+            path="src/repro/lp/scipy_backend.py",
+        )
+        assert findings == []
+
+    def test_dev402_dense_payload_read(self):
+        findings = lint(
+            """\
+            def peek(sf):
+                return sf.a[0][0]
+            """,
+            path="src/repro/core/analysis.py",
+        )
+        assert codes_of(findings) == ["DEV402"]
+
+    def test_dev402_unrelated_dot_a_not_flagged(self):
+        # graphdiag edges carry a bound attribute named 'a'.
+        findings = lint(
+            """\
+            def bound(e):
+                return e.a + self.a
+            """,
+            path="src/repro/lint/graphdiag.py",
+        )
+        assert findings == []
+
+    def test_dev402_waiver_accepted(self):
+        findings = lint(
+            """\
+            def export(program):
+                return program.to_arrays()  # devlint: waiver[DEV402] tiny matrices only
+            """,
+            path="src/repro/export/lpformat.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Framework behavior
+# ----------------------------------------------------------------------
+
+class TestFramework:
+    def test_every_rule_registered_with_distinct_code(self):
+        rules = registered_rules()
+        codes = [r.code for r in rules]
+        assert len(codes) == len(set(codes))
+        assert {
+            "DEV101", "DEV102", "DEV103", "DEV104",
+            "DEV201", "DEV202", "DEV203", "DEV204", "DEV205",
+            "DEV301", "DEV302", "DEV303",
+            "DEV401", "DEV402",
+        } <= set(codes)
+
+    def test_rule_selection_unknown_code(self):
+        with pytest.raises(DevLintError, match="DEV999"):
+            lint("x = 1", codes=["DEV999"])
+
+    def test_rule_selection_filters(self):
+        source = """\
+            import time
+
+            async def h():
+                time.sleep(1)
+                self.store.get("k")
+        """
+        assert codes_of(lint(source)) == ["DEV101", "DEV102"]
+        assert codes_of(lint(source, codes=["DEV102"])) == ["DEV102"]
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(DevLintError, match="cannot parse"):
+            load_source("def broken(:\n", path="bad.py")
+
+    def test_baseline_roundtrip_and_staleness(self, tmp_path):
+        source = textwrap.dedent(
+            """\
+            async def h(self):
+                self.store.get("k")
+            """
+        )
+        findings = lint_source(source, path="pkg/mod.py")
+        assert codes_of(findings) == ["DEV102"]
+        baseline_file = str(tmp_path / "baseline.json")
+        save_baseline(baseline_file, findings)
+        entries = load_baseline(baseline_file)
+        actionable, baselined, stale = apply_baseline(findings, entries)
+        assert actionable == [] and len(baselined) == 1 and stale == []
+        # Fixing the violation leaves the entry stale, never hidden.
+        actionable, baselined, stale = apply_baseline([], entries)
+        assert actionable == [] and baselined == [] and len(stale) == 1
+
+    def test_baseline_is_line_number_independent(self, tmp_path):
+        before = "async def h(self):\n    self.store.get('k')\n"
+        after = "# a new leading comment\n\n" + before
+        baseline_file = str(tmp_path / "baseline.json")
+        save_baseline(
+            baseline_file, lint_source(before, path="pkg/mod.py")
+        )
+        shifted = lint_source(after, path="pkg/mod.py")
+        actionable, baselined, _ = apply_baseline(
+            shifted, load_baseline(baseline_file)
+        )
+        assert actionable == [] and len(baselined) == 1
+
+    def test_load_baseline_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 1}')
+        with pytest.raises(DevLintError):
+            load_baseline(str(bad))
+
+
+# ----------------------------------------------------------------------
+# Self-check: the gate CI runs
+# ----------------------------------------------------------------------
+
+class TestSelfCheck:
+    def test_repo_lints_clean_modulo_baseline(self):
+        report = run_devlint(
+            [os.path.join(REPO_ROOT, "src", "repro")], root=REPO_ROOT
+        )
+        assert report.baseline_path is not None, (
+            "devlint-baseline.json missing from the repo root"
+        )
+        assert report.stale_baseline == [], (
+            "stale baseline entries: " + repr(report.stale_baseline)
+        )
+        assert report.ok, "\n" + report.format()
+
+    def test_baseline_is_small_and_deliberate(self):
+        entries = load_baseline(
+            os.path.join(REPO_ROOT, "devlint-baseline.json")
+        )
+        # The baseline records accepted design decisions, not a debt
+        # dumping ground; growing it should be a conscious review event.
+        assert 0 < len(entries) <= 10
+        assert {e["code"] for e in entries} == {"DEV303"}

@@ -1,0 +1,102 @@
+"""Cross-interpreter determinism of job signatures.
+
+The devlint DEV2xx rules assert, statically, that signature functions
+avoid ``PYTHONHASHSEED``-sensitive constructs.  This test asserts it
+*dynamically*: fresh interpreter processes launched with different hash
+seeds must produce byte-identical ``job_key`` values and canonical
+``mlp_signature`` JSON.  If anyone reintroduces ``hash()``, an unsorted
+dict walk, or address-based identity into the signature path, the keys
+diverge across seeds and this fails even though every in-process test
+still passes (a single process always agrees with itself).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Runs in a fresh interpreter per hash seed.  Builds the same design
+# twice in different declaration orders (exercising the canonical
+# sort paths), then prints every signature artifact we require to be
+# process-invariant.
+_PROBE = """
+import json
+
+from repro.circuit.builder import CircuitBuilder
+from repro.core.constraints import ConstraintOptions
+from repro.core.mlp import MLPOptions
+from repro.engine.jobspec import (
+    MinimizeJob,
+    SweepJob,
+    job_key,
+    mlp_signature,
+    options_signature,
+)
+
+
+def build(reversed_order):
+    b = CircuitBuilder(phases=["phi1", "phi2"])
+    names = ["A", "B", "C"] if not reversed_order else ["C", "B", "A"]
+    for name in names:
+        phase = "phi1" if name in ("A", "C") else "phi2"
+        b.latch(name, phase=phase, setup=2, delay=3.25)
+    paths = [("A", "B", 10.0), ("B", "C", 7.5), ("C", "A", 12.125)]
+    if reversed_order:
+        paths.reverse()
+    for src, dst, delay in paths:
+        b.path(src, dst, delay)
+    return b.build()
+
+
+mlp = MLPOptions()
+jobs = [
+    MinimizeJob(graph=build(False), mlp=mlp, label="probe"),
+    MinimizeJob(graph=build(True), mlp=mlp, label="probe"),
+    MinimizeJob(graph=build(False), arc_override=("A", "B", 11.0)),
+    SweepJob(graph=build(False), src="A", dst="B",
+             grid=(8.0, 9.0, 10.0, 11.0, 12.0)),
+]
+lines = [job_key(job) for job in jobs]
+lines.append(json.dumps(mlp_signature(mlp), sort_keys=True))
+lines.append(json.dumps(options_signature(ConstraintOptions()),
+                        sort_keys=True))
+print("\\n".join(lines))
+"""
+
+
+def _probe(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestHashSeedInvariance:
+    def test_job_keys_identical_across_hash_seeds(self):
+        outputs = {seed: _probe(seed) for seed in ("0", "1", "4242")}
+        baseline = outputs["0"]
+        assert baseline.strip(), "probe produced no output"
+        for seed, output in outputs.items():
+            assert output == baseline, (
+                f"signatures diverge under PYTHONHASHSEED={seed}:\n"
+                f"seed 0 ->\n{baseline}\nseed {seed} ->\n{output}"
+            )
+
+    def test_probe_canonicalizes_declaration_order(self):
+        # Lines 0 and 1 are the same circuit declared in two orders.
+        lines = _probe("0").splitlines()
+        assert lines[0] == lines[1]
+        # The arc override must still change the key.
+        assert lines[2] != lines[0]
